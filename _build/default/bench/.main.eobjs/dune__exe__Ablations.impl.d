@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Config List Mclh_benchgen Mclh_core Mclh_lcp Mclh_report Model Printf Row_assign Schur Solver Sys Table Util

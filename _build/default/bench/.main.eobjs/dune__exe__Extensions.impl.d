@@ -1,0 +1,1 @@
+bench/extensions.ml: Array Cell Design Generate Legality List Mclh_benchgen Mclh_circuit Mclh_core Mclh_refine Mclh_report Metrics Printf Runner Spec String Table Util

@@ -1,0 +1,1 @@
+bench/fig5.ml: Chip Design Filename Flow Legality Mclh_benchgen Mclh_circuit Mclh_core Order Printf Svg Util

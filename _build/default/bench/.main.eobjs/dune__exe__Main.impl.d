@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Extensions Fig5 Kernels List Printf Scaling Sec53 String Sys Table1 Table2 Util

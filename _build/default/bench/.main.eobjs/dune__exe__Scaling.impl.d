@@ -1,0 +1,1 @@
+bench/scaling.ml: Design Flow Generate Legality List Mclh_benchgen Mclh_circuit Mclh_core Mclh_report Model Printf Solver Spec Table Util

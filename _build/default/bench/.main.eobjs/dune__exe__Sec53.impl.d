@@ -1,0 +1,1 @@
+bench/sec53.ml: Abacus Config Design Float List Mclh_benchgen Mclh_circuit Mclh_core Mclh_report Metrics Model Paper_data Printf Row_assign Solver String Sys Table Tetris_alloc Util

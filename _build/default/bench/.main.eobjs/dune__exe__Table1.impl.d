@@ -1,0 +1,1 @@
+bench/table1.ml: Design Flow Legality List Mclh_benchgen Mclh_circuit Mclh_core Mclh_report Paper_data Printf Solver Table Util

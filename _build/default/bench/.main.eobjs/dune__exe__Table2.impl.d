@@ -1,0 +1,1 @@
+bench/table2.ml: Array Csv Filename List Mclh_benchgen Mclh_circuit Mclh_core Mclh_report Paper_data Printf Runner Table Util

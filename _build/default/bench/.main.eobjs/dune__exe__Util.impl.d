@@ -1,0 +1,1 @@
+bench/util.ml: Array Atomic Chip Design Domain Generate Hashtbl Hpwl List Mclh_benchgen Mclh_circuit Metrics Mutex Printf Spec String Sys

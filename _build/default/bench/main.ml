@@ -1,0 +1,36 @@
+(* Benchmark harness entry point: regenerates every table and figure of the
+   paper's evaluation section (paper values printed alongside), runs the
+   ablations, and finishes with Bechamel kernel timings.
+
+   Environment:
+     MCLH_SCALE   instance scale factor (default 0.04; 1.0 = paper size)
+     MCLH_FAST    if set, run a 5-benchmark subset
+     MCLH_ONLY    comma-separated subset of sections:
+                  table1,table2,sec53,fig5,ablations,extensions,scaling,kernels *)
+
+let sections =
+  [ ("table1", Table1.run);
+    ("table2", Table2.run);
+    ("sec53", Sec53.run);
+    ("fig5", Fig5.run);
+    ("ablations", Ablations.run);
+    ("extensions", Extensions.run);
+    ("scaling", Scaling.run);
+    ("kernels", Kernels.run) ]
+
+let () =
+  let only =
+    match Sys.getenv_opt "MCLH_ONLY" with
+    | None -> None
+    | Some s -> Some (String.split_on_char ',' s |> List.map String.trim)
+  in
+  Printf.printf
+    "mclh benchmark harness — scale %g%s\n%!" Util.scale
+    (if Util.fast_mode then " (fast mode)" else "");
+  List.iter
+    (fun (name, run) ->
+      match only with
+      | Some names when not (List.mem name names) -> ()
+      | Some _ | None -> run ())
+    sections;
+  Printf.printf "\nDone.\n%!"

@@ -1,0 +1,60 @@
+(* The paper's reported results, transcribed from Tables 1 and 2 and
+   Section 5.3, printed next to our measured values so every run records
+   paper-vs-measured without consulting the PDF. *)
+
+type table2_row = {
+  name : string;
+  gp_hpwl_m : float;
+  disp : float * float * float * float;  (* DAC'16, DAC'16-Imp, ASP-DAC'17, Ours *)
+  dhpwl_pct : float * float * float * float;
+  runtime_s : float * float * float * float;
+}
+
+let table2 =
+  let row name gp d1 d2 d3 d4 h1 h2 h3 h4 r1 r2 r3 r4 =
+    { name;
+      gp_hpwl_m = gp;
+      disp = (d1, d2, d3, d4);
+      dhpwl_pct = (h1, h2, h3, h4);
+      runtime_s = (r1, r2, r3, r4) }
+  in
+  [ row "des_perf_1" 1.43 373978. 279545. 474789. 242622. 2.85 1.77 0.99 1.12 7.2 6.1 7.5 2.4;
+    row "des_perf_a" 2.57 103956. 81452. 73057. 72561. 0.28 0.16 0.12 0.07 2.6 2.5 3.8 2.3;
+    row "des_perf_b" 2.13 95747. 81540. 72429. 71888. 0.31 0.21 0.16 0.08 2.4 2.2 3.9 2.3;
+    row "edit_dist_a" 5.25 59884. 59814. 60971. 62961. 0.10 0.10 0.12 0.09 1.9 1.8 4.9 2.8;
+    row "fft_1" 0.46 58429. 54501. 53389. 46121. 1.66 1.47 0.89 0.87 1.1 1.0 1.3 0.7;
+    row "fft_2" 0.46 27762. 25697. 21018. 20979. 0.87 0.73 0.67 0.51 0.4 0.4 1.1 0.6;
+    row "fft_a" 0.75 19600. 19613. 18150. 18304. 0.33 0.33 0.29 0.24 0.3 0.2 1.2 0.6;
+    row "fft_b" 0.95 24500. 28461. 21234. 21671. 0.33 0.18 0.30 0.27 0.4 0.4 1.2 0.6;
+    row "matrix_mult_1" 2.39 82322. 80235. 73682. 71793. 0.28 0.27 0.21 0.21 3.9 4.0 5.4 3.6;
+    row "matrix_mult_2" 2.59 76109. 75810. 65959. 65876. 0.22 0.21 0.17 0.17 4.0 4.2 5.4 3.7;
+    row "matrix_mult_a" 3.77 49385. 46001. 40736. 40298. 0.14 0.11 0.09 0.08 1.6 1.6 5.7 3.4;
+    row "matrix_mult_b" 3.43 43931. 40059. 37243. 37215. 0.13 0.10 0.09 0.08 1.3 1.2 5.6 3.2;
+    row "matrix_mult_c" 3.29 42466. 42490. 40942. 40710. 0.11 0.11 0.11 0.09 1.4 1.4 5.6 3.2;
+    row "pci_bridge32_a" 0.46 28041. 27832. 26674. 26289. 0.58 0.57 0.63 0.45 0.3 0.3 1.2 0.6;
+    row "pci_bridge32_b" 0.98 27757. 27864. 26160. 26028. 0.13 0.13 0.06 0.05 0.2 0.2 1.0 0.4;
+    row "superblue11_a" 42.94 1795695. 1786342. 1983090. 1742941. 0.15 0.15 0.26 0.16 23.4 29.7 50.3 26.3;
+    row "superblue12" 39.23 2097725. 2015678. 1995140. 1963403. 0.22 0.20 0.22 0.21 106.5 103.6 56.5 38.6;
+    row "superblue14" 27.98 1604077. 1599810. 1497490. 1566966. 0.22 0.22 0.18 0.23 17.1 16.7 48.1 17.7;
+    row "superblue16_a" 31.35 1177179. 1173106. 1147530. 1135186. 0.12 0.11 0.11 0.11 21.7 20.7 41.8 18.7;
+    row "superblue19" 20.76 809755. 806529. 808164. 781928. 0.14 0.14 0.13 0.12 10.9 10.5 29.6 13.2 ]
+
+(* last row of Table 2: normalized averages relative to "Ours" *)
+let table2_norm_disp = (1.16, 1.10, 1.06, 1.00)
+let table2_norm_dhpwl = (1.72, 1.41, 1.22, 1.00)
+let table2_norm_runtime = (1.02, 0.97, 1.96, 1.00)
+
+(* Table 1: illegal cells after the MMSIM stage *)
+let table1_illegal =
+  [ ("des_perf_1", 902); ("des_perf_a", 11); ("des_perf_b", 6);
+    ("edit_dist_a", 20); ("fft_1", 183); ("fft_2", 2); ("fft_a", 2);
+    ("fft_b", 10); ("matrix_mult_1", 88); ("matrix_mult_2", 62);
+    ("matrix_mult_a", 3); ("matrix_mult_b", 7); ("matrix_mult_c", 2);
+    ("pci_bridge32_a", 0); ("pci_bridge32_b", 0); ("superblue11_a", 40);
+    ("superblue12", 89); ("superblue14", 264); ("superblue16_a", 42);
+    ("superblue19", 62) ]
+
+(* Section 5.3: single-row-height optimality validation *)
+let sec53_speedup = 1.51
+let sec53_examples =
+  [ ("des_perf_1", 58850.); ("superblue12", 1618580.); ("pci_bridge32_b", 2023.) ]

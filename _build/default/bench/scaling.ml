@@ -1,0 +1,48 @@
+(* Scalability: runtime and iteration count of the MMSIM flow as the
+   instance grows. Per iteration the solver is O(n + m); the paper's large
+   suite (up to 1.3M cells) rests on this near-linear behaviour. *)
+
+open Mclh_circuit
+open Mclh_core
+open Mclh_benchgen
+open Mclh_report
+
+let run () =
+  Util.section "Scaling - MMSIM flow runtime vs instance size (fft_2 shape)";
+  let table =
+    Table.create
+      [ { Table.title = "scale"; align = Table.Right };
+        { title = "cells"; align = Right };
+        { title = "vars+constraints"; align = Right };
+        { title = "iterations"; align = Right };
+        { title = "solve (s)"; align = Right };
+        { title = "total (s)"; align = Right };
+        { title = "us/cell"; align = Right };
+        { title = "legal"; align = Right } ]
+  in
+  let scales =
+    if Util.fast_mode then [ 0.01; 0.02; 0.04 ]
+    else [ 0.01; 0.02; 0.04; 0.08; 0.16; 0.32 ]
+  in
+  List.iter
+    (fun scale ->
+      let inst = Generate.generate (Spec.scaled scale (Spec.find "fft_2")) in
+      let d = inst.Generate.design in
+      let res = Flow.run d in
+      let n = Design.num_cells d in
+      let m = res.Flow.model in
+      Table.add_row table
+        [ Printf.sprintf "%g" scale;
+          string_of_int n;
+          Printf.sprintf "%d+%d" m.Model.nvars (Model.num_constraints m);
+          string_of_int res.Flow.solver.Solver.iterations;
+          Table.fmt_float 3 res.Flow.timings.Flow.solve_s;
+          Table.fmt_float 3 res.Flow.timings.Flow.total_s;
+          Table.fmt_float 2
+            (1e6 *. res.Flow.timings.Flow.total_s /. float_of_int n);
+          string_of_bool (Legality.is_legal d res.Flow.legal) ])
+    scales;
+  print_string (Table.render table);
+  Printf.printf
+    "(us/cell should stay roughly flat if the flow is near-linear; the\n\
+    \ iteration count depends on overlap-chain lengths, not directly on n)\n%!"

@@ -1,0 +1,65 @@
+(* Table 1: benchmark statistics and illegal cells after the MMSIM stage
+   (before the Tetris-like allocation repairs them). *)
+
+open Mclh_circuit
+open Mclh_core
+open Mclh_report
+
+let run () =
+  Util.section
+    (Printf.sprintf "Table 1 - benchmark statistics and illegal cells (scale %g)"
+       Util.scale);
+  let table =
+    Table.create
+      [ { Table.title = "Benchmark"; align = Table.Left };
+        { title = "#S.Cell"; align = Right };
+        { title = "#D.Cell"; align = Right };
+        { title = "Density"; align = Right };
+        { title = "#I.Cell"; align = Right };
+        { title = "%I.Cell"; align = Right };
+        { title = "paper #I"; align = Right };
+        { title = "iters"; align = Right };
+        { title = "legal"; align = Right } ]
+  in
+  let total_illegal = ref 0 and total_cells = ref 0 in
+  let measure name =
+    let inst = Util.instance name in
+    let d = inst.Mclh_benchgen.Generate.design in
+    let res = Flow.run d in
+    (name, d, res)
+  in
+  let rows = Util.parallel_map measure (Util.benchmarks ()) in
+  List.iter
+    (fun (name, d, res) ->
+      let n = Design.num_cells d in
+      let heights = Design.count_by_height d in
+      let singles = try List.assoc 1 heights with Not_found -> 0 in
+      let doubles = try List.assoc 2 heights with Not_found -> 0 in
+      let illegal = Flow.illegal_after_mmsim res in
+      total_illegal := !total_illegal + illegal;
+      total_cells := !total_cells + n;
+      let paper =
+        try List.assoc name Paper_data.table1_illegal with Not_found -> 0
+      in
+      Table.add_row table
+        [ name;
+          string_of_int singles;
+          string_of_int doubles;
+          Table.fmt_float 2 (Design.density d);
+          string_of_int illegal;
+          Table.fmt_pct 2 (float_of_int illegal /. float_of_int n);
+          string_of_int paper;
+          string_of_int res.Flow.solver.Solver.iterations;
+          (if Legality.is_legal d res.Flow.legal then "yes" else "NO") ])
+    rows;
+  Table.add_separator table;
+  Table.add_row table
+    [ "Total"; ""; ""; "";
+      string_of_int !total_illegal;
+      Table.fmt_pct 2 (float_of_int !total_illegal /. float_of_int (max 1 !total_cells));
+      ""; ""; "" ];
+  print_string (Table.render table);
+  Printf.printf
+    "\n(paper #I at full scale; ours at scale %g. The shape to reproduce:\n\
+    \ near-zero illegal cells at low density, the most at des_perf_1/fft_1.)\n%!"
+    Util.scale

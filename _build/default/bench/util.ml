@@ -1,0 +1,97 @@
+(* Shared harness plumbing: scale selection, instance cache, output dir. *)
+
+open Mclh_circuit
+open Mclh_benchgen
+
+let scale =
+  match Sys.getenv_opt "MCLH_SCALE" with
+  | Some s -> (try float_of_string s with _ -> 0.04)
+  | None -> 0.04
+
+let fast_mode = Sys.getenv_opt "MCLH_FAST" <> None
+
+let out_dir = "bench_out"
+
+let ensure_out_dir () =
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755
+
+let section title =
+  let bar = String.make 72 '=' in
+  Printf.printf "\n%s\n== %s\n%s\n%!" bar title bar
+
+let benchmarks () =
+  if fast_mode then
+    [ "des_perf_1"; "fft_1"; "fft_2"; "pci_bridge32_b"; "matrix_mult_a" ]
+  else Spec.names
+
+(* instances are expensive to generate at full scale; cache per run.
+   Access is mutex-protected because the harness fans benchmarks out over
+   domains. *)
+let cache : (string, Generate.instance) Hashtbl.t = Hashtbl.create 32
+let cache_lock = Mutex.create ()
+
+let instance ?(single_height = false) name =
+  let key = Printf.sprintf "%s/%b" name single_height in
+  let cached =
+    Mutex.lock cache_lock;
+    let v = Hashtbl.find_opt cache key in
+    Mutex.unlock cache_lock;
+    v
+  in
+  match cached with
+  | Some inst -> inst
+  | None ->
+    let options =
+      { Generate.default_options with single_height_only = single_height }
+    in
+    let inst = Generate.generate ~options (Spec.scaled scale (Spec.find name)) in
+    Mutex.lock cache_lock;
+    if not (Hashtbl.mem cache key) then Hashtbl.replace cache key inst;
+    Mutex.unlock cache_lock;
+    inst
+
+(* deterministic parallel map over independent benchmark jobs: results come
+   back in input order whatever the scheduling *)
+let parallel_map f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let domains =
+    match Sys.getenv_opt "MCLH_DOMAINS" with
+    | Some s -> (try max 1 (int_of_string s) with _ -> 1)
+    | None -> max 1 (min 8 (Domain.recommended_domain_count () - 1))
+  in
+  if domains <= 1 || n <= 1 then Array.to_list (Array.map f arr)
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f arr.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      List.init (min (domains - 1) (n - 1)) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list
+      (Array.map
+         (function Some v -> v | None -> failwith "parallel_map: missing result")
+         results)
+  end
+
+let row_height (d : Design.t) = d.Design.chip.Chip.row_height
+
+let manhattan d placement =
+  (Metrics.displacement ~row_height:(row_height d) ~before:d.Design.global
+     placement)
+    .Metrics.total_manhattan
+
+let delta_hpwl d placement =
+  Hpwl.delta ~row_height:(row_height d) d.Design.nets ~before:d.Design.global
+    placement

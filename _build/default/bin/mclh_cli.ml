@@ -1,0 +1,370 @@
+(* mclh: command-line driver for the mixed-cell-height legalization library.
+
+   Subcommands:
+     list       show the benchmark suite and its Table-1 statistics
+     gen        generate a synthetic instance and write it to a file
+     legalize   legalize a design file with a chosen algorithm
+     run        generate + legalize in one step (no files)
+     check      verify a placement file against a design file
+     stats      density/utilization analysis of a design (+ placement)
+     convert    translate between the native format and Bookshelf *)
+
+open Cmdliner
+open Mclh_circuit
+open Mclh_benchgen
+open Mclh_core
+
+let report_of design (r : Runner.report) =
+  let b = Buffer.create 512 in
+  let n = Design.num_cells design in
+  Printf.bprintf b "algorithm        : %s\n" (Runner.name r.Runner.algorithm);
+  Printf.bprintf b "cells            : %d\n" n;
+  Printf.bprintf b "legal            : %b\n" r.Runner.legal;
+  Printf.bprintf b "total disp       : %.1f sites (avg %.3f/cell, max %.1f)\n"
+    r.Runner.displacement.Metrics.total_manhattan
+    (Metrics.avg_manhattan r.Runner.displacement n)
+    r.Runner.displacement.Metrics.max_manhattan;
+  Printf.bprintf b "delta HPWL       : %.4f%%\n" (100.0 *. r.Runner.delta_hpwl);
+  Printf.bprintf b "runtime          : %.3f s\n" r.Runner.runtime_s;
+  (match r.Runner.mmsim with
+  | Some f ->
+    Printf.bprintf b "mmsim iterations : %d (converged %b)\n"
+      f.Flow.solver.Solver.iterations f.Flow.solver.Solver.converged;
+    Printf.bprintf b "subcell mismatch : %.2e sites\n" f.Flow.solver.Solver.mismatch;
+    Printf.bprintf b "illegal pre-fix  : %d\n" (Flow.illegal_after_mmsim f);
+    Printf.bprintf b "order preserved  : %.4f\n"
+      (Order.preservation design r.Runner.placement)
+  | None -> ());
+  Buffer.contents b
+
+(* ---- common arguments ---- *)
+
+let bench_arg =
+  let doc = "Benchmark name (see $(b,mclh list))." in
+  Arg.(value & opt string "fft_2" & info [ "bench"; "b" ] ~docv:"NAME" ~doc)
+
+let scale_arg =
+  let doc = "Scale factor applied to the published cell counts." in
+  Arg.(value & opt float 0.02 & info [ "scale"; "s" ] ~docv:"S" ~doc)
+
+let seed_arg =
+  let doc = "Generator seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"K" ~doc)
+
+let single_height_arg =
+  let doc = "Section 5.3 mode: no doubled cells." in
+  Arg.(value & flag & info [ "single-height" ] ~doc)
+
+let alg_arg =
+  let alts = String.concat ", " (List.map Runner.name Runner.all) in
+  let doc = Printf.sprintf "Legalization algorithm (%s)." alts in
+  let parse s =
+    match Runner.of_name s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "unknown algorithm %S (%s)" s alts))
+  in
+  let print ppf a = Format.pp_print_string ppf (Runner.name a) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Runner.Mmsim
+    & info [ "alg"; "a" ] ~docv:"ALG" ~doc)
+
+let svg_arg =
+  let doc = "Also render the result to an SVG file." in
+  Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
+
+let lambda_arg =
+  let doc = "Penalty factor lambda of Problem (13)." in
+  Arg.(value & opt float Config.default.Config.lambda & info [ "lambda" ] ~doc)
+
+let eps_arg =
+  let doc = "MMSIM stopping tolerance (site widths)." in
+  Arg.(value & opt float Config.default.Config.eps & info [ "eps" ] ~doc)
+
+let config_of lambda eps = { Config.default with lambda; eps }
+
+let refine_arg =
+  let doc =
+    "Run the detailed-placement refinement (global moves, swaps, window \
+     reordering) after legalization."
+  in
+  Arg.(value & flag & info [ "refine" ] ~doc)
+
+let maybe_refine design refine (r : Runner.report) =
+  if not refine then r
+  else begin
+    let refined, stats = Mclh_refine.Refine.run design r.Runner.placement in
+    Printf.printf "refinement       : HPWL %.1f -> %.1f (%.2f%%), %d moves, %d swaps, %d reorders\n"
+      stats.Mclh_refine.Refine.hpwl_before stats.hpwl_after
+      (100.0 *. Mclh_refine.Refine.improvement stats)
+      stats.moves stats.swaps stats.reorders;
+    { r with
+      Runner.placement = refined;
+      legal = Mclh_circuit.Legality.is_legal design refined;
+      delta_hpwl =
+        Hpwl.delta ~row_height:design.Design.chip.Chip.row_height
+          design.Design.nets ~before:design.Design.global refined }
+  end
+
+let blockage_arg =
+  let doc = "Fraction of the chip area covered by fixed blockages." in
+  Arg.(value & opt float 0.0 & info [ "blockages" ] ~docv:"FRAC" ~doc)
+
+let tall_arg =
+  let doc = "Fraction of the doubled cells regenerated as 3x/4x-height cells." in
+  Arg.(value & opt float 0.0 & info [ "tall" ] ~docv:"FRAC" ~doc)
+
+let fences_arg =
+  let doc = "Number of exclusive fence regions to generate." in
+  Arg.(value & opt int 0 & info [ "fences" ] ~docv:"K" ~doc)
+
+let generate_instance name scale seed single_height blockages tall fences =
+  let options =
+    { Generate.default_options with
+      seed;
+      single_height_only = single_height;
+      blockage_fraction = blockages;
+      tall_cell_fraction = tall;
+      fence_count = fences }
+  in
+  Generate.generate ~options (Spec.scaled scale (Spec.find name))
+
+(* ---- subcommands ---- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-16s %10s %9s %8s %9s\n" "benchmark" "#singles" "#doubles"
+      "density" "GP HPWL";
+    List.iter
+      (fun (s : Spec.t) ->
+        Printf.printf "%-16s %10d %9d %8.2f %8.2fm\n" s.Spec.name s.Spec.singles
+          s.Spec.doubles s.Spec.density s.Spec.gp_hpwl_m)
+      Spec.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite (paper Table 1).")
+    Term.(const run $ const ())
+
+let gen_cmd =
+  let out_arg =
+    let doc = "Output design file." in
+    Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let run bench scale seed single_height blockages tall fences out =
+    match Spec.find bench with
+    | exception Not_found ->
+      Printf.eprintf "unknown benchmark %S\n" bench;
+      exit 1
+    | _ ->
+      let inst =
+        generate_instance bench scale seed single_height blockages tall fences
+      in
+      Io.write_design ~path:out inst.Generate.design;
+      let d = inst.Generate.design in
+      Printf.printf "wrote %s: %d cells, %d nets, chip %dx%d, density %.3f\n" out
+        (Design.num_cells d)
+        (Netlist.num_nets d.Design.nets)
+        d.Design.chip.Chip.num_rows d.Design.chip.Chip.num_sites
+        (Design.density d)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic benchmark instance.")
+    Term.(
+      const run $ bench_arg $ scale_arg $ seed_arg $ single_height_arg
+      $ blockage_arg $ tall_arg $ fences_arg $ out_arg)
+
+let legalize_cmd =
+  let in_arg =
+    let doc = "Input design file." in
+    Arg.(required & opt (some string) None & info [ "i"; "in" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Output placement file." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let run input alg output svg lambda eps refine =
+    let design = Io.read_design ~path:input in
+    let r = Runner.run ~config:(config_of lambda eps) alg design in
+    let r = maybe_refine design refine r in
+    print_string (report_of design r);
+    Option.iter
+      (fun path ->
+        Io.write_placement ~path r.Runner.placement;
+        Printf.printf "placement        : %s\n" path)
+      output;
+    Option.iter
+      (fun path ->
+        Svg.write_file ~path design r.Runner.placement;
+        Printf.printf "svg              : %s\n" path)
+      svg;
+    if not r.Runner.legal then exit 2
+  in
+  Cmd.v
+    (Cmd.info "legalize" ~doc:"Legalize a design file.")
+    Term.(
+      const run $ in_arg $ alg_arg $ out_arg $ svg_arg $ lambda_arg $ eps_arg
+      $ refine_arg)
+
+let run_cmd =
+  let run bench scale seed single_height blockages tall fences alg svg lambda
+      eps refine =
+    match Spec.find bench with
+    | exception Not_found ->
+      Printf.eprintf "unknown benchmark %S\n" bench;
+      exit 1
+    | _ ->
+      let inst =
+        generate_instance bench scale seed single_height blockages tall fences
+      in
+      let design = inst.Generate.design in
+      let r = Runner.run ~config:(config_of lambda eps) alg design in
+      let r = maybe_refine design refine r in
+      print_string (report_of design r);
+      Option.iter
+        (fun path ->
+          Svg.write_file ~path design r.Runner.placement;
+          Printf.printf "svg              : %s\n" path)
+        svg;
+      if not r.Runner.legal then exit 2
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Generate and legalize in one step.")
+    Term.(
+      const run $ bench_arg $ scale_arg $ seed_arg $ single_height_arg
+      $ blockage_arg $ tall_arg $ fences_arg $ alg_arg $ svg_arg $ lambda_arg
+      $ eps_arg $ refine_arg)
+
+let check_cmd =
+  let design_arg =
+    let doc = "Design file." in
+    Arg.(required & opt (some string) None & info [ "i"; "in" ] ~docv:"FILE" ~doc)
+  in
+  let placement_arg =
+    let doc = "Placement file." in
+    Arg.(
+      required & opt (some string) None & info [ "p"; "placement" ] ~docv:"FILE" ~doc)
+  in
+  let run design_path placement_path =
+    let design = Io.read_design ~path:design_path in
+    let placement = Io.read_placement ~path:placement_path in
+    let violations = Legality.check design placement in
+    let rh = design.Design.chip.Chip.row_height in
+    let m = Metrics.displacement ~row_height:rh ~before:design.Design.global placement in
+    Printf.printf "cells      : %d\n" (Design.num_cells design);
+    Printf.printf "violations : %d\n" (List.length violations);
+    List.iteri
+      (fun i v -> if i < 20 then Format.printf "  %a@." Legality.pp_violation v)
+      violations;
+    if List.length violations > 20 then Printf.printf "  ...\n";
+    Printf.printf "total disp : %.1f sites\n" m.Metrics.total_manhattan;
+    Printf.printf "delta HPWL : %.4f%%\n"
+      (100.0
+      *. Hpwl.delta ~row_height:rh design.Design.nets ~before:design.Design.global
+           placement);
+    if violations <> [] then exit 2
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check a placement against a design.")
+    Term.(const run $ design_arg $ placement_arg)
+
+let stats_cmd =
+  let design_arg =
+    let doc = "Design file (native format or Bookshelf .aux)." in
+    Arg.(required & opt (some string) None & info [ "i"; "in" ] ~docv:"FILE" ~doc)
+  in
+  let placement_arg =
+    let doc = "Placement file (defaults to the design's global placement)." in
+    Arg.(value & opt (some string) None & info [ "p"; "placement" ] ~docv:"FILE" ~doc)
+  in
+  let svg_arg =
+    let doc = "Write the utilization heatmap to an SVG file." in
+    Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
+  in
+  let run design_path placement_path svg =
+    let design =
+      if Filename.check_suffix design_path ".aux" then
+        Bookshelf.read ~aux:design_path
+      else Io.read_design ~path:design_path
+    in
+    let placement =
+      match placement_path with
+      | Some p -> Io.read_placement ~path:p
+      | None -> design.Design.global
+    in
+    let n = Design.num_cells design in
+    Printf.printf "design        : %s\n" design.Design.name;
+    Printf.printf "cells         : %d (%s)\n" n
+      (Design.count_by_height design
+      |> List.map (fun (h, c) -> Printf.sprintf "%dx height %d" c h)
+      |> String.concat ", ");
+    Printf.printf "chip          : %d rows x %d sites (row height %g)\n"
+      design.Design.chip.Chip.num_rows design.Design.chip.Chip.num_sites
+      design.Design.chip.Chip.row_height;
+    Printf.printf "blockages     : %d\n" (Array.length design.Design.blockages);
+    Printf.printf "density       : %.3f\n" (Design.density design);
+    Printf.printf "nets          : %d (HPWL %.1f)\n"
+      (Netlist.num_nets design.Design.nets)
+      (Hpwl.total ~row_height:design.Design.chip.Chip.row_height
+         design.Design.nets placement);
+    let m = Density.map design placement in
+    let o = Density.overflow m in
+    Printf.printf "bin grid      : %d x %d\n" m.Density.bins_x m.Density.bins_y;
+    Printf.printf "utilization   : mean %.3f, max %.3f\n" o.Density.mean_utilization
+      o.Density.max_utilization;
+    Printf.printf "overflow      : %d bins over 100%%, ratio %.4f\n"
+      o.Density.overflowed_bins o.Density.overflow_ratio;
+    let rows = Density.row_utilization design placement in
+    let worst = Array.fold_left Float.max 0.0 rows in
+    Printf.printf "rows          : worst utilization %.3f\n" worst;
+    Format.printf "%a@." Density.pp_histogram m;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Density.to_svg m);
+        close_out oc;
+        Printf.printf "heatmap       : %s\n" path)
+      svg
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Density and utilization analysis.")
+    Term.(const run $ design_arg $ placement_arg $ svg_arg)
+
+let convert_cmd =
+  let in_arg =
+    let doc = "Input design: native file or Bookshelf .aux." in
+    Arg.(required & opt (some string) None & info [ "i"; "in" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc =
+      "Output: a path ending in .mclh for the native format, anything else \
+       is used as a Bookshelf basename (five files are written)."
+    in
+    Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let run input output =
+    let design =
+      if Filename.check_suffix input ".aux" then Bookshelf.read ~aux:input
+      else Io.read_design ~path:input
+    in
+    if Filename.check_suffix output ".mclh" then begin
+      Io.write_design ~path:output design;
+      Printf.printf "wrote %s (native)\n" output
+    end
+    else begin
+      Bookshelf.write ~basename:output design;
+      Printf.printf "wrote %s.{aux,nodes,nets,wts,pl,scl} (bookshelf)\n" output
+    end
+  in
+  Cmd.v
+    (Cmd.info "convert" ~doc:"Convert between native and Bookshelf formats.")
+    Term.(const run $ in_arg $ out_arg)
+
+let () =
+  let info =
+    Cmd.info "mclh" ~version:"1.0.0"
+      ~doc:"Mixed-cell-height legalization via LCP + MMSIM (DAC'17 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; gen_cmd; legalize_cmd; run_cmd; check_cmd; stats_cmd;
+            convert_cmd ]))

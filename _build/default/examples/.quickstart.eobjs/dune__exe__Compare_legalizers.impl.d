@@ -1,0 +1,1 @@
+examples/compare_legalizers.ml: Array Design Generate List Mclh_benchgen Mclh_circuit Mclh_core Mclh_report Metrics Order Printf Runner Sys Table

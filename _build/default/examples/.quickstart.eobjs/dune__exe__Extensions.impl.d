@@ -1,0 +1,1 @@
+examples/extensions.ml: Array Chip Design Flow Generate Legality List Mclh_benchgen Mclh_circuit Mclh_core Mclh_refine Metrics Printf Solver Spec String Svg

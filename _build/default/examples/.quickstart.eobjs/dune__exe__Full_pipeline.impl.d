@@ -1,0 +1,1 @@
+examples/full_pipeline.ml: Chip Design Flow Generate Hpwl Legality List Mclh_benchgen Mclh_circuit Mclh_core Mclh_gp Mclh_refine Metrics Netlist Printf Solver Svg

@@ -1,0 +1,1 @@
+examples/paper_example.ml: Array Blocks Cell Chip Config Csr Dense Design Flow Format Legality Mclh_circuit Mclh_core Mclh_lcp Mclh_linalg Mclh_qp Model Netlist Placement Rail Row_assign Solver Vec

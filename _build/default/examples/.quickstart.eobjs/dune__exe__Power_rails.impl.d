@@ -1,0 +1,1 @@
+examples/power_rails.ml: Array Cell Chip Design Flow Legality List Mclh_circuit Mclh_core Netlist Placement Printf Rail Row_assign String

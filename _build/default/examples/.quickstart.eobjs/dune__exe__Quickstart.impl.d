@@ -1,0 +1,1 @@
+examples/quickstart.ml: Chip Design Flow Generate Hpwl Legality List Mclh_benchgen Mclh_circuit Mclh_core Metrics Order Printf Solver String Svg

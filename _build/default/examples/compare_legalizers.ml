@@ -1,0 +1,44 @@
+(* Compare every legalizer in the library on one benchmark — a miniature
+   of the paper's Table 2.
+
+     dune exec examples/compare_legalizers.exe [-- <benchmark> [scale]] *)
+
+open Mclh_circuit
+open Mclh_benchgen
+open Mclh_core
+open Mclh_report
+
+let () =
+  let bench = if Array.length Sys.argv > 1 then Sys.argv.(1) else "des_perf_1" in
+  let scale =
+    if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2) else 0.02
+  in
+  let instance = Generate.generate_named ~scale bench in
+  let design = instance.Generate.design in
+  Printf.printf "%s at scale %g: %d cells, density %.2f\n\n" bench scale
+    (Design.num_cells design) (Design.density design);
+  let table =
+    Table.create
+      [ { Table.title = "algorithm"; align = Table.Left };
+        { title = "legal"; align = Right };
+        { title = "disp (sites)"; align = Right };
+        { title = "avg/cell"; align = Right };
+        { title = "dHPWL"; align = Right };
+        { title = "order kept"; align = Right };
+        { title = "time (s)"; align = Right } ]
+  in
+  List.iter
+    (fun alg ->
+      let r = Runner.run alg design in
+      Table.add_row table
+        [ Runner.name alg;
+          (if r.Runner.legal then "yes" else "NO");
+          Table.fmt_int r.Runner.displacement.Metrics.total_manhattan;
+          Table.fmt_float 3
+            (Metrics.avg_manhattan r.Runner.displacement (Design.num_cells design));
+          Table.fmt_pct 3 r.Runner.delta_hpwl;
+          Table.fmt_float 4 (Order.preservation design r.Runner.placement);
+          Table.fmt_float 3 r.Runner.runtime_s ])
+    Runner.all;
+  print_string (Table.render table);
+  print_newline ()

@@ -1,0 +1,1 @@
+lib/benchgen/generate.ml: Array Blockage Cell Chip Design Float List Mclh_circuit Netlist Nets Occupancy Placement Printf Rail Region Rng Spec

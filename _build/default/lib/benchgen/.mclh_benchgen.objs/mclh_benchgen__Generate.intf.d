@@ -1,0 +1,1 @@
+lib/benchgen/generate.mli: Mclh_circuit Spec

@@ -1,0 +1,1 @@
+lib/benchgen/nets.ml: Array Cell Chip Float Hashtbl List Mclh_circuit Netlist Placement Rng

@@ -1,0 +1,1 @@
+lib/benchgen/nets.mli: Cell Chip Mclh_circuit Netlist Placement Rng

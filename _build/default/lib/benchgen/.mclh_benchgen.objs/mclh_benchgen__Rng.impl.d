@@ -1,0 +1,1 @@
+lib/benchgen/rng.ml: Array Char Float Int64 String

@@ -1,0 +1,1 @@
+lib/benchgen/spec.ml: Float List

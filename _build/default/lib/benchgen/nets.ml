@@ -1,0 +1,89 @@
+open Mclh_circuit
+
+(* spatial grid over the global placement for neighborhood queries *)
+type grid = {
+  bucket_w : float;
+  bucket_h : float;
+  nx : int;
+  ny : int;
+  buckets : int list array;
+}
+
+let build_grid (chip : Chip.t) (placement : Placement.t) =
+  let n = Placement.num_cells placement in
+  let target_per_bucket = 8.0 in
+  let num_buckets = Float.max 1.0 (float_of_int n /. target_per_bucket) in
+  let aspect = float_of_int chip.Chip.num_sites /. float_of_int chip.Chip.num_rows in
+  let ny = max 1 (int_of_float (sqrt (num_buckets /. aspect))) in
+  let nx = max 1 (int_of_float (num_buckets /. float_of_int ny)) in
+  let bucket_w = float_of_int chip.Chip.num_sites /. float_of_int nx in
+  let bucket_h = float_of_int chip.Chip.num_rows /. float_of_int ny in
+  let buckets = Array.make (nx * ny) [] in
+  let clamp v hi = max 0 (min (hi - 1) v) in
+  for i = 0 to n - 1 do
+    let bx = clamp (int_of_float (placement.Placement.xs.(i) /. bucket_w)) nx in
+    let by = clamp (int_of_float (placement.Placement.ys.(i) /. bucket_h)) ny in
+    let key = (by * nx) + bx in
+    buckets.(key) <- i :: buckets.(key)
+  done;
+  { bucket_w; bucket_h; nx; ny; buckets }
+
+let neighbors grid (placement : Placement.t) seed ~radius_buckets =
+  let clamp v hi = max 0 (min (hi - 1) v) in
+  let bx = clamp (int_of_float (placement.Placement.xs.(seed) /. grid.bucket_w)) grid.nx in
+  let by = clamp (int_of_float (placement.Placement.ys.(seed) /. grid.bucket_h)) grid.ny in
+  let acc = ref [] in
+  for dy = -radius_buckets to radius_buckets do
+    for dx = -radius_buckets to radius_buckets do
+      let x = bx + dx and y = by + dy in
+      if x >= 0 && x < grid.nx && y >= 0 && y < grid.ny then
+        acc := List.rev_append grid.buckets.((y * grid.nx) + x) !acc
+    done
+  done;
+  !acc
+
+let degree rng =
+  (* ~55% two-pin nets, geometric tail capped at 8 *)
+  if Rng.float rng 1.0 < 0.55 then 2
+  else begin
+    let rec tail d = if d >= 8 || Rng.float rng 1.0 < 0.5 then d else tail (d + 1) in
+    tail 3
+  end
+
+let pin_of rng (cells : Cell.t array) cell =
+  let c = cells.(cell) in
+  Netlist.
+    { cell;
+      dx = Rng.float rng (float_of_int c.Cell.width);
+      dy = Rng.float rng (float_of_int c.Cell.height) }
+
+let generate rng ~nets_per_cell ~chip ~cells ~placement =
+  let n = Array.length cells in
+  let num_nets = int_of_float (Float.round (nets_per_cell *. float_of_int n)) in
+  if n = 0 || num_nets = 0 then Netlist.empty ~num_cells:n
+  else begin
+    let grid = build_grid chip placement in
+    let max_radius = max grid.nx grid.ny in
+    let make_net () =
+      let seed = Rng.int rng n in
+      let want = degree rng in
+      let rec gather radius =
+        let cand = neighbors grid placement seed ~radius_buckets:radius in
+        if List.length cand >= want || radius >= max_radius then cand
+        else gather (radius + 1)
+      in
+      let cand = Array.of_list (gather 1) in
+      Rng.shuffle rng cand;
+      let chosen = Hashtbl.create want in
+      Hashtbl.replace chosen seed ();
+      let idx = ref 0 in
+      while Hashtbl.length chosen < want && !idx < Array.length cand do
+        Hashtbl.replace chosen cand.(!idx) ();
+        incr idx
+      done;
+      Hashtbl.fold (fun cell () acc -> pin_of rng cells cell :: acc) chosen []
+      |> Array.of_list
+    in
+    let nets = List.init num_nets (fun _ -> make_net ()) in
+    Netlist.make ~num_cells:n nets
+  end

@@ -1,0 +1,21 @@
+(** Locality-driven net generation.
+
+    Nets connect cells that are close in the global placement (a spatial
+    grid provides the neighborhoods), so a legalizer that moves cells a
+    little perturbs HPWL a little — the property that makes the paper's
+    dHPWL column meaningful. Pin offsets are drawn inside each cell's
+    outline. *)
+
+open Mclh_circuit
+
+val generate :
+  Rng.t ->
+  nets_per_cell:float ->
+  chip:Chip.t ->
+  cells:Cell.t array ->
+  placement:Placement.t ->
+  Netlist.t
+(** Degree distribution: 2 pins with probability ~0.55, then geometric tail
+    up to 8 pins. A net's pins are drawn from a neighborhood window around
+    a uniformly chosen seed cell, widening until enough distinct cells are
+    found. *)

@@ -1,0 +1,1 @@
+lib/circuit/blockage.ml: Chip Format

@@ -1,0 +1,1 @@
+lib/circuit/blockage.mli: Chip Format

@@ -1,0 +1,1 @@
+lib/circuit/bookshelf.ml: Array Blockage Cell Chip Design Filename Float Fun Hashtbl In_channel List Netlist Placement Printf String Sys

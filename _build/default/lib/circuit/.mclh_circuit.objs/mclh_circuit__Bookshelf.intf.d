@@ -1,0 +1,1 @@
+lib/circuit/bookshelf.mli: Design

@@ -1,0 +1,1 @@
+lib/circuit/cell.ml: Format Printf Rail

@@ -1,0 +1,1 @@
+lib/circuit/chip.ml: Cell Float Format Option Printf Rail

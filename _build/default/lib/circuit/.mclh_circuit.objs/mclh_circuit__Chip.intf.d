@@ -1,0 +1,1 @@
+lib/circuit/chip.mli: Cell Format Rail

@@ -1,0 +1,1 @@
+lib/circuit/density.ml: Array Blockage Buffer Cell Chip Design Float Format Placement Printf String

@@ -1,0 +1,1 @@
+lib/circuit/density.mli: Design Format Placement

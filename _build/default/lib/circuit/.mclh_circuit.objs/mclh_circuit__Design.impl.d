@@ -1,0 +1,1 @@
+lib/circuit/design.ml: Array Blockage Cell Chip Hashtbl List Netlist Placement Printf Region

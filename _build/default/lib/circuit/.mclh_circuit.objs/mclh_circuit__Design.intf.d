@@ -1,0 +1,1 @@
+lib/circuit/design.mli: Blockage Cell Chip Netlist Placement Region

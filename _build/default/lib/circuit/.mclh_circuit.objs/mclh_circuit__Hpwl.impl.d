@@ -1,0 +1,1 @@
+lib/circuit/hpwl.ml: Array Netlist Placement

@@ -1,0 +1,1 @@
+lib/circuit/hpwl.mli: Netlist Placement

@@ -1,0 +1,1 @@
+lib/circuit/io.ml: Array Blockage Cell Chip Design Fun In_channel List Netlist Placement Printf Rail Region String

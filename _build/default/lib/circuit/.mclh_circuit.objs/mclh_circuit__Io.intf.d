@@ -1,0 +1,1 @@
+lib/circuit/io.mli: Design Placement

@@ -1,0 +1,1 @@
+lib/circuit/legality.ml: Array Blockage Cell Chip Design Float Format Int List Placement Region Set

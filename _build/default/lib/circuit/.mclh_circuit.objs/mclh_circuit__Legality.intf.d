@@ -1,0 +1,1 @@
+lib/circuit/legality.mli: Design Format Placement

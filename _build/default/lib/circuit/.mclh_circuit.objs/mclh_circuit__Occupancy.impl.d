@@ -1,0 +1,1 @@
+lib/circuit/occupancy.ml: Array Blockage Bytes Cell Chip Design Float Printf

@@ -1,0 +1,1 @@
+lib/circuit/occupancy.mli: Cell Chip Design

@@ -1,0 +1,1 @@
+lib/circuit/rail.ml: Format

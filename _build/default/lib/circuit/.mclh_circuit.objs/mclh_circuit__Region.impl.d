@@ -1,0 +1,1 @@
+lib/circuit/region.ml: Blockage Chip Float List

@@ -1,0 +1,1 @@
+lib/circuit/region.mli: Blockage Chip

@@ -1,0 +1,1 @@
+lib/circuit/svg.ml: Array Blockage Buffer Cell Chip Design Float Fun Placement Printf Rail

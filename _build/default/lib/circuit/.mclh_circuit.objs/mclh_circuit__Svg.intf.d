@@ -1,0 +1,1 @@
+lib/circuit/svg.mli: Design Placement

@@ -1,0 +1,371 @@
+(* Bookshelf reader/writer. Node naming convention: movable cells are "o<id>"
+   (their array index), terminals (blockages) are "b<k>". *)
+
+let node_name i = Printf.sprintf "o%d" i
+let blockage_name k = Printf.sprintf "b%d" k
+
+(* ---------- writing ---------- *)
+
+let with_out path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let write ~basename (d : Design.t) =
+  let chip = d.Design.chip in
+  let rh = chip.Chip.row_height in
+  let base = Filename.basename basename in
+  with_out (basename ^ ".aux") (fun oc ->
+      Printf.fprintf oc
+        "RowBasedPlacement : %s.nodes %s.nets %s.wts %s.pl %s.scl\n" base base
+        base base base);
+  (* .wts is part of the bundle convention; all weights 1 *)
+  with_out (basename ^ ".wts") (fun oc -> Printf.fprintf oc "UCLA wts 1.0\n");
+  let n = Design.num_cells d in
+  let nb = Array.length d.Design.blockages in
+  with_out (basename ^ ".nodes") (fun oc ->
+      Printf.fprintf oc "UCLA nodes 1.0\n\n";
+      Printf.fprintf oc "NumNodes : %d\n" (n + nb);
+      Printf.fprintf oc "NumTerminals : %d\n" nb;
+      Array.iter
+        (fun (c : Cell.t) ->
+          Printf.fprintf oc "  %s %d %.9g\n" (node_name c.Cell.id) c.Cell.width
+            (float_of_int c.Cell.height *. rh))
+        d.Design.cells;
+      Array.iteri
+        (fun k (b : Blockage.t) ->
+          Printf.fprintf oc "  %s %d %g terminal\n" (blockage_name k)
+            b.Blockage.width
+            (float_of_int b.Blockage.height *. rh))
+        d.Design.blockages);
+  with_out (basename ^ ".nets") (fun oc ->
+      Printf.fprintf oc "UCLA nets 1.0\n\n";
+      Printf.fprintf oc "NumNets : %d\n" (Netlist.num_nets d.Design.nets);
+      Printf.fprintf oc "NumPins : %d\n" (Netlist.num_pins d.Design.nets);
+      Netlist.iter d.Design.nets (fun net_id pins ->
+          Printf.fprintf oc "NetDegree : %d  n%d\n" (Array.length pins) net_id;
+          Array.iter
+            (fun (p : Netlist.pin) ->
+              let c = d.Design.cells.(p.Netlist.cell) in
+              (* bookshelf offsets are from the node center *)
+              let dx = p.dx -. (float_of_int c.Cell.width /. 2.0) in
+              let dy = (p.dy -. (float_of_int c.Cell.height /. 2.0)) *. rh in
+              Printf.fprintf oc "  %s B : %.9g %.9g\n" (node_name p.Netlist.cell) dx dy)
+            pins));
+  with_out (basename ^ ".pl") (fun oc ->
+      Printf.fprintf oc "UCLA pl 1.0\n\n";
+      for i = 0 to n - 1 do
+        Printf.fprintf oc "%s %.9g %.9g : N\n" (node_name i)
+          d.Design.global.Placement.xs.(i)
+          (d.Design.global.Placement.ys.(i) *. rh)
+      done;
+      Array.iteri
+        (fun k (b : Blockage.t) ->
+          Printf.fprintf oc "%s %d %g : N /FIXED\n" (blockage_name k)
+            b.Blockage.x
+            (float_of_int b.Blockage.row *. rh))
+        d.Design.blockages);
+  with_out (basename ^ ".scl") (fun oc ->
+      Printf.fprintf oc "UCLA scl 1.0\n\n";
+      Printf.fprintf oc "NumRows : %d\n\n" chip.Chip.num_rows;
+      for r = 0 to chip.Chip.num_rows - 1 do
+        Printf.fprintf oc "CoreRow Horizontal\n";
+        Printf.fprintf oc "  Coordinate    : %g\n" (float_of_int r *. rh);
+        Printf.fprintf oc "  Height        : %g\n" rh;
+        Printf.fprintf oc "  Sitewidth     : 1\n";
+        Printf.fprintf oc "  Sitespacing   : 1\n";
+        Printf.fprintf oc "  Siteorient    : %s\n" (if r mod 2 = 0 then "N" else "FS");
+        Printf.fprintf oc "  Sitesymmetry  : Y\n";
+        Printf.fprintf oc "  SubrowOrigin  : 0  NumSites : %d\n" chip.Chip.num_sites;
+        Printf.fprintf oc "End\n"
+      done)
+
+(* ---------- reading ---------- *)
+
+type line_reader = { file : string; ic : in_channel; mutable no : int }
+
+let open_reader file =
+  if not (Sys.file_exists file) then failwith (file ^ ": no such file");
+  { file; ic = open_in file; no = 0 }
+
+let fail r msg = failwith (Printf.sprintf "%s:%d: %s" r.file r.no msg)
+
+(* next meaningful line: skips blanks, comments, and the UCLA header *)
+let rec next_line r =
+  match In_channel.input_line r.ic with
+  | None -> None
+  | Some line ->
+    r.no <- r.no + 1;
+    let line = String.trim line in
+    if
+      line = ""
+      || String.length line >= 1 && line.[0] = '#'
+      || String.length line >= 4 && String.sub line 0 4 = "UCLA"
+    then next_line r
+    else Some line
+
+let tokens line =
+  String.split_on_char '\t' line
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.filter (( <> ) "")
+
+let parse_kv r line key =
+  match tokens line with
+  | [ k; ":"; v ] when k = key -> v
+  | k :: ":" :: v :: _ when k = key -> v
+  | _ -> fail r (Printf.sprintf "expected '%s : <value>'" key)
+
+type bs_node = { width : float; height : float; terminal : bool }
+
+let read_nodes file =
+  let r = open_reader file in
+  Fun.protect
+    ~finally:(fun () -> close_in r.ic)
+    (fun () ->
+      let num_nodes =
+        match next_line r with
+        | Some l -> int_of_string (parse_kv r l "NumNodes")
+        | None -> fail r "missing NumNodes"
+      in
+      let _num_terminals =
+        match next_line r with
+        | Some l -> int_of_string (parse_kv r l "NumTerminals")
+        | None -> fail r "missing NumTerminals"
+      in
+      let nodes = Hashtbl.create num_nodes in
+      let order = ref [] in
+      let rec loop () =
+        match next_line r with
+        | None -> ()
+        | Some line ->
+          (match tokens line with
+          | [ name; w; h ] ->
+            Hashtbl.replace nodes name
+              { width = float_of_string w; height = float_of_string h;
+                terminal = false };
+            order := name :: !order
+          | [ name; w; h; "terminal" ] ->
+            Hashtbl.replace nodes name
+              { width = float_of_string w; height = float_of_string h;
+                terminal = true };
+            order := name :: !order
+          | _ -> fail r "expected '<name> <width> <height> [terminal]'");
+          loop ()
+      in
+      loop ();
+      (nodes, List.rev !order))
+
+let read_pl file =
+  let r = open_reader file in
+  Fun.protect
+    ~finally:(fun () -> close_in r.ic)
+    (fun () ->
+      let tbl = Hashtbl.create 64 in
+      let rec loop () =
+        match next_line r with
+        | None -> ()
+        | Some line ->
+          (match tokens line with
+          | name :: x :: y :: ":" :: _ ->
+            Hashtbl.replace tbl name (float_of_string x, float_of_string y)
+          | _ -> fail r "expected '<name> <x> <y> : <orient>'");
+          loop ()
+      in
+      loop ();
+      tbl)
+
+type bs_row = { coordinate : float; height : float; num_sites : int }
+
+let read_scl file =
+  let r = open_reader file in
+  Fun.protect
+    ~finally:(fun () -> close_in r.ic)
+    (fun () ->
+      let num_rows =
+        match next_line r with
+        | Some l -> int_of_string (parse_kv r l "NumRows")
+        | None -> fail r "missing NumRows"
+      in
+      let rows = ref [] in
+      let rec read_row () =
+        match next_line r with
+        | None -> ()
+        | Some line when tokens line = [ "CoreRow"; "Horizontal" ] ->
+          let coordinate = ref nan and height = ref nan and num_sites = ref 0 in
+          let rec body () =
+            match next_line r with
+            | None -> fail r "unterminated CoreRow"
+            | Some l when String.trim l = "End" -> ()
+            | Some l ->
+              (match tokens l with
+              | [ "Coordinate"; ":"; v ] -> coordinate := float_of_string v
+              | [ "Height"; ":"; v ] -> height := float_of_string v
+              | "SubrowOrigin" :: ":" :: _ :: "NumSites" :: ":" :: v :: _ ->
+                num_sites := int_of_string v
+              | _ -> ());
+              body ()
+          in
+          body ();
+          rows := { coordinate = !coordinate; height = !height; num_sites = !num_sites } :: !rows;
+          read_row ()
+        | Some _ -> read_row ()
+      in
+      read_row ();
+      let rows = List.rev !rows in
+      if List.length rows <> num_rows then
+        fail r
+          (Printf.sprintf "NumRows %d but %d CoreRow blocks" num_rows
+             (List.length rows));
+      rows)
+
+let read_nets file nodes_index =
+  let r = open_reader file in
+  Fun.protect
+    ~finally:(fun () -> close_in r.ic)
+    (fun () ->
+      (* NumNets / NumPins headers *)
+      let _ = match next_line r with Some l -> parse_kv r l "NumNets" | None -> fail r "missing NumNets" in
+      let _ = match next_line r with Some l -> parse_kv r l "NumPins" | None -> fail r "missing NumPins" in
+      let nets = ref [] in
+      let rec read_net () =
+        match next_line r with
+        | None -> ()
+        | Some line ->
+          (match tokens line with
+          | "NetDegree" :: ":" :: k :: _ ->
+            let k = int_of_string k in
+            let pins = ref [] in
+            for _ = 1 to k do
+              match next_line r with
+              | Some pin_line ->
+                (match tokens pin_line with
+                | name :: _dir :: ":" :: dx :: dy :: _ ->
+                  (match Hashtbl.find_opt nodes_index name with
+                  | Some cell -> pins := (cell, float_of_string dx, float_of_string dy) :: !pins
+                  | None -> () (* pins on terminals are dropped *))
+                | [ name; _dir ] ->
+                  (match Hashtbl.find_opt nodes_index name with
+                  | Some cell -> pins := (cell, 0.0, 0.0) :: !pins
+                  | None -> ())
+                | _ -> fail r "expected '<node> <dir> : <dx> <dy>'")
+              | None -> fail r "unterminated net"
+            done;
+            if !pins <> [] then nets := List.rev !pins :: !nets
+          | _ -> fail r "expected 'NetDegree : <k> <name>'");
+          read_net ()
+      in
+      read_net ();
+      List.rev !nets)
+
+let read ~aux =
+  let dir = Filename.dirname aux in
+  let r = open_reader aux in
+  let files =
+    Fun.protect
+      ~finally:(fun () -> close_in r.ic)
+      (fun () ->
+        match next_line r with
+        | Some line ->
+          (match tokens line with
+          | _kind :: ":" :: files -> files
+          | _ -> fail r "expected 'RowBasedPlacement : <files>'")
+        | None -> fail r "empty aux file")
+  in
+  let find_ext ext =
+    match List.find_opt (fun f -> Filename.check_suffix f ext) files with
+    | Some f -> Filename.concat dir f
+    | None -> failwith (aux ^ ": no " ^ ext ^ " file listed")
+  in
+  let nodes, node_order = read_nodes (find_ext ".nodes") in
+  let pl = read_pl (find_ext ".pl") in
+  let rows = read_scl (find_ext ".scl") in
+  (* uniform rows *)
+  let row_height =
+    match rows with
+    | [] -> failwith (aux ^ ": no rows")
+    | first :: rest ->
+      List.iter
+        (fun row ->
+          if Float.abs (row.height -. first.height) > 1e-9 then
+            failwith (aux ^ ": non-uniform row heights are not supported"))
+        rest;
+      first.height
+  in
+  let num_rows = List.length rows in
+  let num_sites = List.fold_left (fun acc row -> max acc row.num_sites) 1 rows in
+  let chip = Chip.make ~row_height ~num_rows ~num_sites () in
+  (* split nodes into movable cells and terminal blockages, preserving file
+     order for ids *)
+  let movable = List.filter (fun name -> not (Hashtbl.find nodes name).terminal) node_order in
+  let terminals = List.filter (fun name -> (Hashtbl.find nodes name).terminal) node_order in
+  let to_rows name h =
+    let k = h /. row_height in
+    let ki = Float.round k in
+    if Float.abs (k -. ki) > 1e-6 || ki < 1.0 then
+      failwith
+        (Printf.sprintf "%s: node %s height %g is not a row multiple" aux name h);
+    int_of_float ki
+  in
+  let position name =
+    match Hashtbl.find_opt pl name with
+    | Some (x, y) -> (x, y /. row_height)
+    | None -> failwith (Printf.sprintf "%s: node %s missing from .pl" aux name)
+  in
+  let xs = Array.make (List.length movable) 0.0 in
+  let ys = Array.make (List.length movable) 0.0 in
+  let node_index = Hashtbl.create 64 in
+  let cells =
+    Array.of_list
+      (List.mapi
+         (fun id name ->
+           let node = Hashtbl.find nodes name in
+           let h = to_rows name node.height in
+           let x, y = position name in
+           xs.(id) <- x;
+           ys.(id) <- y;
+           Hashtbl.replace node_index name id;
+           let bottom_rail =
+             if h mod 2 = 0 then begin
+               (* bookshelf carries no rail data: adopt the rail of the
+                  nearest in-range row so the input is rail-consistent *)
+               let row =
+                 max 0 (min (num_rows - h) (int_of_float (Float.round y)))
+               in
+               Some (Chip.bottom_rail chip row)
+             end
+             else None
+           in
+           Cell.make ~id ~name ~width:(int_of_float (Float.round node.width))
+             ~height:h ?bottom_rail ())
+         movable)
+  in
+  let blockages =
+    Array.of_list
+      (List.map
+         (fun name ->
+           let node = Hashtbl.find nodes name in
+           let x, y = position name in
+           Blockage.make
+             ~row:(max 0 (int_of_float (Float.round y)))
+             ~height:(to_rows name node.height)
+             ~x:(max 0 (int_of_float (Float.round x)))
+             ~width:(int_of_float (Float.round node.width)))
+         terminals)
+  in
+  let nets =
+    read_nets (find_ext ".nets") node_index
+    |> List.map (fun pins ->
+           pins
+           |> List.map (fun (cell, dx, dy) ->
+                  let c = cells.(cell) in
+                  (* center-relative -> bottom-left-relative *)
+                  { Netlist.cell;
+                    dx = dx +. (float_of_int c.Cell.width /. 2.0);
+                    dy = (dy /. row_height) +. (float_of_int c.Cell.height /. 2.0) })
+           |> Array.of_list)
+  in
+  Design.make ~blockages
+    ~name:(Filename.remove_extension (Filename.basename aux))
+    ~chip ~cells
+    ~global:(Placement.make ~xs ~ys)
+    ~nets:(Netlist.make ~num_cells:(Array.length cells) nets)
+    ()

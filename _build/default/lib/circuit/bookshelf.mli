@@ -1,0 +1,30 @@
+(** Bookshelf placement format (UCLA .aux/.nodes/.nets/.pl/.scl).
+
+    The standard academic interchange format (ISPD placement contests).
+    [write] emits a complete benchmark bundle; [read] parses one back. The
+    mapping between Bookshelf's physical coordinates and this library's
+    site/row grid:
+
+    - x is measured in site widths in both; Bookshelf y is physical and is
+      divided by the (uniform) row height from the .scl file to obtain row
+      coordinates;
+    - a movable node of height [k * row_height] is a k-row cell; terminal
+      nodes become {!Blockage}s (snapped to the grid);
+    - Bookshelf pin offsets are measured from the node *center*; they are
+      converted to this library's bottom-left-relative offsets;
+    - Bookshelf has no power-rail information, so on [read] each
+      even-height movable cell is assigned the bottom rail of the row
+      nearest its .pl position, making the input placement rail-consistent
+      (the convention is documented and reversible).
+
+    Irregular inputs (non-uniform row heights, subrow gaps) are rejected
+    with a descriptive [Failure]. *)
+
+val write : basename:string -> Design.t -> unit
+(** [write ~basename design] creates [basename.aux], [.nodes], [.nets],
+    [.pl] and [.scl] next to each other. *)
+
+val read : aux:string -> Design.t
+(** [read ~aux] loads the bundle referenced by the .aux file.
+    @raise Failure on malformed or unsupported input, naming the file and
+      line. *)

@@ -1,0 +1,71 @@
+type t = {
+  name : string;
+  chip : Chip.t;
+  cells : Cell.t array;
+  global : Placement.t;
+  nets : Netlist.t;
+  blockages : Blockage.t array;
+  regions : Region.t array;
+}
+
+let make ?(blockages = [||]) ?(regions = [||]) ~name ~chip ~cells ~global
+    ~nets () =
+  let n = Array.length cells in
+  Array.iteri
+    (fun i (c : Cell.t) ->
+      if c.id <> i then
+        invalid_arg
+          (Printf.sprintf "Design.make: cell at index %d has id %d" i c.id);
+      if c.width > chip.Chip.num_sites then
+        invalid_arg (Printf.sprintf "Design.make: cell %d wider than chip" i);
+      if c.height > chip.Chip.num_rows then
+        invalid_arg (Printf.sprintf "Design.make: cell %d taller than chip" i))
+    cells;
+  if Placement.num_cells global <> n then
+    invalid_arg "Design.make: placement size mismatch";
+  if Netlist.num_cells nets <> n then
+    invalid_arg "Design.make: netlist size mismatch";
+  Array.iteri
+    (fun k b ->
+      if not (Blockage.inside b chip) then
+        invalid_arg (Printf.sprintf "Design.make: blockage %d outside chip" k))
+    blockages;
+  Array.iteri
+    (fun k reg ->
+      if not (Region.inside_chip reg chip) then
+        invalid_arg (Printf.sprintf "Design.make: region %d outside chip" k))
+    regions;
+  Array.iter
+    (fun (c : Cell.t) ->
+      match c.Cell.region with
+      | Some r when r < 0 || r >= Array.length regions ->
+        invalid_arg
+          (Printf.sprintf "Design.make: cell %d references unknown region %d"
+             c.Cell.id r)
+      | Some _ | None -> ())
+    cells;
+  { name; chip; cells; global; nets; blockages; regions }
+
+let free_capacity t =
+  Chip.capacity t.chip
+  - Array.fold_left (fun acc b -> acc + Blockage.area b) 0 t.blockages
+
+let num_cells t = Array.length t.cells
+
+let total_cell_area t =
+  Array.fold_left (fun acc c -> acc + Cell.area c) 0 t.cells
+
+let density t =
+  float_of_int (total_cell_area t) /. float_of_int (max 1 (free_capacity t))
+
+let count_by_height t =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun (c : Cell.t) ->
+      let prev = try Hashtbl.find tbl c.height with Not_found -> 0 in
+      Hashtbl.replace tbl c.height (prev + 1))
+    t.cells;
+  Hashtbl.fold (fun h c acc -> (h, c) :: acc) tbl []
+  |> List.sort (fun (h1, _) (h2, _) -> compare h1 h2)
+
+let cell t i = t.cells.(i)

@@ -1,0 +1,44 @@
+(** A complete legalization instance: chip, cells, global placement and
+    netlist. This is the input every legalizer in the repository consumes. *)
+
+type t = {
+  name : string;
+  chip : Chip.t;
+  cells : Cell.t array;
+  global : Placement.t;  (** the global-placement positions [(x'_i, y'_i)] *)
+  nets : Netlist.t;
+  blockages : Blockage.t array;  (** fixed obstacles; empty by default *)
+  regions : Region.t array;  (** fence regions; empty by default *)
+}
+
+val make :
+  ?blockages:Blockage.t array ->
+  ?regions:Region.t array ->
+  name:string ->
+  chip:Chip.t ->
+  cells:Cell.t array ->
+  global:Placement.t ->
+  nets:Netlist.t ->
+  unit ->
+  t
+(** Validates that cell ids equal their array index, that placement and
+    netlist sizes match the cell count, that every cell fits the chip
+    (width and height no larger than the chip), that blockages and region
+    rectangles lie inside the chip, and that cell region indices are in
+    range. *)
+
+val free_capacity : t -> int
+(** Chip capacity minus blockage area. *)
+
+val num_cells : t -> int
+
+val total_cell_area : t -> int
+
+val density : t -> float
+(** [total_cell_area / free_capacity] — blockage area does not count as
+    usable space. *)
+
+val count_by_height : t -> (int * int) list
+(** Pairs [(height, count)] in increasing height order. *)
+
+val cell : t -> int -> Cell.t

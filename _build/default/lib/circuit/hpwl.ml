@@ -1,0 +1,25 @@
+let net ?(row_height = 1.0) pins (pl : Placement.t) =
+  match Array.length pins with
+  | 0 -> 0.0
+  | _ ->
+    let min_x = ref infinity and max_x = ref neg_infinity in
+    let min_y = ref infinity and max_y = ref neg_infinity in
+    Array.iter
+      (fun (p : Netlist.pin) ->
+        let px = pl.xs.(p.cell) +. p.dx and py = pl.ys.(p.cell) +. p.dy in
+        if px < !min_x then min_x := px;
+        if px > !max_x then max_x := px;
+        if py < !min_y then min_y := py;
+        if py > !max_y then max_y := py)
+      pins;
+    !max_x -. !min_x +. (row_height *. (!max_y -. !min_y))
+
+let total ?row_height nets pl =
+  let acc = ref 0.0 in
+  Netlist.iter nets (fun _ pins -> acc := !acc +. net ?row_height pins pl);
+  !acc
+
+let delta ?row_height nets ~before after =
+  let base = total ?row_height nets before in
+  if base = 0.0 then 0.0
+  else (total ?row_height nets after -. base) /. base

@@ -1,0 +1,18 @@
+(** Half-perimeter wirelength.
+
+    HPWL of a net is the half perimeter of the bounding box of its pins;
+    the design HPWL is the sum over nets. The paper's dHPWL column is the
+    relative increase from the global placement, computed by {!delta}. *)
+
+val net : ?row_height:float -> Netlist.net -> Placement.t -> float
+(** HPWL of one net under the given placement; y spans are scaled by
+    [row_height] (default 1.0) so both axes are in site widths. *)
+
+val total : ?row_height:float -> Netlist.t -> Placement.t -> float
+(** Sum of net HPWLs. *)
+
+val delta :
+  ?row_height:float -> Netlist.t -> before:Placement.t -> Placement.t -> float
+(** [delta nets ~before after] is
+    [(total after - total before) / total before]; 0 when the design has
+    no nets or zero initial wirelength. *)

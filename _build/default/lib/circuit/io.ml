@@ -1,0 +1,247 @@
+let design_magic = "mclh-design 1"
+let placement_magic = "mclh-placement 1"
+
+let rail_to_token = function
+  | None -> "-"
+  | Some Rail.Vdd -> "VDD"
+  | Some Rail.Vss -> "VSS"
+
+let rail_of_token line_no = function
+  | "-" -> None
+  | "VDD" -> Some Rail.Vdd
+  | "VSS" -> Some Rail.Vss
+  | s -> failwith (Printf.sprintf "line %d: unknown rail %S" line_no s)
+
+let write_design ~path (d : Design.t) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let chip = d.Design.chip in
+      Printf.fprintf oc "%s\n" design_magic;
+      Printf.fprintf oc "name %s\n" d.Design.name;
+      Printf.fprintf oc "chip %d %d %s %g\n" chip.Chip.num_rows
+        chip.Chip.num_sites
+        (Rail.to_string chip.Chip.base_rail)
+        chip.Chip.row_height;
+      let n = Design.num_cells d in
+      Printf.fprintf oc "cells %d\n" n;
+      for i = 0 to n - 1 do
+        let c = d.Design.cells.(i) in
+        Printf.fprintf oc "%d %d %d %s %.17g %.17g %s\n" c.Cell.id c.Cell.width
+          c.Cell.height
+          (rail_to_token c.Cell.bottom_rail)
+          d.Design.global.Placement.xs.(i)
+          d.Design.global.Placement.ys.(i)
+          (match c.Cell.region with Some r -> Printf.sprintf "r%d" r | None -> "-")
+      done;
+      Printf.fprintf oc "nets %d\n" (Netlist.num_nets d.Design.nets);
+      Netlist.iter d.Design.nets (fun _ pins ->
+          Printf.fprintf oc "%d" (Array.length pins);
+          Array.iter
+            (fun (p : Netlist.pin) ->
+              Printf.fprintf oc " %d %.17g %.17g" p.Netlist.cell p.dx p.dy)
+            pins;
+          output_char oc '\n');
+      if Array.length d.Design.blockages > 0 then begin
+        Printf.fprintf oc "blockages %d\n" (Array.length d.Design.blockages);
+        Array.iter
+          (fun (b : Blockage.t) ->
+            Printf.fprintf oc "%d %d %d %d\n" b.Blockage.row b.Blockage.height
+              b.Blockage.x b.Blockage.width)
+          d.Design.blockages
+      end;
+      if Array.length d.Design.regions > 0 then begin
+        Printf.fprintf oc "regions %d\n" (Array.length d.Design.regions);
+        Array.iter
+          (fun (reg : Region.t) ->
+            Printf.fprintf oc "%s %d" reg.Region.name
+              (List.length reg.Region.rects);
+            List.iter
+              (fun (r : Region.rect) ->
+                Printf.fprintf oc " %d %d %d %d" r.Region.row r.Region.height
+                  r.Region.x r.Region.width)
+              reg.Region.rects;
+            output_char oc '\n')
+          d.Design.regions
+      end)
+
+type reader = { ic : in_channel; mutable line_no : int }
+
+let next_line r =
+  match In_channel.input_line r.ic with
+  | Some l ->
+    r.line_no <- r.line_no + 1;
+    l
+  | None -> failwith (Printf.sprintf "line %d: unexpected end of file" r.line_no)
+
+let fail r msg = failwith (Printf.sprintf "line %d: %s" r.line_no msg)
+
+let tokens line = String.split_on_char ' ' line |> List.filter (( <> ) "")
+
+let read_design ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let r = { ic; line_no = 0 } in
+      if next_line r <> design_magic then fail r "bad magic";
+      let name =
+        match tokens (next_line r) with
+        | [ "name"; n ] -> n
+        | _ -> fail r "expected: name <name>"
+      in
+      let chip =
+        match tokens (next_line r) with
+        | [ "chip"; rows; sites; rail; rh ] ->
+          let base_rail =
+            match rail_of_token r.line_no (String.uppercase_ascii rail) with
+            | Some rl -> rl
+            | None -> fail r "chip rail cannot be '-'"
+          in
+          Chip.make ~base_rail
+            ~row_height:(float_of_string rh)
+            ~num_rows:(int_of_string rows)
+            ~num_sites:(int_of_string sites)
+            ()
+        | _ -> fail r "expected: chip <rows> <sites> <rail> <row_height>"
+      in
+      let n =
+        match tokens (next_line r) with
+        | [ "cells"; n ] -> int_of_string n
+        | _ -> fail r "expected: cells <n>"
+      in
+      let cells = Array.make n None in
+      let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
+      let parse_region_token = function
+        | "-" -> None
+        | t when String.length t > 1 && t.[0] = 'r' ->
+          Some (int_of_string (String.sub t 1 (String.length t - 1)))
+        | t -> failwith (Printf.sprintf "line %d: bad region token %S" r.line_no t)
+      in
+      for _ = 1 to n do
+        let line = tokens (next_line r) in
+        match line with
+        | [ id; w; h; rail; gx; gy ] | [ id; w; h; rail; gx; gy; _ ] ->
+          let region =
+            match line with
+            | [ _; _; _; _; _; _; t ] -> parse_region_token t
+            | _ -> None
+          in
+          let id = int_of_string id in
+          if id < 0 || id >= n then fail r "cell id out of range";
+          let cell =
+            Cell.make ~id ~width:(int_of_string w) ~height:(int_of_string h)
+              ?bottom_rail:(rail_of_token r.line_no rail)
+              ?region ()
+          in
+          cells.(id) <- Some cell;
+          xs.(id) <- float_of_string gx;
+          ys.(id) <- float_of_string gy
+        | _ -> fail r "expected: <id> <w> <h> <rail|-> <gx> <gy> [region]"
+      done;
+      let cells =
+        Array.mapi
+          (fun i c ->
+            match c with
+            | Some c -> c
+            | None -> failwith (Printf.sprintf "missing cell %d" i))
+          cells
+      in
+      let k =
+        match tokens (next_line r) with
+        | [ "nets"; k ] -> int_of_string k
+        | _ -> fail r "expected: nets <k>"
+      in
+      let nets = ref [] in
+      for _ = 1 to k do
+        match tokens (next_line r) with
+        | npins :: rest ->
+          let npins = int_of_string npins in
+          if List.length rest <> 3 * npins then fail r "pin arity mismatch";
+          let arr = Array.of_list rest in
+          let pins =
+            Array.init npins (fun p ->
+                { Netlist.cell = int_of_string arr.((3 * p));
+                  dx = float_of_string arr.((3 * p) + 1);
+                  dy = float_of_string arr.((3 * p) + 2) })
+          in
+          nets := pins :: !nets
+        | [] -> fail r "expected a net line"
+      done;
+      (* optional trailing blockage / region sections, in order *)
+      let blockages = ref [||] and regions = ref [||] in
+      let parse_section line =
+        match tokens line with
+        | [ "blockages"; j ] ->
+          let j = int_of_string j in
+          blockages :=
+            Array.init j (fun _ ->
+                match tokens (next_line r) with
+                | [ row; height; x; width ] ->
+                  Blockage.make ~row:(int_of_string row)
+                    ~height:(int_of_string height) ~x:(int_of_string x)
+                    ~width:(int_of_string width)
+                | _ -> fail r "expected: <row> <height> <x> <width>")
+        | [ "regions"; k ] ->
+          let k = int_of_string k in
+          regions :=
+            Array.init k (fun _ ->
+                match tokens (next_line r) with
+                | rname :: nrects :: rest ->
+                  let nrects = int_of_string nrects in
+                  if List.length rest <> 4 * nrects then
+                    fail r "region rect arity mismatch";
+                  let arr = Array.of_list rest in
+                  let rects =
+                    List.init nrects (fun p ->
+                        { Region.row = int_of_string arr.(4 * p);
+                          height = int_of_string arr.((4 * p) + 1);
+                          x = int_of_string arr.((4 * p) + 2);
+                          width = int_of_string arr.((4 * p) + 3) })
+                  in
+                  Region.make ~name:rname rects
+                | _ -> fail r "expected: <name> <#rects> <rects...>")
+        | _ -> fail r "expected: blockages <j> or regions <k>"
+      in
+      let rec sections () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some line ->
+          r.line_no <- r.line_no + 1;
+          if String.trim line <> "" then parse_section line;
+          sections ()
+      in
+      sections ();
+      Design.make ~blockages:!blockages ~regions:!regions ~name ~chip ~cells
+        ~global:(Placement.make ~xs ~ys)
+        ~nets:(Netlist.make ~num_cells:n (List.rev !nets))
+        ())
+
+let write_placement ~path (pl : Placement.t) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "%s\n%d\n" placement_magic (Placement.num_cells pl);
+      for i = 0 to Placement.num_cells pl - 1 do
+        Printf.fprintf oc "%.17g %.17g\n" pl.Placement.xs.(i) pl.Placement.ys.(i)
+      done)
+
+let read_placement ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let r = { ic; line_no = 0 } in
+      if next_line r <> placement_magic then fail r "bad magic";
+      let n = int_of_string (String.trim (next_line r)) in
+      let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
+      for i = 0 to n - 1 do
+        match tokens (next_line r) with
+        | [ x; y ] ->
+          xs.(i) <- float_of_string x;
+          ys.(i) <- float_of_string y
+        | _ -> fail r "expected: <x> <y>"
+      done;
+      Placement.make ~xs ~ys)

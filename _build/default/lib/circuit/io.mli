@@ -1,0 +1,39 @@
+(** Plain-text serialization of designs and placements.
+
+    A minimal bookshelf-style format so the CLI can hand instances between
+    tools and users can inspect them:
+
+    {v
+    mclh-design 1
+    name fft_2
+    chip <rows> <sites> <base_rail> <row_height>
+    cells <n>
+    <id> <width> <height> <rail|-> <gx> <gy>   # one line per cell
+    nets <k>
+    <npins> <cell> <dx> <dy> ...               # one line per net
+    blockages <j>                              # optional section
+    <row> <height> <x> <width>                 # one line per blockage
+    regions <r>                                # optional section
+    <name> <#rects> <row> <h> <x> <w> ...      # one line per region
+    v}
+
+    Cell lines carry an optional seventh token for fence membership
+    ([r<k>] or [-]); files written by older versions omit it.
+
+    Placements:
+
+    {v
+    mclh-placement 1
+    <n>
+    <x> <y>                                    # one line per cell
+    v} *)
+
+val write_design : path:string -> Design.t -> unit
+
+val read_design : path:string -> Design.t
+(** @raise Failure on malformed input, with a line-numbered message. *)
+
+val write_placement : path:string -> Placement.t -> unit
+
+val read_placement : path:string -> Placement.t
+(** @raise Failure on malformed input. *)

@@ -1,0 +1,125 @@
+type violation =
+  | Outside of int
+  | Off_site of int
+  | Overlap of int * int * int
+  | Rail_mismatch of int
+  | Blocked of int * int
+  | Outside_region of int  (* member cell not fully inside its fence *)
+  | In_foreign_region of int * int  (* non-member overlapping fence k *)
+
+let pp_violation ppf = function
+  | Outside c -> Format.fprintf ppf "cell %d outside chip" c
+  | Off_site c -> Format.fprintf ppf "cell %d off site grid" c
+  | Overlap (a, b, row) ->
+    Format.fprintf ppf "cells %d and %d overlap in row %d" a b row
+  | Rail_mismatch c -> Format.fprintf ppf "cell %d power-rail mismatch" c
+  | Blocked (c, b) -> Format.fprintf ppf "cell %d overlaps blockage %d" c b
+  | Outside_region c -> Format.fprintf ppf "cell %d outside its fence region" c
+  | In_foreign_region (c, k) ->
+    Format.fprintf ppf "cell %d overlaps foreign fence region %d" c k
+
+let site_eps = 1e-6
+
+let near_int v = Float.abs (v -. Float.round v) <= site_eps
+
+let check (design : Design.t) (pl : Placement.t) =
+  let chip = design.chip in
+  let n = Design.num_cells design in
+  if Placement.num_cells pl <> n then
+    invalid_arg "Legality.check: placement size mismatch";
+  let violations = ref [] in
+  let push v = violations := v :: !violations in
+  (* per-cell geometric checks *)
+  for i = 0 to n - 1 do
+    let c = design.cells.(i) in
+    let x = pl.xs.(i) and y = pl.ys.(i) in
+    let on_grid = near_int x && near_int y in
+    if not on_grid then push (Off_site i);
+    let xi = Float.round x and yi = Float.round y in
+    if
+      xi < -.site_eps
+      || xi +. float_of_int c.width > float_of_int chip.Chip.num_sites +. site_eps
+      || yi < -.site_eps
+      || yi +. float_of_int c.height > float_of_int chip.Chip.num_rows +. site_eps
+    then push (Outside i)
+    else if on_grid then begin
+      let row = int_of_float yi in
+      if not (Chip.row_admits chip c row) then push (Rail_mismatch i)
+    end;
+    Array.iteri
+      (fun k b ->
+        if
+          Blockage.overlaps_span b
+            ~row:(int_of_float (Float.round y))
+            ~height:c.height ~x ~width:c.width
+        then push (Blocked (i, k)))
+      design.blockages;
+    (* fence-region semantics: members fully inside, others fully outside *)
+    let row = int_of_float (Float.round y) in
+    (match c.Cell.region with
+    | Some r ->
+      if
+        not
+          (Region.contains_span design.regions.(r) ~row ~height:c.height ~x
+             ~width:c.width)
+      then push (Outside_region i)
+    | None -> ());
+    Array.iteri
+      (fun k reg ->
+        if c.Cell.region <> Some k
+           && Region.intersects_span reg ~row ~height:c.height ~x ~width:c.width
+        then push (In_foreign_region (i, k)))
+      design.regions
+  done;
+  (* overlap checks per row; uses rounded coordinates so off-grid cells are
+     still tested for overlap *)
+  let buckets = Array.make chip.Chip.num_rows [] in
+  for i = 0 to n - 1 do
+    let c = design.cells.(i) in
+    let row0 = int_of_float (Float.round pl.ys.(i)) in
+    for r = max 0 row0 to min (chip.Chip.num_rows - 1) (row0 + c.height - 1) do
+      buckets.(r) <- i :: buckets.(r)
+    done
+  done;
+  Array.iteri
+    (fun row cells_in_row ->
+      let sorted =
+        List.sort
+          (fun a b -> compare pl.xs.(a) pl.xs.(b))
+          cells_in_row
+      in
+      (* sweep tracking the furthest right extent seen so far, so a wide
+         cell overlapping several successors flags each of them *)
+      let rec scan reach reach_cell = function
+        | b :: rest ->
+          let xb = pl.xs.(b) in
+          if reach_cell >= 0 && xb +. site_eps < reach then begin
+            let lo = min reach_cell b and hi = max reach_cell b in
+            push (Overlap (lo, hi, row))
+          end;
+          let end_b = xb +. float_of_int design.cells.(b).Cell.width in
+          if end_b > reach then scan end_b b rest else scan reach reach_cell rest
+        | [] -> ()
+      in
+      scan neg_infinity (-1) sorted)
+    buckets;
+  List.rev !violations
+
+let is_legal design pl = check design pl = []
+
+let illegal_cells (design : Design.t) pl =
+  let module IS = Set.Make (Int) in
+  let blame acc = function
+    | Outside c | Off_site c | Rail_mismatch c | Blocked (c, _)
+    | Outside_region c
+    | In_foreign_region (c, _) ->
+      IS.add c acc
+    | Overlap (a, b, _) ->
+      (* blame the cell that came later in global x order *)
+      let ga = design.global.Placement.xs.(a)
+      and gb = design.global.Placement.xs.(b) in
+      IS.add (if ga <= gb then b else a) acc
+  in
+  List.fold_left blame IS.empty (check design pl) |> IS.elements
+
+let count_illegal design pl = List.length (illegal_cells design pl)

@@ -1,0 +1,35 @@
+(** Legality checking for the four constraints of Problem (1):
+
+    + cells inside the chip region,
+    + cells on placement sites on rows,
+    + no two cells overlapping,
+    + power rails aligned (even-height cells on matching rows).
+
+    Used by every test and by the benchmark harness to validate each
+    legalizer's output and to count illegal cells after the MMSIM stage
+    (Table 1). *)
+
+type violation =
+  | Outside of int  (** cell protrudes from the chip region *)
+  | Off_site of int  (** coordinate not integral (not on a site/row) *)
+  | Overlap of int * int * int  (** [Overlap (a, b, row)]: cells a < b overlap in row *)
+  | Rail_mismatch of int  (** even-height cell on a row with the wrong rail *)
+  | Blocked of int * int  (** [Blocked (cell, blockage)]: overlaps an obstacle *)
+  | Outside_region of int  (** fence member not fully inside its region *)
+  | In_foreign_region of int * int
+      (** [(cell, region)]: a non-member overlapping a fence *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Design.t -> Placement.t -> violation list
+(** All violations, overlap pairs reported once per row where they occur. *)
+
+val is_legal : Design.t -> Placement.t -> bool
+
+val illegal_cells : Design.t -> Placement.t -> int list
+(** Sorted ids of distinct cells involved in at least one violation. For an
+    overlapping pair, only the cell whose global-placement x is larger (the
+    one a left-to-right scan would have to move) is blamed, matching how
+    the paper counts cells that the Tetris-like allocation must fix. *)
+
+val count_illegal : Design.t -> Placement.t -> int

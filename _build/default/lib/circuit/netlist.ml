@@ -1,0 +1,38 @@
+type pin = { cell : int; dx : float; dy : float }
+type net = pin array
+type t = { num_cells : int; nets : net array }
+
+let make ~num_cells net_list =
+  let nets = Array.of_list net_list in
+  Array.iteri
+    (fun n pins ->
+      if Array.length pins = 0 then
+        invalid_arg (Printf.sprintf "Netlist.make: net %d has no pin" n);
+      Array.iter
+        (fun p ->
+          if p.cell < 0 || p.cell >= num_cells then
+            invalid_arg
+              (Printf.sprintf "Netlist.make: net %d pins missing cell %d" n
+                 p.cell))
+        pins)
+    nets;
+  { num_cells; nets }
+
+let num_cells t = t.num_cells
+let num_nets t = Array.length t.nets
+
+let num_pins t =
+  Array.fold_left (fun acc net -> acc + Array.length net) 0 t.nets
+
+let net t i = t.nets.(i)
+let iter t f = Array.iteri f t.nets
+
+let nets_of_cell t =
+  let buckets = Array.make t.num_cells [] in
+  Array.iteri
+    (fun n pins ->
+      Array.iter (fun p -> buckets.(p.cell) <- n :: buckets.(p.cell)) pins)
+    t.nets;
+  Array.map (fun l -> Array.of_list (List.rev l)) buckets
+
+let empty ~num_cells = { num_cells; nets = [||] }

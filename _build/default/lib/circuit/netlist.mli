@@ -1,0 +1,31 @@
+(** Netlists: hyperedges over cells with pin offsets.
+
+    Each pin names a cell and an offset from the cell's bottom-left corner
+    (in site/row units), so wirelength reacts to cell positions exactly as
+    in the half-perimeter model used by the paper's dHPWL column. *)
+
+type pin = { cell : int; dx : float; dy : float }
+
+type net = pin array
+
+type t
+
+val make : num_cells:int -> net list -> t
+(** Validates that every pin references a cell in range and every net has
+    at least one pin (single-pin nets are allowed; their HPWL is zero). *)
+
+val num_cells : t -> int
+
+val num_nets : t -> int
+
+val num_pins : t -> int
+
+val net : t -> int -> net
+
+val iter : t -> (int -> net -> unit) -> unit
+
+val nets_of_cell : t -> int array array
+(** [nets_of_cell t] maps each cell to the ids of the nets it pins;
+    computed once, O(pins). *)
+
+val empty : num_cells:int -> t

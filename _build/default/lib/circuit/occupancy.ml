@@ -1,0 +1,178 @@
+type t = { chip : Chip.t; grid : Bytes.t array; mutable occupied : int }
+
+let create chip =
+  { chip;
+    grid =
+      Array.init chip.Chip.num_rows (fun _ ->
+          Bytes.make chip.Chip.num_sites '\000');
+    occupied = 0 }
+
+let chip t = t.chip
+
+let in_bounds t ~row ~height ~x ~width =
+  row >= 0
+  && row + height <= t.chip.Chip.num_rows
+  && x >= 0
+  && x + width <= t.chip.Chip.num_sites
+
+(* first occupied site in [x, x+width) of the span, or -1 *)
+let first_conflict t ~row ~height ~x ~width =
+  let conflict = ref (-1) in
+  let r = ref row in
+  while !conflict < 0 && !r < row + height do
+    let line = t.grid.(!r) in
+    let s = ref x in
+    while !conflict < 0 && !s < x + width do
+      if Bytes.get line !s <> '\000' then conflict := !s;
+      incr s
+    done;
+    incr r
+  done;
+  !conflict
+
+(* last occupied site in [x, x+width) of the span, or -1 *)
+let last_conflict t ~row ~height ~x ~width =
+  let conflict = ref (-1) in
+  for r = row to row + height - 1 do
+    let line = t.grid.(r) in
+    for s = x + width - 1 downto x do
+      if s > !conflict && Bytes.get line s <> '\000' then conflict := s
+    done
+  done;
+  !conflict
+
+let is_free_span t ~row ~height ~x ~width =
+  in_bounds t ~row ~height ~x ~width
+  && first_conflict t ~row ~height ~x ~width < 0
+
+let occupy t ~row ~height ~x ~width =
+  if not (in_bounds t ~row ~height ~x ~width) then
+    invalid_arg "Occupancy.occupy: out of bounds";
+  for r = row to row + height - 1 do
+    let line = t.grid.(r) in
+    for s = x to x + width - 1 do
+      if Bytes.get line s <> '\000' then
+        invalid_arg
+          (Printf.sprintf "Occupancy.occupy: site (%d, %d) already occupied" r s);
+      Bytes.set line s '\001'
+    done
+  done;
+  t.occupied <- t.occupied + (height * width)
+
+let mark t ~row ~height ~x ~width =
+  if not (in_bounds t ~row ~height ~x ~width) then
+    invalid_arg "Occupancy.mark: out of bounds";
+  for r = row to row + height - 1 do
+    let line = t.grid.(r) in
+    for s = x to x + width - 1 do
+      if Bytes.get line s = '\000' then begin
+        Bytes.set line s '\001';
+        t.occupied <- t.occupied + 1
+      end
+    done
+  done
+
+let release t ~row ~height ~x ~width =
+  if not (in_bounds t ~row ~height ~x ~width) then
+    invalid_arg "Occupancy.release: out of bounds";
+  for r = row to row + height - 1 do
+    let line = t.grid.(r) in
+    for s = x to x + width - 1 do
+      Bytes.set line s '\000'
+    done
+  done;
+  t.occupied <- t.occupied - (height * width)
+
+let nearest_free_x ?(rightward_only = false) t ~row ~height ~width ~x0
+    ~max_dist =
+  if height <= 0 || width <= 0 then
+    invalid_arg "Occupancy.nearest_free_x: empty span";
+  if row < 0 || row + height > t.chip.Chip.num_rows then None
+  else begin
+    let num_sites = t.chip.Chip.num_sites in
+    let x0 = max 0 (min (num_sites - width) x0) in
+    (* first feasible start at or right of [x], jumping past conflicts *)
+    let rec right x =
+      if x + width > num_sites || x - x0 > max_dist then None
+      else begin
+        match first_conflict t ~row ~height ~x ~width with
+        | -1 -> Some x
+        | c -> right (c + 1)
+      end
+    in
+    (* first feasible start at or left of [x], jumping past conflicts *)
+    let rec left x =
+      if x < 0 || x0 - x > max_dist then None
+      else begin
+        match last_conflict t ~row ~height ~x ~width with
+        | -1 -> Some x
+        | c -> left (c - width)
+      end
+    in
+    let left_candidate = if rightward_only then None else left (x0 - 1) in
+    match right x0, left_candidate with
+    | None, None -> None
+    | Some xr, None -> Some (xr, xr - x0)
+    | None, Some xl -> Some (xl, x0 - xl)
+    | Some xr, Some xl ->
+      if xr - x0 <= x0 - xl then Some (xr, xr - x0) else Some (xl, x0 - xl)
+  end
+
+let occupied_sites t = t.occupied
+
+let find_spot ?row_window ?x_window ?rightward_only t (cell : Cell.t) ~row0
+    ~x0 =
+  let h = cell.Cell.height and w = cell.Cell.width in
+  let row_height = t.chip.Chip.row_height in
+  let best = ref None in
+  let best_cost () =
+    match !best with None -> infinity | Some (_, _, c) -> c
+  in
+  let try_row r =
+    if Chip.row_admits t.chip cell r then begin
+      let row_dist = row_height *. float_of_int (abs (r - row0)) in
+      let budget = best_cost () -. row_dist in
+      if budget > 0.0 then begin
+        let max_dist =
+          if budget = infinity then t.chip.Chip.num_sites
+          else int_of_float (Float.ceil budget)
+        in
+        let max_dist =
+          match x_window with
+          | Some xw -> min max_dist xw
+          | None -> max_dist
+        in
+        match
+          nearest_free_x ?rightward_only t ~row:r ~height:h ~width:w ~x0
+            ~max_dist
+        with
+        | Some (x, xdist) ->
+          let cost = float_of_int xdist +. row_dist in
+          if cost < best_cost () then best := Some (r, x, cost)
+        | None -> ()
+      end
+    end
+  in
+  let max_dr =
+    match row_window with
+    | Some wdw -> min wdw t.chip.Chip.num_rows
+    | None -> t.chip.Chip.num_rows
+  in
+  let rec widen dr =
+    if dr <= max_dr && row_height *. float_of_int dr < best_cost () then begin
+      try_row (row0 - dr);
+      if dr > 0 then try_row (row0 + dr);
+      widen (dr + 1)
+    end
+  in
+  widen 0;
+  !best
+
+let of_design (design : Design.t) =
+  let t = create design.Design.chip in
+  Array.iter
+    (fun (b : Blockage.t) ->
+      mark t ~row:b.Blockage.row ~height:b.Blockage.height ~x:b.Blockage.x
+        ~width:b.Blockage.width)
+    design.Design.blockages;
+  t

@@ -1,0 +1,61 @@
+(** Site-occupancy grid shared by the allocation-style legalizers.
+
+    One byte per site; multi-row cells mark every spanned row. Provides the
+    nearest-free-span searches the Tetris-like allocator and the greedy
+    baselines are built on. *)
+
+type t
+
+val create : Chip.t -> t
+
+val of_design : Design.t -> t
+(** An occupancy grid with the design's blockages already marked (cells
+    are not placed). *)
+
+val chip : t -> Chip.t
+
+val is_free_span : t -> row:int -> height:int -> x:int -> width:int -> bool
+(** Whether the [width] sites starting at [x] are free in all rows
+    [row .. row+height-1]; false when the span exceeds the chip. *)
+
+val occupy : t -> row:int -> height:int -> x:int -> width:int -> unit
+(** Marks the span occupied. @raise Invalid_argument if out of bounds or
+    any site is already occupied (a caller bug). *)
+
+val mark : t -> row:int -> height:int -> x:int -> width:int -> unit
+(** Idempotent variant of {!occupy}: already-occupied sites are left as
+    they are (used to lay down possibly-overlapping obstacle sets). *)
+
+val release : t -> row:int -> height:int -> x:int -> width:int -> unit
+(** Clears the span (used by trial placements). *)
+
+val nearest_free_x :
+  ?rightward_only:bool ->
+  t -> row:int -> height:int -> width:int -> x0:int -> max_dist:int ->
+  (int * int) option
+(** [nearest_free_x t ~row ~height ~width ~x0 ~max_dist] finds the free
+    span of [width] sites in rows [row..row+height-1] whose start x
+    minimizes [|x - x0|], searching left and right at most [max_dist]
+    sites; returns [(x, |x - x0|)]. Conflicts are skipped in jumps, so the
+    scan is near-linear in the number of occupied runs crossed. *)
+
+val occupied_sites : t -> int
+
+val find_spot :
+  ?row_window:int ->
+  ?x_window:int ->
+  ?rightward_only:bool ->
+  t ->
+  Cell.t ->
+  row0:int ->
+  x0:int ->
+  (int * int * float) option
+(** [find_spot t cell ~row0 ~x0] is the admissible free spot [(row, x,
+    cost)] minimizing the physical Manhattan cost
+    [|x - x0| + row_height * |row - row0|]. The row scan expands outward
+    from [row0] and prunes once the row distance alone exceeds the
+    incumbent; [row_window] caps the row distance and [x_window] the
+    horizontal distance (the greedy DAC'16 baseline's local region), and
+    [rightward_only] restricts each row's scan to spans at or right of
+    [x0] (the original algorithm's scan direction). [None] when nothing
+    free is reachable within the windows. *)

@@ -1,0 +1,35 @@
+type t = { xs : float array; ys : float array }
+
+let create n = { xs = Array.make n 0.0; ys = Array.make n 0.0 }
+
+let make ~xs ~ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Placement.make: xs/ys length mismatch";
+  { xs; ys }
+
+let num_cells t = Array.length t.xs
+let copy t = { xs = Array.copy t.xs; ys = Array.copy t.ys }
+let get t i = (t.xs.(i), t.ys.(i))
+
+let set t i ~x ~y =
+  t.xs.(i) <- x;
+  t.ys.(i) <- y
+
+let is_integral ?(eps = 1e-9) t =
+  let near_int v = Float.abs (v -. Float.round v) <= eps in
+  Array.for_all near_int t.xs && Array.for_all near_int t.ys
+
+let round t =
+  { xs = Array.map Float.round t.xs; ys = Array.map Float.round t.ys }
+
+let equal ?(eps = 1e-12) a b =
+  num_cells a = num_cells b
+  &&
+  let ok = ref true in
+  for i = 0 to num_cells a - 1 do
+    if
+      Float.abs (a.xs.(i) -. b.xs.(i)) > eps
+      || Float.abs (a.ys.(i) -. b.ys.(i)) > eps
+    then ok := false
+  done;
+  !ok

@@ -1,0 +1,30 @@
+(** Cell positions.
+
+    A placement assigns each cell a bottom-left coordinate: [x] in site
+    widths, [y] in row heights. Global placements are fractional; legalized
+    placements are integral in both coordinates. *)
+
+type t = { xs : float array; ys : float array }
+
+val create : int -> t
+(** All-zero placement for [n] cells. *)
+
+val make : xs:float array -> ys:float array -> t
+(** Validates equal lengths. *)
+
+val num_cells : t -> int
+
+val copy : t -> t
+
+val get : t -> int -> float * float
+
+val set : t -> int -> x:float -> y:float -> unit
+
+val is_integral : ?eps:float -> t -> bool
+(** Every coordinate within [eps] (default [1e-9]) of an integer. *)
+
+val round : t -> t
+(** Coordinates rounded to the nearest integer (site/row snap without any
+    legality guarantee). *)
+
+val equal : ?eps:float -> t -> t -> bool

@@ -1,0 +1,97 @@
+type rect = { row : int; height : int; x : int; width : int }
+type t = { name : string; rects : rect list }
+
+let rects_overlap a b =
+  a.row < b.row + b.height && b.row < a.row + a.height
+  && a.x < b.x + b.width && b.x < a.x + a.width
+
+let make ~name rects =
+  if rects = [] then invalid_arg "Region.make: empty rectangle list";
+  List.iter
+    (fun r ->
+      if r.height < 1 || r.width < 1 || r.row < 0 || r.x < 0 then
+        invalid_arg "Region.make: degenerate rectangle")
+    rects;
+  let rec check = function
+    | [] -> ()
+    | r :: rest ->
+      if List.exists (rects_overlap r) rest then
+        invalid_arg "Region.make: overlapping rectangles";
+      check rest
+  in
+  check rects;
+  { name; rects }
+
+let inside_chip t (chip : Chip.t) =
+  List.for_all
+    (fun r ->
+      r.row + r.height <= chip.Chip.num_rows
+      && r.x + r.width <= chip.Chip.num_sites)
+    t.rects
+
+let span_meets_rect r ~row ~height ~x ~width =
+  row < r.row + r.height && r.row < row + height
+  && x < float_of_int (r.x + r.width)
+  && float_of_int r.x < x +. float_of_int width
+
+(* union semantics: every spanned row's interval must be covered by the
+   union of the region's intervals in that row *)
+let contains_span t ~row ~height ~x ~width =
+  let x1 = x +. float_of_int width in
+  let row_covered r =
+    let intervals =
+      t.rects
+      |> List.filter (fun rc -> rc.row <= r && r < rc.row + rc.height)
+      |> List.map (fun rc -> (float_of_int rc.x, float_of_int (rc.x + rc.width)))
+      |> List.sort compare
+    in
+    let rec cover cursor = function
+      | [] -> cursor >= x1
+      | (a, b) :: rest ->
+        if a > cursor then false else cover (Float.max cursor b) rest
+    in
+    (* start coverage at x; skip intervals ending before x *)
+    let relevant = List.filter (fun (_, b) -> b > x) intervals in
+    cover x relevant
+  in
+  let rec all r = r >= row + height || (row_covered r && all (r + 1)) in
+  all row
+
+let intersects_span t ~row ~height ~x ~width =
+  List.exists (fun r -> span_meets_rect r ~row ~height ~x ~width) t.rects
+
+let to_blockages t =
+  List.map
+    (fun r -> Blockage.make ~row:r.row ~height:r.height ~x:r.x ~width:r.width)
+    t.rects
+
+let complement_blockages t (chip : Chip.t) =
+  (* per row: the complement of the region's site intervals, merged into
+     maximal horizontal strips (one blockage per row-interval keeps the
+     count modest and correctness obvious) *)
+  let num_rows = chip.Chip.num_rows and num_sites = chip.Chip.num_sites in
+  let out = ref [] in
+  for row = 0 to num_rows - 1 do
+    let intervals =
+      t.rects
+      |> List.filter (fun r -> r.row <= row && row < r.row + r.height)
+      |> List.map (fun r -> (r.x, r.x + r.width))
+      |> List.sort compare
+    in
+    let rec free cursor = function
+      | [] ->
+        if cursor < num_sites then
+          out :=
+            Blockage.make ~row ~height:1 ~x:cursor ~width:(num_sites - cursor)
+            :: !out
+      | (a, b) :: rest ->
+        if cursor < a then
+          out := Blockage.make ~row ~height:1 ~x:cursor ~width:(a - cursor) :: !out;
+        free (max cursor b) rest
+    in
+    free 0 intervals
+  done;
+  List.rev !out
+
+let area t =
+  List.fold_left (fun acc r -> acc + (r.height * r.width)) 0 t.rects

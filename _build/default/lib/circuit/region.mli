@@ -1,0 +1,39 @@
+(** Fence regions (ISPD-2015 style).
+
+    A fence region is a union of rectangles with *exclusive* semantics:
+    cells assigned to the region must be placed entirely inside one of its
+    rectangles, and all other cells must stay outside all of them. The
+    original ISPD-2015 benchmarks carry fence regions; the paper's
+    modified suite drops them, and this module brings them back.
+
+    Exclusivity is what makes fences tractable here: the chip partitions
+    into disjoint territories (one per region, plus the default territory
+    outside every region), so legalization decomposes into independent
+    per-territory problems where the *other* territories act as blockages
+    — see [Mclh_core.Fence]. *)
+
+type rect = { row : int; height : int; x : int; width : int }
+
+type t = private { name : string; rects : rect list }
+
+val make : name:string -> rect list -> t
+(** @raise Invalid_argument if the rectangle list is empty, a rectangle is
+    degenerate, or two rectangles of the region overlap. *)
+
+val inside_chip : t -> Chip.t -> bool
+
+val contains_span : t -> row:int -> height:int -> x:float -> width:int -> bool
+(** Whether a cell span lies entirely inside the *union* of the region's
+    rectangles. *)
+
+val intersects_span : t -> row:int -> height:int -> x:float -> width:int -> bool
+(** Whether a cell span overlaps any rectangle of the region. *)
+
+val to_blockages : t -> Blockage.t list
+(** The region's rectangles as blockages (for the cells outside it). *)
+
+val complement_blockages : t -> Chip.t -> Blockage.t list
+(** Blockages covering everything *outside* the region (for the cells
+    inside it): per row, the complement of the region's intervals. *)
+
+val area : t -> int

@@ -1,0 +1,106 @@
+type options = {
+  pixels_per_site : float;
+  pixels_per_row : float;
+  draw_displacement : bool;
+  draw_rails : bool;
+  window : (float * float * float * float) option;
+}
+
+let default_options =
+  { pixels_per_site = 4.0;
+    pixels_per_row = 8.0;
+    draw_displacement = true;
+    draw_rails = true;
+    window = None }
+
+let render ?(options = default_options) (design : Design.t) (pl : Placement.t) =
+  let chip = design.chip in
+  let x0, y0, x1, y1 =
+    match options.window with
+    | Some w -> w
+    | None ->
+      (0.0, 0.0, float_of_int chip.Chip.num_sites, float_of_int chip.Chip.num_rows)
+  in
+  let sx = options.pixels_per_site and sy = options.pixels_per_row in
+  let width = (x1 -. x0) *. sx and height = (y1 -. y0) *. sy in
+  (* svg y grows downward; flip so row 0 sits at the bottom *)
+  let px x = (x -. x0) *. sx in
+  let py y = height -. ((y -. y0) *. sy) in
+  let buf = Buffer.create 65536 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" height=\"%.0f\" \
+     viewBox=\"0 0 %.2f %.2f\">\n"
+    width height width height;
+  out "<rect x=\"0\" y=\"0\" width=\"%.2f\" height=\"%.2f\" fill=\"#f8f8f8\"/>\n"
+    width height;
+  if options.draw_rails then
+    for r = 0 to chip.Chip.num_rows do
+      let yy = float_of_int r in
+      if yy >= y0 && yy <= y1 then begin
+        let rail_label =
+          if r < chip.Chip.num_rows then Rail.to_string (Chip.bottom_rail chip r)
+          else Rail.to_string (Rail.opposite (Chip.bottom_rail chip (r - 1)))
+        in
+        let color = if rail_label = "VDD" then "#d4622a" else "#4a7a4a" in
+        out
+          "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" \
+           stroke=\"%s\" stroke-width=\"0.6\" stroke-dasharray=\"4,3\"/>\n"
+          (px x0) (py yy) (px x1) (py yy) color
+      end
+    done;
+  let visible cx cy w h =
+    cx +. w >= x0 && cx <= x1 && cy +. h >= y0 && cy <= y1
+  in
+  Array.iter
+    (fun (b : Blockage.t) ->
+      let bx = float_of_int b.Blockage.x and by = float_of_int b.Blockage.row in
+      let bw = float_of_int b.Blockage.width
+      and bh = float_of_int b.Blockage.height in
+      if visible bx by bw bh then
+        out
+          "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" \
+           fill=\"#555555\" stroke=\"#222222\" stroke-width=\"0.4\"/>\n"
+          (px bx)
+          (py (by +. bh))
+          (bw *. sx) (bh *. sy))
+    design.blockages;
+  Array.iter
+    (fun (c : Cell.t) ->
+      let i = c.id in
+      let x = pl.xs.(i) and y = pl.ys.(i) in
+      let w = float_of_int c.width and h = float_of_int c.height in
+      if visible x y w h then begin
+        let fill = if Cell.is_multi_row c then "#1f4e9c" else "#5b8dd9" in
+        out
+          "<rect x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" height=\"%.2f\" \
+           fill=\"%s\" fill-opacity=\"0.85\" stroke=\"#203050\" \
+           stroke-width=\"0.3\"/>\n"
+          (px x)
+          (py (y +. h))
+          (w *. sx) (h *. sy) fill
+      end)
+    design.cells;
+  if options.draw_displacement then
+    Array.iter
+      (fun (c : Cell.t) ->
+        let i = c.id in
+        let w = float_of_int c.width and h = float_of_int c.height in
+        let gx = design.global.Placement.xs.(i) +. (w /. 2.0)
+        and gy = design.global.Placement.ys.(i) +. (h /. 2.0) in
+        let lx = pl.xs.(i) +. (w /. 2.0) and ly = pl.ys.(i) +. (h /. 2.0) in
+        let moved = Float.abs (gx -. lx) +. Float.abs (gy -. ly) > 1e-9 in
+        if moved && (visible gx gy 0.0 0.0 || visible lx ly 0.0 0.0) then
+          out
+            "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" \
+             stroke=\"#cc2222\" stroke-width=\"0.5\"/>\n"
+            (px gx) (py gy) (px lx) (py ly))
+      design.cells;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write_file ?options ~path design pl =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?options design pl))

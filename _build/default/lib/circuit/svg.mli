@@ -1,0 +1,24 @@
+(** SVG rendering of placements (Figure 5 of the paper).
+
+    Cells are drawn in blue (multi-row cells in a darker blue) and the
+    displacement of each cell from its global position as a red segment,
+    matching the paper's figure legend. *)
+
+type options = {
+  pixels_per_site : float;  (** horizontal scale *)
+  pixels_per_row : float;  (** vertical scale *)
+  draw_displacement : bool;
+  draw_rails : bool;  (** dashed rail lines labelled by VDD/VSS parity *)
+  window : (float * float * float * float) option;
+      (** [(x0, y0, x1, y1)] in site/row units to render a zoomed partial
+          layout; [None] renders the whole chip *)
+}
+
+val default_options : options
+(** 4 px per site, 8 px per row, displacement and rails on, full chip. *)
+
+val render : ?options:options -> Design.t -> Placement.t -> string
+(** The SVG document as a string. The y axis is flipped so row 0 is at the
+    bottom, as in layout plots. *)
+
+val write_file : ?options:options -> path:string -> Design.t -> Placement.t -> unit

@@ -1,0 +1,1 @@
+lib/core/abacus.ml: Array Cell Chip Design Float List Mclh_circuit Order Placement Row_assign

@@ -1,0 +1,1 @@
+lib/core/abacus.mli: Design Mclh_circuit Placement Row_assign

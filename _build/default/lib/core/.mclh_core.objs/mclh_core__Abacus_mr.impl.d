@@ -1,0 +1,1 @@
+lib/core/abacus_mr.ml: Array Blockage Cell Chip Design Float Hashtbl List Mclh_circuit Placement

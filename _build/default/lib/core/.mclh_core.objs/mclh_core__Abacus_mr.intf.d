@@ -1,0 +1,1 @@
+lib/core/abacus_mr.mli: Design Mclh_circuit Placement

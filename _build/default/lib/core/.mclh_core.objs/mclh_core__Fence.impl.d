@@ -1,0 +1,1 @@
+lib/core/fence.ml: Array Cell Design Flow List Mclh_circuit Netlist Placement Region Solver

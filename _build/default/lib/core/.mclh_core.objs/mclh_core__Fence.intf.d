@@ -1,0 +1,1 @@
+lib/core/fence.mli: Config Design Mclh_circuit Placement

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Config Design Logs Mclh_circuit Mclh_linalg Model Placement Row_assign Solver Sys Tetris_alloc

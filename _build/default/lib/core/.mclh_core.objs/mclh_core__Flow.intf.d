@@ -1,0 +1,1 @@
+lib/core/flow.mli: Config Design Mclh_circuit Model Placement Solver Tetris_alloc

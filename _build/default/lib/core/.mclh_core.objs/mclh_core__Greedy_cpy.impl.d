@@ -1,0 +1,1 @@
+lib/core/greedy_cpy.ml: Array Cell Chip Design Float Mclh_circuit Occupancy Placement

@@ -1,0 +1,1 @@
+lib/core/greedy_cpy.mli: Design Mclh_circuit Placement

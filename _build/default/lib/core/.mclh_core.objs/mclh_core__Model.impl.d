@@ -1,0 +1,1 @@
+lib/core/model.ml: Array Blocks Cell Coo Csr Design Float Hashtbl List Mclh_circuit Mclh_linalg Mclh_qp Order Placement Row_assign Segments Vec

@@ -1,0 +1,1 @@
+lib/core/model.mli: Blocks Csr Design Mclh_circuit Mclh_linalg Mclh_qp Placement Row_assign Vec

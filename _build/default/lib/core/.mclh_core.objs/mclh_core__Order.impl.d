@@ -1,0 +1,1 @@
+lib/core/order.ml: Array Cell Chip Design Float List Mclh_circuit Placement

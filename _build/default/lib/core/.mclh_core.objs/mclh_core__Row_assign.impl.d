@@ -1,0 +1,1 @@
+lib/core/row_assign.ml: Array Chip Design Float Mclh_circuit Placement Printf

@@ -1,0 +1,1 @@
+lib/core/row_assign.mli: Design Mclh_circuit

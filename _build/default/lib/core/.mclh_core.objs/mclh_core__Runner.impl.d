@@ -1,0 +1,1 @@
+lib/core/runner.ml: Abacus_mr Array Chip Design Fence Flow Greedy_cpy Hpwl Legality List Mclh_circuit Metrics Placement Sys Tetris_alloc Tetris_legal

@@ -1,0 +1,1 @@
+lib/core/runner.mli: Config Design Flow Mclh_circuit Metrics Placement

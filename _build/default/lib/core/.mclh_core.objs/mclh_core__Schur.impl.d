@@ -1,0 +1,1 @@
+lib/core/schur.ml: Array Blocks Csr Dense List Mclh_linalg Model Tridiag

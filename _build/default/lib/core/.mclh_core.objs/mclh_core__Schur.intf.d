@@ -1,0 +1,1 @@
+lib/core/schur.mli: Dense Mclh_linalg Model Tridiag

@@ -1,0 +1,1 @@
+lib/core/segments.ml: Array Blockage Chip Design List Mclh_circuit

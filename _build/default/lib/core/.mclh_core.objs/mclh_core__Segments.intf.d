@@ -1,0 +1,1 @@
+lib/core/segments.mli: Design Mclh_circuit

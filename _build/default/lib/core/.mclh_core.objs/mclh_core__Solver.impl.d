@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Blocks Config Csr Eig Float Mclh_lcp Mclh_linalg Mclh_qp Model Schur Tridiag Vec Warm_start

@@ -1,0 +1,1 @@
+lib/core/solver.mli: Config Mclh_lcp Mclh_linalg Model Vec

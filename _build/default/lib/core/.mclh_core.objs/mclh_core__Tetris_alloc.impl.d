@@ -1,0 +1,1 @@
+lib/core/tetris_alloc.ml: Array Cell Chip Design Float List Mclh_circuit Occupancy Placement Printf

@@ -1,0 +1,1 @@
+lib/core/tetris_alloc.mli: Design Mclh_circuit Placement

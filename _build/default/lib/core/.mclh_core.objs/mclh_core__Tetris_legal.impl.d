@@ -1,0 +1,1 @@
+lib/core/tetris_legal.ml: Array Blockage Cell Chip Design Float Greedy_cpy List Mclh_circuit Placement

@@ -1,0 +1,1 @@
+lib/core/tetris_legal.mli: Design Mclh_circuit Placement

@@ -1,0 +1,1 @@
+lib/core/warm_start.ml: Abacus Array Blocks Config Float List Mclh_lcp Mclh_linalg Model Vec

@@ -1,0 +1,1 @@
+lib/core/warm_start.mli: Config Mclh_lcp Mclh_linalg Model Vec

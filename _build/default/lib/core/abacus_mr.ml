@@ -1,0 +1,272 @@
+open Mclh_circuit
+
+type cluster = {
+  cid : int;
+  mutable x : float;
+  mutable e : float;  (* one unit of weight per member cell *)
+  mutable q : float;  (* sum of (target - member offset) *)
+  mutable members : (int * float) list;  (* cell id, offset from origin *)
+  extents : (int, float * float) Hashtbl.t;  (* row -> (lo, hi) rel. to origin *)
+  mutable fixed : bool;
+      (* multi-row clusters freeze after their initial resolution, as in the
+         published algorithm; later clusters clamp against them *)
+  mutable x_min : float;  (* clamp bounds accumulated from fixed neighbors *)
+  mutable x_max : float;
+}
+
+let eps = 1e-9
+
+let extent c r = try Hashtbl.find c.extents r with Not_found -> (0.0, 0.0)
+
+let rows_of c = Hashtbl.fold (fun r _ acc -> r :: acc) c.extents []
+
+(* position bounds: chip walls plus any clamps against fixed obstacles *)
+let clamp_x num_sites c =
+  let lo = ref c.x_min and hi = ref c.x_max in
+  Hashtbl.iter
+    (fun _ (l, h) ->
+      lo := Float.max !lo (-.l);
+      hi := Float.min !hi (float_of_int num_sites -. h))
+    c.extents;
+  Float.min (Float.max (c.q /. c.e) !lo) !hi
+
+(* merge the right cluster into the left one; returns the left cluster *)
+let merge num_sites left right =
+  let shared = List.filter (Hashtbl.mem left.extents) (rows_of right) in
+  let delta =
+    List.fold_left
+      (fun acc r ->
+        let _, l_hi = extent left r and r_lo, _ = extent right r in
+        Float.max acc (l_hi -. r_lo))
+      neg_infinity shared
+  in
+  let delta = if delta = neg_infinity then 0.0 else delta in
+  List.iter
+    (fun (cell, off) -> left.members <- (cell, off +. delta) :: left.members)
+    right.members;
+  left.q <- left.q +. right.q -. (right.e *. delta);
+  left.e <- left.e +. right.e;
+  left.x_min <- Float.max left.x_min (right.x_min -. delta);
+  left.x_max <- Float.min left.x_max (right.x_max -. delta);
+  Hashtbl.iter
+    (fun r (lo, hi) ->
+      let lo = lo +. delta and hi = hi +. delta in
+      match Hashtbl.find_opt left.extents r with
+      | None -> Hashtbl.replace left.extents r (lo, hi)
+      | Some (l, h) -> Hashtbl.replace left.extents r (Float.min l lo, Float.max h hi))
+    right.extents;
+  left.x <- clamp_x num_sites left;
+  left
+
+let legalize (design : Design.t) =
+  let chip = design.chip in
+  let num_rows = chip.Chip.num_rows and num_sites = chip.Chip.num_sites in
+  let n = Design.num_cells design in
+  (* per-row stacks, head = rightmost cluster of the row *)
+  let stacks : cluster list array = Array.make num_rows [] in
+  let row_of = Array.make n 0 in
+  let next_cid = ref 0 in
+  let replace_in_stacks ~absorbed ~into =
+    List.iter
+      (fun r ->
+        let keep_sub =
+          List.filter_map
+            (fun c ->
+              if c.cid = absorbed.cid then
+                if List.exists (fun c' -> c'.cid = into.cid) stacks.(r) then None
+                else Some into
+              else Some c)
+            stacks.(r)
+        in
+        stacks.(r) <- keep_sub)
+      (rows_of absorbed)
+  in
+  (* neighbors of cluster c in row r: (left, right) *)
+  let neighbors r c =
+    let rec go right = function
+      | [] -> (None, right)
+      | x :: rest ->
+        if x.cid = c.cid then
+          ((match rest with [] -> None | l :: _ -> Some l), right)
+        else go (Some x) rest
+    in
+    go None stacks.(r)
+  in
+  let rec resolve c =
+    c.x <- clamp_x num_sites c;
+    let overlap_found = ref None in
+    let check_row r =
+      if !overlap_found = None then begin
+        let left, right = neighbors r c in
+        (match left with
+        | Some l ->
+          let _, l_hi = extent l r and c_lo, _ = extent c r in
+          if l.x +. l_hi > c.x +. c_lo +. eps then
+            overlap_found := Some (`Left l)
+        | None -> ());
+        (match right with
+        | Some rt when !overlap_found = None ->
+          let _, c_hi = extent c r and r_lo, _ = extent rt r in
+          if c.x +. c_hi > rt.x +. r_lo +. eps then
+            overlap_found := Some (`Right rt)
+        | Some _ | None -> ())
+      end
+    in
+    List.iter check_row (rows_of c);
+    match !overlap_found with
+    | None -> c
+    | Some (`Left l) when l.fixed ->
+      (* cannot push a frozen obstacle: clamp this cluster to its right *)
+      let bound =
+        List.fold_left
+          (fun acc r ->
+            if Hashtbl.mem l.extents r then begin
+              let _, l_hi = extent l r and c_lo, _ = extent c r in
+              Float.max acc (l.x +. l_hi -. c_lo)
+            end
+            else acc)
+          neg_infinity (rows_of c)
+      in
+      c.x_min <- Float.max c.x_min bound;
+      c.x <- clamp_x num_sites c;
+      if c.x +. 1e-6 < bound then c (* squeezed; Tetris_alloc repairs *)
+      else resolve c
+    | Some (`Right rt) when rt.fixed ->
+      let bound =
+        List.fold_left
+          (fun acc r ->
+            if Hashtbl.mem rt.extents r then begin
+              let _, c_hi = extent c r and r_lo, _ = extent rt r in
+              Float.min acc (rt.x +. r_lo -. c_hi)
+            end
+            else acc)
+          infinity (rows_of c)
+      in
+      c.x_max <- Float.min c.x_max bound;
+      c.x <- clamp_x num_sites c;
+      if c.x -. 1e-6 > bound then c
+      else resolve c
+    | Some (`Left l) ->
+      let merged = merge num_sites l c in
+      replace_in_stacks ~absorbed:c ~into:merged;
+      resolve merged
+    | Some (`Right rt) ->
+      let merged = merge num_sites c rt in
+      replace_in_stacks ~absorbed:rt ~into:merged;
+      resolve merged
+  in
+  (* blockages enter the per-row stacks as immovable clusters, interleaved
+     with the cells in x order so stack order stays monotone *)
+  let items =
+    Array.append
+      (Array.init n (fun i -> `Cell i))
+      (Array.mapi (fun k _ -> `Blockage k) design.blockages)
+  in
+  let x_of = function
+    | `Cell i -> design.global.Placement.xs.(i)
+    | `Blockage k -> float_of_int design.blockages.(k).Blockage.x
+  in
+  Array.sort
+    (fun a b ->
+      let c = compare (x_of a) (x_of b) in
+      if c <> 0 then c else compare a b)
+    items;
+  let insert_blockage k =
+    let b = design.blockages.(k) in
+    let bx = float_of_int b.Blockage.x in
+    let c =
+      { cid =
+          (incr next_cid;
+           !next_cid);
+        x = bx;
+        e = 1.0;
+        q = bx;
+        members = [];
+        extents = Hashtbl.create (max 2 b.Blockage.height);
+        fixed = true;
+        x_min = bx;
+        x_max = bx }
+    in
+    for r = b.Blockage.row to b.Blockage.row + b.Blockage.height - 1 do
+      Hashtbl.replace c.extents r (0.0, float_of_int b.Blockage.width);
+      stacks.(r) <- c :: stacks.(r);
+      (* a cluster placed earlier may reach past the blockage's left wall:
+         clamp it and let it re-settle *)
+      match stacks.(r) with
+      | _ :: (l :: _) when not l.fixed ->
+        let _, l_hi = extent l r in
+        if l.x +. l_hi > bx +. eps then begin
+          l.x_max <- Float.min l.x_max (bx -. l_hi);
+          ignore (resolve l)
+        end
+      | _ -> ()
+    done
+  in
+  let process_cell i =
+      let cell = design.cells.(i) in
+      let h = cell.Cell.height and w = cell.Cell.width in
+      let gx = design.global.Placement.xs.(i)
+      and gy = design.global.Placement.ys.(i) in
+      let desired = Float.max 0.0 (Float.min gx (float_of_int (num_sites - w))) in
+      (* choose the admitting span by frontier-penalty estimate *)
+      let best = ref (-1) and best_cost = ref infinity in
+      for r = 0 to num_rows - h do
+        if Chip.row_admits chip cell r then begin
+          let front = ref 0.0 in
+          for k = r to r + h - 1 do
+            match stacks.(k) with
+            | top :: _ ->
+              let _, hi = extent top k in
+              front := Float.max !front (top.x +. hi)
+            | [] -> ()
+          done;
+          let penalty = Float.max 0.0 (!front -. desired) in
+          let dy = chip.Chip.row_height *. (float_of_int r -. gy) in
+          let cost = (penalty *. penalty) +. (dy *. dy) in
+          if cost < !best_cost then begin
+            best_cost := cost;
+            best := r
+          end
+        end
+      done;
+      if !best < 0 then failwith "Abacus_mr.legalize: no admitting row span";
+      let r0 = !best in
+      row_of.(i) <- r0;
+      let c =
+        { cid =
+            (incr next_cid;
+             !next_cid);
+          x = desired;
+          e = 1.0;
+          q = gx;
+          members = [ (i, 0.0) ];
+          extents = Hashtbl.create (max 2 h);
+          fixed = false;
+          x_min = 0.0;
+          x_max = infinity }
+      in
+      for k = r0 to r0 + h - 1 do
+        Hashtbl.replace c.extents k (0.0, float_of_int w);
+        stacks.(k) <- c :: stacks.(k)
+      done;
+      let settled = resolve c in
+      if h > 1 then settled.fixed <- true
+  in
+  Array.iter
+    (function `Cell i -> process_cell i | `Blockage k -> insert_blockage k)
+    items;
+  (* collect final positions from the distinct clusters *)
+  let xs = Array.make n 0.0 in
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun stack ->
+      List.iter
+        (fun c ->
+          if not (Hashtbl.mem seen c.cid) then begin
+            Hashtbl.replace seen c.cid ();
+            List.iter (fun (cell, off) -> xs.(cell) <- c.x +. off) c.members
+          end)
+        stack)
+    stacks;
+  let ys = Array.map float_of_int row_of in
+  Placement.make ~xs ~ys

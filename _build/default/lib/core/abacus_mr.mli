@@ -1,0 +1,21 @@
+(** Multi-row Abacus — the ASP-DAC'17 baseline (Wang et al., "An effective
+    legalization algorithm for mixed-cell-height standard cells"),
+    reimplemented from its published strategy: extend Abacus's cluster
+    collapse to clusters that span several rows, honoring the
+    global-placement cell order.
+
+    Cells are inserted in global-x order into the row span minimizing an
+    insertion-cost estimate; a multi-row cell forms a cluster spanning all
+    its rows, and overlapping clusters merge with their members packed
+    abutting per row, the merged cluster moving to its clamped weighted
+    mean. This gives the order-preserving, Abacus-quality behaviour of the
+    original; the simplification relative to the published algorithm
+    (documented in DESIGN.md) is the insertion-cost estimate, which uses
+    the span frontier instead of a full trial collapse. *)
+
+open Mclh_circuit
+
+val legalize : Design.t -> Placement.t
+(** A placement with integral rows and fractional x (cluster optima); snap
+    and repair with {!Tetris_alloc}.
+    @raise Failure if a cell admits no row span. *)

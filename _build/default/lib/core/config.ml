@@ -1,0 +1,35 @@
+type t = {
+  lambda : float;
+  beta : float;
+  theta : float;
+  gamma : float;
+  eps : float;
+  max_iter : int;
+  use_sherman_morrison : bool;
+  verify_bound : bool;
+  warm_start : bool;
+}
+
+(* eps is measured in site widths; final positions snap to integer sites,
+   so 1e-3 sites of iterate change is far below the rounding threshold
+   (empirically the snapped placement is already stable at 1e-2). The
+   optimality experiments (Section 5.3) override eps downward. *)
+let default =
+  { lambda = 1000.0;
+    beta = 0.5;
+    theta = 0.5;
+    gamma = 2.0;
+    eps = 3e-3;
+    max_iter = 10_000;
+    use_sherman_morrison = true;
+    verify_bound = false;
+    warm_start = true }
+
+let validate t =
+  if t.lambda <= 0.0 then Error "lambda must be positive"
+  else if not (t.beta > 0.0 && t.beta < 2.0) then Error "beta must lie in (0, 2)"
+  else if t.theta <= 0.0 then Error "theta must be positive"
+  else if t.gamma <= 0.0 then Error "gamma must be positive"
+  else if t.eps <= 0.0 then Error "eps must be positive"
+  else if t.max_iter <= 0 then Error "max_iter must be positive"
+  else Ok t

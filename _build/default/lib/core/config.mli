@@ -1,0 +1,29 @@
+(** Parameters of the legalization flow.
+
+    Defaults follow the experimental setup of Section 5: [lambda = 1000],
+    [beta = theta = 0.5]. *)
+
+type t = {
+  lambda : float;  (** equality-penalty factor of Problem (13) *)
+  beta : float;  (** splitting constant of Eq. (16); in (0, 2) *)
+  theta : float;  (** splitting constant of Eq. (16); positive *)
+  gamma : float;  (** MMSIM modulus scaling; positive *)
+  eps : float;  (** MMSIM stopping tolerance on iterate change *)
+  max_iter : int;
+  use_sherman_morrison : bool;
+      (** use the closed-form inverse for all-double-height designs; the
+          exact per-chain path is used regardless when a cell spans more
+          than two rows *)
+  verify_bound : bool;
+      (** estimate mu_max and record whether Theorem 2's bound on theta
+          holds (costs one power iteration) *)
+  warm_start : bool;
+      (** start Algorithm 1 from the {!Warm_start} modulus vector instead
+          of the plain global-placement start; identical fixed point, far
+          fewer iterations (see the ablation bench) *)
+}
+
+val default : t
+
+val validate : t -> (t, string) result
+(** Checks the parameter ranges ([0 < beta < 2], positivity, ...). *)

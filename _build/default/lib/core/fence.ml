@@ -1,0 +1,90 @@
+open Mclh_circuit
+
+type stats = {
+  territories : int;
+  per_territory : (string * int * int) list;
+}
+
+(* sub-design for one territory: the listed cells (renumbered, region
+   membership erased — the territory's geometry is enforced by blockages)
+   with the given extra obstacles *)
+let sub_design (design : Design.t) ~label ~cell_ids ~extra_blockages =
+  let cells =
+    Array.of_list
+      (List.mapi
+         (fun new_id old_id ->
+           let c = design.Design.cells.(old_id) in
+           Cell.make ~id:new_id ~name:c.Cell.name ~width:c.Cell.width
+             ~height:c.Cell.height ?bottom_rail:c.Cell.bottom_rail ())
+         cell_ids)
+  in
+  let xs =
+    Array.of_list (List.map (fun i -> design.Design.global.Placement.xs.(i)) cell_ids)
+  in
+  let ys =
+    Array.of_list (List.map (fun i -> design.Design.global.Placement.ys.(i)) cell_ids)
+  in
+  let blockages =
+    Array.append design.Design.blockages (Array.of_list extra_blockages)
+  in
+  Design.make ~blockages
+    ~name:(design.Design.name ^ "/" ^ label)
+    ~chip:design.Design.chip ~cells
+    ~global:(Placement.make ~xs ~ys)
+    ~nets:(Netlist.empty ~num_cells:(Array.length cells))
+    ()
+
+let legalize ?config (design : Design.t) =
+  let num_regions = Array.length design.Design.regions in
+  if num_regions = 0 then begin
+    let result = Flow.run ?config design in
+    ( result.Flow.legal,
+      { territories = 1;
+        per_territory =
+          [ (design.Design.name, Design.num_cells design,
+             result.Flow.solver.Solver.iterations) ] } )
+  end
+  else begin
+    let n = Design.num_cells design in
+    let classes = Array.make (num_regions + 1) [] in
+    for i = n - 1 downto 0 do
+      let k =
+        match design.Design.cells.(i).Cell.region with
+        | Some r -> r
+        | None -> num_regions
+      in
+      classes.(k) <- i :: classes.(k)
+    done;
+    let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
+    let per_territory = ref [] in
+    let solved = ref 0 in
+    Array.iteri
+      (fun k cell_ids ->
+        if cell_ids <> [] then begin
+          let label, extra =
+            if k < num_regions then begin
+              let reg = design.Design.regions.(k) in
+              ( reg.Region.name,
+                Region.complement_blockages reg design.Design.chip )
+            end
+            else
+              ( "default",
+                Array.to_list design.Design.regions
+                |> List.concat_map Region.to_blockages )
+          in
+          let sub = sub_design design ~label ~cell_ids ~extra_blockages:extra in
+          let result = Flow.run ?config sub in
+          incr solved;
+          per_territory :=
+            (label, List.length cell_ids, result.Flow.solver.Solver.iterations)
+            :: !per_territory;
+          List.iteri
+            (fun new_id old_id ->
+              xs.(old_id) <- result.Flow.legal.Placement.xs.(new_id);
+              ys.(old_id) <- result.Flow.legal.Placement.ys.(new_id))
+            cell_ids
+        end)
+      classes;
+    ( Placement.make ~xs ~ys,
+      { territories = !solved; per_territory = List.rev !per_territory } )
+  end

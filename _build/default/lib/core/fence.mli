@@ -1,0 +1,30 @@
+(** Fence-region legalization by territorial decomposition.
+
+    Fence regions are *exclusive*: member cells must land inside their
+    region, every other cell outside all regions. The chip therefore
+    partitions into disjoint territories — one per region plus the default
+    territory — and legalization decomposes into independent sub-problems
+    where the other territories act as blockages:
+
+    - the sub-problem of region r sees the original blockages plus the
+      complement of region r;
+    - the default sub-problem sees the original blockages plus every
+      region's rectangles.
+
+    Each sub-problem runs the full MMSIM flow of {!Flow}; the merged
+    placement is legal for the whole design, fences included, because the
+    territories are disjoint. *)
+
+open Mclh_circuit
+
+type stats = {
+  territories : int;  (** sub-problems solved (regions + default) *)
+  per_territory : (string * int * int) list;
+      (** (name, cells, mmsim iterations) per sub-problem *)
+}
+
+val legalize : ?config:Config.t -> Design.t -> Placement.t * stats
+(** Decomposed legalization. For a design without regions this is exactly
+    one {!Flow} run.
+    @raise Failure if a territory cannot host its cells (region too small
+      for its members). *)

@@ -1,0 +1,64 @@
+open Mclh_circuit
+
+let log_src = Logs.Src.create "mclh.flow" ~doc:"Legalization flow"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type timings = {
+  assign_s : float;
+  model_s : float;
+  solve_s : float;
+  alloc_s : float;
+  total_s : float;
+}
+
+type result = {
+  legal : Placement.t;
+  model : Model.t;
+  solver : Solver.result;
+  alloc : Tetris_alloc.result;
+  timings : timings;
+}
+
+let timed f =
+  let t0 = Sys.time () in
+  let v = f () in
+  (v, Sys.time () -. t0)
+
+let run ?(config = Config.default) design =
+  let start = Sys.time () in
+  let assignment, assign_s = timed (fun () -> Row_assign.assign design) in
+  Log.debug (fun m ->
+      m "%s: rows assigned, y displacement %.1f sites (%.3fs)"
+        design.Design.name assignment.Row_assign.y_displacement assign_s);
+  let model, model_s = timed (fun () -> Model.build design assignment) in
+  Log.debug (fun m ->
+      m "model: %d vars, %d constraints, %d chains (%.3fs)" model.Model.nvars
+        (Model.num_constraints model)
+        (Mclh_linalg.Blocks.num_chains model.Model.blocks)
+        model_s);
+  let solver, solve_s = timed (fun () -> Solver.solve ~config model) in
+  Log.debug (fun m ->
+      m "mmsim: %d iterations, converged %b, mismatch %.2e (%.3fs)"
+        solver.Solver.iterations solver.Solver.converged solver.Solver.mismatch
+        solve_s);
+  if not solver.Solver.converged then
+    Log.warn (fun m ->
+        m "%s: MMSIM hit max_iter %d (delta %.2e); the Tetris stage will \
+           repair residual overlaps"
+          design.Design.name config.Config.max_iter solver.Solver.delta_inf);
+  let relaxed = Model.placement_of model solver.Solver.x in
+  let alloc, alloc_s = timed (fun () -> Tetris_alloc.run design relaxed) in
+  Log.debug (fun m ->
+      m "tetris: %d illegal, %d relocated (%.3fs)"
+        alloc.Tetris_alloc.illegal_before alloc.Tetris_alloc.relocated alloc_s);
+  { legal = alloc.Tetris_alloc.placement;
+    model;
+    solver;
+    alloc;
+    timings =
+      { assign_s; model_s; solve_s; alloc_s; total_s = Sys.time () -. start } }
+
+let legalize ?config design = (run ?config design).legal
+
+let illegal_after_mmsim result = result.alloc.Tetris_alloc.illegal_before

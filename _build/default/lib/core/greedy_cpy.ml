@@ -1,0 +1,91 @@
+open Mclh_circuit
+
+type options = {
+  row_window : int option;
+  x_window : int option;
+  rightward_only : bool;
+}
+
+let default = { row_window = Some 2; x_window = Some 40; rightward_only = true }
+let improved = { row_window = None; x_window = None; rightward_only = false }
+
+let attempt ~order (options : options) (design : Design.t) =
+  let chip = design.chip in
+  let n = Design.num_cells design in
+  let occ = Occupancy.of_design design in
+  let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
+  Array.iter
+    (fun i ->
+      let cell = design.cells.(i) in
+      let gx = design.global.Placement.xs.(i)
+      and gy = design.global.Placement.ys.(i) in
+      let x0 =
+        max 0
+          (min
+             (chip.Chip.num_sites - cell.Cell.width)
+             (int_of_float (Float.round gx)))
+      in
+      let row0 =
+        match Chip.nearest_admitting_row chip cell gy with
+        | Some r -> r
+        | None -> failwith "Greedy_cpy.legalize: no admissible row"
+      in
+      let rec search row_window x_window =
+        match
+          Occupancy.find_spot ?row_window ?x_window
+            ~rightward_only:options.rightward_only occ cell ~row0 ~x0
+        with
+        | Some spot -> spot
+        | None ->
+          (* the local region failed; widen both windows (the published
+             algorithm's region selection also falls back to a larger
+             region) *)
+          (match row_window, x_window with
+          | None, None -> failwith "Greedy_cpy.legalize: no free span for a cell"
+          | _ ->
+            let widen cap = function
+              | Some k when 2 * k < cap -> Some (2 * k)
+              | Some _ | None -> None
+            in
+            search
+              (widen chip.Chip.num_rows row_window)
+              (widen chip.Chip.num_sites x_window))
+      in
+      let row, x, _cost = search options.row_window options.x_window in
+      Occupancy.occupy occ ~row ~height:cell.Cell.height ~x
+        ~width:cell.Cell.width;
+      xs.(i) <- float_of_int x;
+      ys.(i) <- float_of_int row)
+    order;
+  Placement.make ~xs ~ys
+
+let legalize ?(options = default) (design : Design.t) =
+  let n = Design.num_cells design in
+  let x_order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c =
+        compare design.global.Placement.xs.(a) design.global.Placement.xs.(b)
+      in
+      if c <> 0 then c else compare a b)
+    x_order;
+  match attempt ~order:x_order options design with
+  | pl -> pl
+  | exception Failure _ ->
+    (* fragmentation stranded a (multi-row) cell: robustness fallback — the
+       hardest cells first, full search windows *)
+    let hard_order = Array.copy x_order in
+    Array.sort
+      (fun a b ->
+        let ca = design.cells.(a) and cb = design.cells.(b) in
+        let c = compare cb.Cell.height ca.Cell.height in
+        if c <> 0 then c
+        else
+          let c = compare (Cell.area cb) (Cell.area ca) in
+          if c <> 0 then c
+          else
+            compare
+              (design.global.Placement.xs.(a), a)
+              (design.global.Placement.xs.(b), b))
+      hard_order;
+    attempt ~order:hard_order improved design

@@ -1,0 +1,39 @@
+(** Greedy nearest-free-position legalizer — the DAC'16 baseline
+    (Chow, Pui, Young: "Legalization algorithm for multiple-row height
+    standard cell design"), reimplemented from its published strategy.
+
+    Each cell, in global-x order, is first tried at its nearest aligned,
+    power-rail-matched position; on conflict, a local region search places
+    it at the minimum-displacement free span. Holes are reused (unlike
+    Tetris), but decisions are one-cell-at-a-time and local — the source
+    of the displacement gap to the MMSIM flow that Table 2 shows.
+
+    Two configurations reproduce the paper's two columns:
+    - [default]: row search window limited to +/- 2 rows (the original's
+      local region), "DAC'16";
+    - [improved]: unlimited window, i.e. globally nearest free span,
+      "DAC'16-Imp" (the authors' post-conference improvement). *)
+
+open Mclh_circuit
+
+type options = {
+  row_window : int option;  (** [Some k] limits the row search to +/- k *)
+  x_window : int option;  (** [Some d] limits the x search to +/- d sites *)
+  rightward_only : bool;
+      (** scan each row only rightward of the target, the original
+          algorithm's scan direction *)
+}
+
+val default : options
+(** The published algorithm's local region and scan direction:
+    [row_window = Some 2], [x_window = Some 40], [rightward_only = true]. *)
+
+val improved : options
+(** The post-conference improvement: globally nearest free span in both
+    directions. *)
+
+val legalize : ?options:options -> Design.t -> Placement.t
+(** A legal placement. If the window search fails for a cell, the window
+    is widened until a spot is found; if fragmentation still strands a
+    multi-row cell, the whole pass re-runs with the hardest cells first.
+    @raise Failure when the design exceeds chip capacity. *)

@@ -1,0 +1,202 @@
+open Mclh_linalg
+open Mclh_circuit
+
+type t = {
+  design : Design.t;
+  assignment : Row_assign.t;
+  nvars : int;
+  first_var : int array;
+  var_cell : int array;
+  var_row : int array;
+  row_vars : int array array;
+  b_mat : Csr.t;
+  b_rhs : Vec.t;
+  p : Vec.t;
+  shift : Vec.t;
+  blocks : Blocks.t;
+}
+
+let build (design : Design.t) (assignment : Row_assign.t) =
+  let n = Design.num_cells design in
+  let first_var = Array.make n 0 in
+  let nvars =
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      first_var.(i) <- !acc;
+      acc := !acc + design.cells.(i).Cell.height
+    done;
+    !acc
+  in
+  let var_cell = Array.make nvars 0 and var_row = Array.make nvars 0 in
+  for i = 0 to n - 1 do
+    let h = design.cells.(i).Cell.height in
+    for k = 0 to h - 1 do
+      var_cell.(first_var.(i) + k) <- i;
+      var_row.(first_var.(i) + k) <- assignment.rows.(i) + k
+    done
+  done;
+  let segments = Segments.compute design in
+  (* per-cell segment choice and shift: a multi-row cell picks a segment in
+     every spanned row and is measured from the rightmost of their left
+     walls, so all its subcells share one shift and E u = 0 is preserved *)
+  let cell_segment_start =
+    Array.init n (fun i ->
+        let c = design.cells.(i) in
+        let gx = design.global.Placement.xs.(i) in
+        Array.init c.Cell.height (fun k ->
+            match
+              Segments.locate segments
+                ~row:(assignment.rows.(i) + k)
+                ~x:gx ~width:c.Cell.width
+            with
+            | Some seg -> Some seg.Segments.start
+            | None -> None))
+  in
+  let cell_shift =
+    Array.init n (fun i ->
+        Array.fold_left
+          (fun acc -> function Some s -> max acc s | None -> acc)
+          0 cell_segment_start.(i))
+  in
+  let shift =
+    Vec.init nvars (fun v -> float_of_int cell_shift.(var_cell.(v)))
+  in
+  (* ordering groups: per row, cells grouped by their chosen segment in
+     that row, kept in global-x order *)
+  let order = Order.per_row design ~rows:assignment.rows in
+  let groups = ref [] in
+  Array.iteri
+    (fun r ids ->
+      if Array.length ids > 0 then begin
+        if Segments.has_blockages segments then begin
+          (* split the x-ordered row list by segment id *)
+          let tbl = Hashtbl.create 4 in
+          let keys = ref [] in
+          Array.iter
+            (fun i ->
+              let k = r - assignment.rows.(i) in
+              let key = cell_segment_start.(i).(k) in
+              if not (Hashtbl.mem tbl key) then keys := key :: !keys;
+              let prev = try Hashtbl.find tbl key with Not_found -> [] in
+              Hashtbl.replace tbl key (i :: prev))
+            ids;
+          List.iter
+            (fun key ->
+              let members = List.rev (Hashtbl.find tbl key) in
+              let vars =
+                List.map (fun i -> first_var.(i) + (r - assignment.rows.(i))) members
+              in
+              groups := Array.of_list vars :: !groups)
+            (List.rev !keys)
+        end
+        else
+          groups :=
+            Array.map (fun i -> first_var.(i) + (r - assignment.rows.(i))) ids
+            :: !groups
+      end)
+    order;
+  let row_vars = Array.of_list (List.rev !groups) in
+  (* ordering constraints: one per adjacent pair in each group; the
+     required separation accounts for the shift difference *)
+  let m =
+    Array.fold_left (fun acc vars -> acc + max 0 (Array.length vars - 1)) 0 row_vars
+  in
+  let coo = Coo.create ~rows:m ~cols:nvars in
+  let b_rhs = Array.make m 0.0 in
+  let ci = ref 0 in
+  Array.iter
+    (fun vars ->
+      for k = 0 to Array.length vars - 2 do
+        let u = vars.(k) and v = vars.(k + 1) in
+        Coo.add coo !ci u (-1.0);
+        Coo.add coo !ci v 1.0;
+        b_rhs.(!ci) <-
+          float_of_int design.cells.(var_cell.(u)).Cell.width
+          +. shift.(u) -. shift.(v);
+        incr ci
+      done)
+    row_vars;
+  let b_mat = Coo.to_csr coo in
+  let p =
+    Vec.init nvars (fun v ->
+        -.(design.global.Placement.xs.(var_cell.(v)) -. shift.(v)))
+  in
+  let chains =
+    Array.to_list first_var
+    |> List.mapi (fun i fv ->
+           let h = design.cells.(i).Cell.height in
+           Array.init h (fun k -> fv + k))
+    |> List.filter (fun chain -> Array.length chain >= 2)
+  in
+  let blocks = Blocks.make ~nvars chains in
+  { design; assignment; nvars; first_var; var_cell; var_row; row_vars;
+    b_mat; b_rhs; p; shift; blocks }
+
+let num_constraints t = Csr.rows t.b_mat
+
+let lcp_rhs t =
+  let n = t.nvars and m = num_constraints t in
+  Vec.init (n + m) (fun i -> if i < n then t.p.(i) else -.t.b_rhs.(i - n))
+
+let apply_q_tilde t ~lambda x =
+  let out = Blocks.apply_ete t.blocks x in
+  let result = Vec.scale lambda out in
+  Vec.axpy 1.0 x result;
+  result
+
+let to_qp t ~lambda =
+  let coo = Coo.create ~rows:t.nvars ~cols:t.nvars in
+  for v = 0 to t.nvars - 1 do
+    Coo.add coo v v 1.0
+  done;
+  (* lambda E^T E assembled from the explicit E matrix *)
+  let e = Blocks.e_matrix t.blocks in
+  for r = 0 to Csr.rows e - 1 do
+    let entries = Csr.row_entries e r in
+    List.iter
+      (fun (j1, v1) ->
+        List.iter
+          (fun (j2, v2) -> Coo.add coo j1 j2 (lambda *. v1 *. v2))
+          entries)
+      entries
+  done;
+  Mclh_qp.Qp.make ~q_mat:(Coo.to_csr coo) ~p:t.p ~b_mat:t.b_mat ~b_rhs:t.b_rhs
+
+let packed_start t =
+  (* cumulative packing directly in u-space: u_first = 0 and
+     u_next = max(0, u_prev + separation) satisfies B u >= b and u >= 0
+     whatever the segment shifts are *)
+  let x = Array.make t.nvars 0.0 in
+  let ci = ref 0 in
+  Array.iter
+    (fun vars ->
+      let k = Array.length vars in
+      if k > 0 then begin
+        x.(vars.(0)) <- 0.0;
+        for idx = 1 to k - 1 do
+          x.(vars.(idx)) <- Float.max 0.0 (x.(vars.(idx - 1)) +. t.b_rhs.(!ci));
+          incr ci
+        done
+      end)
+    t.row_vars;
+  x
+
+let cell_positions t x =
+  let n = Design.num_cells t.design in
+  Vec.init n (fun i ->
+      let h = t.design.cells.(i).Cell.height in
+      let fv = t.first_var.(i) in
+      let acc = ref 0.0 in
+      for k = 0 to h - 1 do
+        acc := !acc +. x.(fv + k)
+      done;
+      !acc /. float_of_int h)
+
+let subcell_mismatch t x = Blocks.mismatch t.blocks x
+
+let placement_of t x =
+  let xs = cell_positions t x in
+  (* add back the per-cell shift (subcells share it) *)
+  Array.iteri (fun i fv -> xs.(i) <- xs.(i) +. t.shift.(fv)) t.first_var;
+  let ys = Array.map float_of_int t.assignment.rows in
+  Placement.make ~xs ~ys

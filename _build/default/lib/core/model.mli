@@ -1,0 +1,71 @@
+(** The x-direction optimization model (Problems (5), (6), (12), (13)).
+
+    After row assignment, every cell is split into one subcell variable per
+    spanned row. The model carries:
+
+    - the ordering constraints [B x >= b] — one row per adjacent subcell
+      pair in each chip row, two nonzeros (-1, +1) per row, ordered row by
+      row and left to right so that consecutive constraints share
+      variables and the Schur complement is nearly tridiagonal;
+    - the subcell-equality chains (the [E] matrix of Problem (12)) in the
+      {!Mclh_linalg.Blocks} star representation;
+    - the linear term [p] with [p_v = -x'_cell(v)].
+
+    Propositions 1-2 of the paper (B of full row rank, [Q + lambda E^T E]
+    SPD) hold by this construction and are asserted in the test suite. *)
+
+open Mclh_linalg
+open Mclh_circuit
+
+type t = {
+  design : Design.t;
+  assignment : Row_assign.t;
+  nvars : int;  (** total number of subcell variables *)
+  first_var : int array;  (** first (hub) variable of each cell *)
+  var_cell : int array;  (** owning cell of each variable *)
+  var_row : int array;  (** chip row of each variable *)
+  row_vars : int array array;
+      (** ordering groups: one per row *segment* (one per row when the
+          design has no blockages), variables in global-x order *)
+  b_mat : Csr.t;  (** m x nvars ordering-constraint matrix *)
+  b_rhs : Vec.t;
+      (** required separation of each adjacent pair: the left cell's width
+          plus the shift difference when blockage segments shift the
+          variables *)
+  p : Vec.t;  (** linear term, length nvars: [-(x' - shift)] *)
+  shift : Vec.t;
+      (** per-variable coordinate shift: the segment left wall the
+          variable is measured from ([x = u + shift]); all zero without
+          blockages *)
+  blocks : Blocks.t;  (** subcell-equality chains *)
+}
+
+val build : Design.t -> Row_assign.t -> t
+
+val num_constraints : t -> int
+
+val lcp_rhs : t -> Vec.t
+(** The KKT LCP right-hand side [q = (p; -b)], length [nvars + m]. *)
+
+val to_qp : t -> lambda:float -> Mclh_qp.Qp.t
+(** Explicit Problem (13): [Q = I + lambda E^T E] materialized as a sparse
+    matrix. For oracle comparisons on small instances. *)
+
+val apply_q_tilde : t -> lambda:float -> Vec.t -> Vec.t
+(** [(I + lambda E^T E) x] without materializing anything. *)
+
+val packed_start : t -> Vec.t
+(** A point satisfying [B u >= b] and [u >= 0] (cumulative packing per
+    ordering group; subcells of a multi-row cell may disagree, which
+    Problem (13) permits). Used to start the active-set oracle. *)
+
+val cell_positions : t -> Vec.t -> Vec.t
+(** Per-cell x from a per-variable vector by averaging each cell's
+    subcells (multi-row restoration). *)
+
+val subcell_mismatch : t -> Vec.t -> float
+(** Largest subcell disagreement (see {!Mclh_linalg.Blocks.mismatch}). *)
+
+val placement_of : t -> Vec.t -> Placement.t
+(** Placement with x = averaged subcell positions plus the segment shift,
+    and y = assigned rows. *)

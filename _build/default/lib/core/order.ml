@@ -1,0 +1,49 @@
+open Mclh_circuit
+
+let per_row (design : Design.t) ~rows =
+  let num_rows = design.chip.Chip.num_rows in
+  let buckets = Array.make num_rows [] in
+  Array.iteri
+    (fun i row ->
+      let h = design.cells.(i).Cell.height in
+      for r = row to row + h - 1 do
+        buckets.(r) <- i :: buckets.(r)
+      done)
+    rows;
+  let xs = design.global.Placement.xs in
+  Array.map
+    (fun ids ->
+      ids
+      |> List.sort (fun a b ->
+             let c = compare xs.(a) xs.(b) in
+             if c <> 0 then c else compare a b)
+      |> Array.of_list)
+    buckets
+
+let preservation (design : Design.t) (final : Placement.t) =
+  let num_rows = design.chip.Chip.num_rows in
+  let buckets = Array.make num_rows [] in
+  Array.iteri
+    (fun i (c : Cell.t) ->
+      let row = int_of_float (Float.round final.Placement.ys.(i)) in
+      for r = max 0 row to min (num_rows - 1) (row + c.Cell.height - 1) do
+        buckets.(r) <- i :: buckets.(r)
+      done)
+    design.cells;
+  let gxs = design.global.Placement.xs in
+  let preserved = ref 0 and total = ref 0 in
+  Array.iter
+    (fun ids ->
+      let sorted =
+        List.sort (fun a b -> compare final.Placement.xs.(a) final.Placement.xs.(b)) ids
+      in
+      let rec pairs = function
+        | a :: (b :: _ as rest) ->
+          incr total;
+          if gxs.(a) <= gxs.(b) then incr preserved;
+          pairs rest
+        | [ _ ] | [] -> ()
+      in
+      pairs sorted)
+    buckets;
+  if !total = 0 then 1.0 else float_of_int !preserved /. float_of_int !total

@@ -1,0 +1,20 @@
+(** Per-row cell ordering from global placement.
+
+    The flow fixes, within every row, the left-to-right order the cells had
+    in the global placement; the QP/LCP then only decides positions, not
+    order (Section 3). The preservation metric quantifies how well a final
+    legal placement kept that order — the property Figure 5(b) of the
+    paper illustrates. *)
+
+open Mclh_circuit
+
+val per_row : Design.t -> rows:int array -> int array array
+(** [per_row design ~rows] lists, for every chip row, the ids of the cells
+    occupying it (multi-row cells appear in every row they span), sorted by
+    global x with cell id as the deterministic tiebreak. *)
+
+val preservation : Design.t -> Placement.t -> float
+(** Fraction of ordered pairs of cells sharing a row in the *final*
+    placement whose x-order agrees with their global-placement x-order
+    (adjacent pairs per final row; 1.0 = order fully preserved). Returns
+    1.0 when no pairs exist. *)

@@ -1,0 +1,20 @@
+(** Row assignment: each cell to its nearest correct row.
+
+    The first stage of the flow (Figure 4). Odd-height cells go to the
+    in-range row nearest their global y; even-height cells to the nearest
+    row whose bottom rail matches their designed rail. Assigning nearest
+    correct rows minimizes the y-direction displacement independently of x
+    (Section 3), after which only the x coordinates remain variables. *)
+
+open Mclh_circuit
+
+type t = {
+  rows : int array;  (** assigned bottom row per cell *)
+  y_displacement : float;
+      (** sum of [row_height * |row_i - y'_i|] over cells (site units) *)
+}
+
+val assign : Design.t -> t
+(** @raise Failure if some cell admits no row at all (chip shorter than the
+    cell or missing rail parity) — impossible for chips from the
+    generator. *)

@@ -1,0 +1,67 @@
+open Mclh_circuit
+
+type algorithm =
+  | Mmsim
+  | Greedy_dac16
+  | Greedy_dac16_improved
+  | Abacus_multirow
+  | Tetris
+
+let all =
+  [ Mmsim; Greedy_dac16; Greedy_dac16_improved; Abacus_multirow; Tetris ]
+
+let name = function
+  | Mmsim -> "mmsim"
+  | Greedy_dac16 -> "dac16"
+  | Greedy_dac16_improved -> "dac16-imp"
+  | Abacus_multirow -> "aspdac17"
+  | Tetris -> "tetris"
+
+let of_name s = List.find_opt (fun a -> name a = s) all
+
+type report = {
+  algorithm : algorithm;
+  placement : Placement.t;
+  legal : bool;
+  displacement : Metrics.t;
+  delta_hpwl : float;
+  runtime_s : float;
+  mmsim : Flow.result option;
+}
+
+let snap design placement = (Tetris_alloc.run design placement).Tetris_alloc.placement
+
+let run ?config algorithm design =
+  let t0 = Sys.time () in
+  let placement, mmsim =
+    match algorithm with
+    | Mmsim ->
+      if Array.length design.Design.regions > 0 then begin
+        (* fenced designs decompose into territories; per-territory solver
+           details are not surfaced in the report *)
+        let legal, _stats = Fence.legalize ?config design in
+        (legal, None)
+      end
+      else begin
+        let result = Flow.run ?config design in
+        (result.Flow.legal, Some result)
+      end
+    | Greedy_dac16 ->
+      (Greedy_cpy.legalize ~options:Greedy_cpy.default design, None)
+    | Greedy_dac16_improved ->
+      (Greedy_cpy.legalize ~options:Greedy_cpy.improved design, None)
+    | Abacus_multirow -> (snap design (Abacus_mr.legalize design), None)
+    | Tetris -> (Tetris_legal.legalize design, None)
+  in
+  let runtime_s = Sys.time () -. t0 in
+  { algorithm;
+    placement;
+    legal = Legality.is_legal design placement;
+    displacement =
+      Metrics.displacement ~row_height:design.Design.chip.Chip.row_height
+        ~before:design.Design.global placement;
+    delta_hpwl =
+      Hpwl.delta ~row_height:design.Design.chip.Chip.row_height
+        design.Design.nets ~before:design.Design.global placement;
+    runtime_s;
+    mmsim }

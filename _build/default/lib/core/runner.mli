@@ -1,0 +1,33 @@
+(** Uniform driver over every legalizer in the repository.
+
+    Each algorithm consumes a {!Mclh_circuit.Design.t} and produces a legal
+    placement (fractional outputs are snapped and repaired by
+    {!Tetris_alloc}, the same final stage the paper's flow uses), together
+    with the metrics the benchmark tables report. *)
+
+open Mclh_circuit
+
+type algorithm =
+  | Mmsim  (** the paper's flow ("Ours") *)
+  | Greedy_dac16  (** windowed greedy — "DAC'16" *)
+  | Greedy_dac16_improved  (** global greedy — "DAC'16-Imp" *)
+  | Abacus_multirow  (** multi-row Abacus — "ASP-DAC'17" *)
+  | Tetris  (** classic Tetris (extra baseline) *)
+
+val all : algorithm list
+val name : algorithm -> string
+val of_name : string -> algorithm option
+
+type report = {
+  algorithm : algorithm;
+  placement : Placement.t;
+  legal : bool;
+  displacement : Metrics.t;
+  delta_hpwl : float;
+  runtime_s : float;
+  mmsim : Flow.result option;
+      (** present for {!Mmsim} on designs without fence regions (fenced
+          designs run the {!Fence} decomposition instead) *)
+}
+
+val run : ?config:Config.t -> algorithm -> Design.t -> report

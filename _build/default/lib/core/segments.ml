@@ -1,0 +1,67 @@
+open Mclh_circuit
+
+type span = { start : int; stop : int }
+type t = { per_row : span list array; any : bool }
+
+let compute (design : Design.t) =
+  let chip = design.chip in
+  let num_rows = chip.Chip.num_rows and num_sites = chip.Chip.num_sites in
+  let blocked : (int * int) list array = Array.make num_rows [] in
+  Array.iter
+    (fun (b : Blockage.t) ->
+      for r = b.Blockage.row to b.Blockage.row + b.Blockage.height - 1 do
+        blocked.(r) <- (b.Blockage.x, b.Blockage.x + b.Blockage.width) :: blocked.(r)
+      done)
+    design.blockages;
+  let per_row =
+    Array.map
+      (fun intervals ->
+        let sorted = List.sort compare intervals in
+        (* merge overlapping blocked intervals, then take the complement *)
+        let rec merge = function
+          | (a1, b1) :: (a2, b2) :: rest when a2 <= b1 ->
+            merge ((a1, max b1 b2) :: rest)
+          | iv :: rest -> iv :: merge rest
+          | [] -> []
+        in
+        let merged = merge sorted in
+        let rec free cursor = function
+          | [] -> if cursor < num_sites then [ { start = cursor; stop = num_sites } ] else []
+          | (a, b) :: rest ->
+            let seg = if cursor < a then [ { start = cursor; stop = a } ] else [] in
+            seg @ free (max cursor b) rest
+        in
+        free 0 merged)
+      blocked
+  in
+  { per_row; any = Array.length design.blockages > 0 }
+
+let row_segments t row = t.per_row.(row)
+
+let locate t ~row ~x ~width =
+  let candidates = t.per_row.(row) in
+  let distance seg =
+    (* distance from the desired x to the nearest feasible left edge *)
+    let lo = float_of_int seg.start
+    and hi = float_of_int (max seg.start (seg.stop - width)) in
+    if x < lo then lo -. x else if x > hi then x -. hi else 0.0
+  in
+  let fits seg = seg.stop - seg.start >= width in
+  let pick pred =
+    List.fold_left
+      (fun best seg ->
+        if not (pred seg) then best
+        else
+          match best with
+          | Some (b, bd) when bd <= distance seg -> Some (b, bd)
+          | Some _ | None -> Some (seg, distance seg))
+      None candidates
+  in
+  match pick fits with
+  | Some (seg, _) -> Some seg
+  | None -> (
+    match pick (fun _ -> true) with
+    | Some (seg, _) -> Some seg
+    | None -> None)
+
+let has_blockages t = t.any

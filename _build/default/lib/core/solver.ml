@@ -1,0 +1,227 @@
+open Mclh_linalg
+
+type result = {
+  x : Vec.t;
+  r : Vec.t;
+  iterations : int;
+  converged : bool;
+  delta_inf : float;
+  mismatch : float;
+  bound : bound_check option;
+}
+
+and bound_check = { mu_max : float; theta_limit : float; theta_ok : bool }
+
+let rhs_q = Model.lcp_rhs
+
+let operators (model : Model.t) (config : Config.t) =
+  let n = model.nvars and m = Model.num_constraints model in
+  let { Config.lambda; beta; theta; _ } = config in
+  let d =
+    Schur.tridiag
+      ~path:
+        (if config.use_sherman_morrison && Blocks.all_double model.blocks
+         then Schur.Sherman_morrison
+         else Schur.Exact_chains)
+      model ~lambda
+  in
+  let d_over_theta = Tridiag.scale (1.0 /. theta) d in
+  let bottom_solve_mat = Tridiag.add_scaled_identity d_over_theta 1.0 in
+  let ete_buf = Vec.zeros n in
+  let split z = (Array.sub z 0 n, Array.sub z n m) in
+  let q_tilde_into x out =
+    (* out := x + lambda E^T E x *)
+    Blocks.apply_ete_into model.blocks x ete_buf;
+    for i = 0 to n - 1 do
+      out.(i) <- x.(i) +. (lambda *. ete_buf.(i))
+    done
+  in
+  let apply_a z =
+    let x, r = split z in
+    let out = Vec.zeros (n + m) in
+    let top = Array.sub out 0 n in
+    q_tilde_into x top;
+    Array.blit top 0 out 0 n;
+    (* top -= B^T r *)
+    let btr = Csr.mul_vec_t model.b_mat r in
+    for i = 0 to n - 1 do
+      out.(i) <- out.(i) -. btr.(i)
+    done;
+    let bx = Csr.mul_vec model.b_mat x in
+    Array.blit bx 0 out n m;
+    out
+  in
+  let apply_n z =
+    let x, r = split z in
+    let out = Vec.zeros (n + m) in
+    let top = Vec.zeros n in
+    q_tilde_into x top;
+    let c = (1.0 /. beta) -. 1.0 in
+    let btr = Csr.mul_vec_t model.b_mat r in
+    for i = 0 to n - 1 do
+      out.(i) <- (c *. top.(i)) +. btr.(i)
+    done;
+    let dr = Tridiag.mul_vec d_over_theta r in
+    Array.blit dr 0 out n m;
+    out
+  in
+  let solve_m_omega rhs =
+    let rhs_x = Array.sub rhs 0 n and rhs_r = Array.sub rhs n m in
+    (* ((1/beta) Q~ + I) s_x = rhs_x, i.e. alpha I + coef E^T E with
+       alpha = 1 + 1/beta and coef = lambda/beta *)
+    let s_x =
+      Blocks.solve_shifted ~alpha:(1.0 +. (1.0 /. beta))
+        ~coef:(lambda /. beta) model.blocks rhs_x
+    in
+    (* ((1/theta) D + I) s_r = rhs_r - B s_x *)
+    let bsx = Csr.mul_vec model.b_mat s_x in
+    for i = 0 to m - 1 do
+      rhs_r.(i) <- rhs_r.(i) -. bsx.(i)
+    done;
+    let s_r =
+      if m = 0 then [||] else Tridiag.solve bottom_solve_mat rhs_r
+    in
+    Array.append s_x s_r
+  in
+  { Mclh_lcp.Mmsim.dim = n + m;
+    apply_a;
+    apply_n;
+    solve_m_omega;
+    omega_diag = Vec.create (n + m) 1.0 }
+
+(* allocation-free operator set: the same mathematics as [operators], with
+   every intermediate in preallocated scratch; used by the production
+   solve loop *)
+let operators_inplace (model : Model.t) (config : Config.t) =
+  let n = model.nvars and m = Model.num_constraints model in
+  let { Config.lambda; beta; theta; _ } = config in
+  let d =
+    Schur.tridiag
+      ~path:
+        (if config.use_sherman_morrison && Blocks.all_double model.blocks
+         then Schur.Sherman_morrison
+         else Schur.Exact_chains)
+      model ~lambda
+  in
+  let d_over_theta = Tridiag.scale (1.0 /. theta) d in
+  let bottom_factor =
+    Tridiag.prefactor (Tridiag.add_scaled_identity d_over_theta 1.0)
+  in
+  let xbuf = Vec.zeros n and rbuf = Vec.zeros m in
+  let ete_buf = Vec.zeros n in
+  let btr = Vec.zeros n and bx = Vec.zeros m in
+  let dr = Vec.zeros m in
+  let split z =
+    Array.blit z 0 xbuf 0 n;
+    Array.blit z n rbuf 0 m
+  in
+  let q_tilde_into x out =
+    Blocks.apply_ete_into model.blocks x ete_buf;
+    for i = 0 to n - 1 do
+      out.(i) <- x.(i) +. (lambda *. ete_buf.(i))
+    done
+  in
+  let apply_a_into z dst =
+    split z;
+    q_tilde_into xbuf dst;
+    Csr.mul_vec_t_into model.b_mat rbuf btr;
+    for i = 0 to n - 1 do
+      dst.(i) <- dst.(i) -. btr.(i)
+    done;
+    Csr.mul_vec_into model.b_mat xbuf bx;
+    Array.blit bx 0 dst n m
+  in
+  let c_top = (1.0 /. beta) -. 1.0 in
+  let apply_n_into z dst =
+    split z;
+    q_tilde_into xbuf dst;
+    Csr.mul_vec_t_into model.b_mat rbuf btr;
+    for i = 0 to n - 1 do
+      dst.(i) <- (c_top *. dst.(i)) +. btr.(i)
+    done;
+    if m > 0 then begin
+      let dr_out = Tridiag.mul_vec d_over_theta rbuf in
+      Array.blit dr_out 0 dr 0 m;
+      Array.blit dr 0 dst n m
+    end
+  in
+  let alpha = 1.0 +. (1.0 /. beta) and coef = lambda /. beta in
+  let solve_m_omega_into rhs dst =
+    split rhs;
+    (* top: ((1/beta) Q~ + I) s_x = rhs_x, solved per chain into dst *)
+    Blocks.solve_shifted_into ~alpha ~coef model.blocks xbuf xbuf;
+    Array.blit xbuf 0 dst 0 n;
+    (* bottom: ((1/theta) D + I) s_r = rhs_r - B s_x *)
+    if m > 0 then begin
+      Csr.mul_vec_into model.b_mat xbuf bx;
+      for i = 0 to m - 1 do
+        rbuf.(i) <- rbuf.(i) -. bx.(i)
+      done;
+      Tridiag.solve_prefactored bottom_factor rbuf rbuf;
+      Array.blit rbuf 0 dst n m
+    end
+  in
+  { Mclh_lcp.Mmsim.dim_ip = n + m;
+    apply_a_into;
+    apply_n_into;
+    solve_m_omega_into;
+    omega_diag_ip = Vec.create (n + m) 1.0 }
+
+let gamma_operator (model : Model.t) (config : Config.t) =
+  let m = Model.num_constraints model in
+  let d = Schur.tridiag model ~lambda:config.Config.lambda in
+  fun v ->
+    let t1 = Csr.mul_vec_t model.b_mat v in
+    let t2 =
+      Blocks.solve_shifted ~alpha:1.0 ~coef:config.Config.lambda model.blocks t1
+    in
+    let t3 = Csr.mul_vec model.b_mat t2 in
+    if m = 0 then t3 else Tridiag.solve_pivoting d t3
+
+let check_bound (model : Model.t) (config : Config.t) =
+  let m = Model.num_constraints model in
+  if m = 0 then { mu_max = 0.0; theta_limit = infinity; theta_ok = true }
+  else begin
+    let apply = gamma_operator model config in
+    let est = Eig.power_iteration ~max_iter:300 ~tol:1e-7 ~dim:m apply in
+    let mu_max = Float.max est.Eig.value 1e-12 in
+    let beta = config.Config.beta in
+    let theta_limit = 2.0 *. (2.0 -. beta) /. (beta *. mu_max) in
+    { mu_max; theta_limit; theta_ok = config.Config.theta < theta_limit }
+  end
+
+let solve ?(config = Config.default) (model : Model.t) =
+  (match Config.validate config with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Solver.solve: " ^ msg));
+  let n = model.nvars and m = Model.num_constraints model in
+  let ops = operators_inplace model config in
+  let q = rhs_q model in
+  let options =
+    { Mclh_lcp.Mmsim.gamma = config.gamma;
+      eps = config.eps;
+      max_iter = config.max_iter }
+  in
+  let s0 =
+    if config.warm_start then Warm_start.modulus_vector model config ops
+    else
+      (* the paper's plain start: z_0 at the global-placement positions *)
+      Vec.init (n + m) (fun i ->
+          if i < n then config.gamma /. 2.0 *. -.model.p.(i) else 0.0)
+  in
+  let out = Mclh_lcp.Mmsim.solve_inplace ~options ~s0 ops ~q in
+  let x = Array.sub out.Mclh_lcp.Mmsim.z 0 n in
+  let r = Array.sub out.Mclh_lcp.Mmsim.z n m in
+  let bound =
+    if config.verify_bound then Some (check_bound model config) else None
+  in
+  { x;
+    r;
+    iterations = out.Mclh_lcp.Mmsim.iterations;
+    converged = out.Mclh_lcp.Mmsim.converged;
+    delta_inf = out.Mclh_lcp.Mmsim.delta_inf;
+    mismatch = Model.subcell_mismatch model x;
+    bound }
+
+let lcp_problem (model : Model.t) ~lambda =
+  Mclh_qp.Kkt.to_lcp (Model.to_qp model ~lambda)

@@ -1,0 +1,53 @@
+(** The problem-specific MMSIM solver (Section 3.2, Algorithm 1).
+
+    Instantiates the generic {!Mclh_lcp.Mmsim} over the legalization KKT
+    system with the splitting of Equation (16):
+
+    M = [ (1/beta) Q~   0          ]     N = [ (1/beta - 1) Q~   B^T       ]
+        [ B             (1/theta) D ]        [ 0                 (1/theta) D ]
+
+    with [Q~ = I + lambda E^T E] and [D = tridiag(B Q~^-1 B^T)]. With
+    [Omega = I], [M + Omega] is block lower triangular, so one iteration
+    costs O(n + m): an arrowhead solve per cell chain for the top block and
+    one Thomas solve for the bottom block. *)
+
+open Mclh_linalg
+
+type result = {
+  x : Vec.t;  (** subcell positions (length [Model.nvars]) *)
+  r : Vec.t;  (** ordering-constraint multipliers (length m) *)
+  iterations : int;
+  converged : bool;
+  delta_inf : float;  (** final iterate change *)
+  mismatch : float;  (** subcell mismatch after the solve *)
+  bound : bound_check option;  (** present when the config asks for it *)
+}
+
+and bound_check = {
+  mu_max : float;  (** power-iteration estimate of the largest eigenvalue
+                       of [Gamma = D^-1 B Q~^-1 B^T] *)
+  theta_limit : float;  (** [2 (2 - beta) / (beta mu_max)] *)
+  theta_ok : bool;  (** Theorem 2's sufficient condition satisfied *)
+}
+
+val operators : Model.t -> Config.t -> Mclh_lcp.Mmsim.operators
+(** The MMSIM operators for this model/config — exposed for tests that
+    drive the generic solver directly. *)
+
+val operators_inplace : Model.t -> Config.t -> Mclh_lcp.Mmsim.operators_inplace
+(** Allocation-free operators over preallocated scratch buffers; the
+    production path ({!solve} uses {!Mclh_lcp.Mmsim.solve_inplace} with
+    these). Produces the same iterates as {!operators} (tested). *)
+
+val rhs_q : Model.t -> Vec.t
+(** The LCP right-hand side [q = (p; -b)]. *)
+
+val solve : ?config:Config.t -> Model.t -> result
+(** Runs Algorithm 1 from [s_0 = 0]. *)
+
+val check_bound : Model.t -> Config.t -> bound_check
+(** The Theorem 2 convergence check on its own. *)
+
+val lcp_problem : Model.t -> lambda:float -> Mclh_lcp.Lcp.problem
+(** The explicit KKT LCP (Equation (15)) via {!Model.to_qp} — small
+    instances / validation only. *)

@@ -1,0 +1,125 @@
+open Mclh_circuit
+
+type result = {
+  placement : Placement.t;
+  illegal_before : int;
+  relocated : int;
+  relocation_cost : float;
+}
+
+let run (design : Design.t) (input : Placement.t) =
+  let chip = design.chip in
+  let n = Design.num_cells design in
+  let num_sites = chip.Chip.num_sites in
+  let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
+  let snap = Array.make n (0, 0) in
+  for i = 0 to n - 1 do
+    let c = design.cells.(i) in
+    let x =
+      (* snap to the nearest site; out-of-right-boundary stays out and is
+         caught by the legality scan below *)
+      int_of_float (Float.round input.Placement.xs.(i))
+    in
+    let x = max 0 x in
+    let row = int_of_float (Float.round input.Placement.ys.(i)) in
+    let row = max 0 (min (chip.Chip.num_rows - c.Cell.height) row) in
+    snap.(i) <- (x, row)
+  done;
+  (* acceptance scan in x order (global x as tiebreak for determinism) *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let xa, _ = snap.(a) and xb, _ = snap.(b) in
+      let c = compare xa xb in
+      if c <> 0 then c
+      else
+        let c =
+          compare design.global.Placement.xs.(a) design.global.Placement.xs.(b)
+        in
+        if c <> 0 then c else compare a b)
+    order;
+  let occ = Occupancy.of_design design in
+  let illegal = ref [] in
+  Array.iter
+    (fun i ->
+      let c = design.cells.(i) in
+      let x, row = snap.(i) in
+      if
+        x + c.Cell.width <= num_sites
+        && Chip.row_admits chip c row
+        && Occupancy.is_free_span occ ~row ~height:c.Cell.height ~x
+             ~width:c.Cell.width
+      then begin
+        Occupancy.occupy occ ~row ~height:c.Cell.height ~x ~width:c.Cell.width;
+        xs.(i) <- float_of_int x;
+        ys.(i) <- float_of_int row
+      end
+      else illegal := i :: !illegal)
+    order;
+  let illegal = List.rev !illegal in
+  let illegal_before = List.length illegal in
+  let relocated = ref 0 and relocation_cost = ref 0.0 in
+  let place_illegal i =
+    let c = design.cells.(i) in
+    let x0, row0 = snap.(i) in
+    let x0 = min x0 (num_sites - c.Cell.width) in
+    match Occupancy.find_spot occ c ~row0 ~x0 with
+    | Some (row, x, cost) ->
+      Occupancy.occupy occ ~row ~height:c.Cell.height ~x ~width:c.Cell.width;
+      xs.(i) <- float_of_int x;
+      ys.(i) <- float_of_int row;
+      incr relocated;
+      relocation_cost := !relocation_cost +. cost;
+      true
+    | None -> false
+  in
+  if List.for_all place_illegal illegal then
+    { placement = Placement.make ~xs ~ys;
+      illegal_before;
+      relocated = !relocated;
+      relocation_cost = !relocation_cost }
+  else begin
+    (* fragmentation at very high density: a multi-row cell found no free
+       span after the singles grabbed theirs. Redo the whole allocation
+       with the hardest cells (tallest, then largest) placed first so they
+       get contiguous space before fragments develop. *)
+    let occ = Occupancy.of_design design in
+    let order2 = Array.copy order in
+    Array.sort
+      (fun a b ->
+        let ca = design.cells.(a) and cb = design.cells.(b) in
+        let c = compare cb.Cell.height ca.Cell.height in
+        if c <> 0 then c
+        else
+          let c = compare (Cell.area cb) (Cell.area ca) in
+          if c <> 0 then c
+          else
+            let xa, _ = snap.(a) and xb, _ = snap.(b) in
+            compare (xa, a) (xb, b))
+      order2;
+    relocated := 0;
+    relocation_cost := 0.0;
+    Array.iter
+      (fun i ->
+        let c = design.cells.(i) in
+        let x0, row0 = snap.(i) in
+        let x0 = max 0 (min x0 (num_sites - c.Cell.width)) in
+        match Occupancy.find_spot occ c ~row0 ~x0 with
+        | Some (row, x, cost) ->
+          Occupancy.occupy occ ~row ~height:c.Cell.height ~x ~width:c.Cell.width;
+          xs.(i) <- float_of_int x;
+          ys.(i) <- float_of_int row;
+          incr relocated;
+          relocation_cost := !relocation_cost +. cost
+        | None ->
+          failwith
+            (Printf.sprintf
+               "Tetris_alloc.run: no free span for cell %d even after the \
+                area-ordered repack (design beyond capacity?)"
+               i))
+      order2;
+    { placement = Placement.make ~xs ~ys;
+      illegal_before;
+      relocated = !relocated;
+      relocation_cost = !relocation_cost }
+  end

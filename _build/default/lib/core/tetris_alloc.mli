@@ -1,0 +1,25 @@
+(** Tetris-like allocation (final stage of Figure 4).
+
+    Aligns every cell to the nearest placement site, accepts cells in
+    left-to-right order while they stay conflict-free, and relocates each
+    remaining illegal cell — overlap from finite-precision subcell
+    mismatch, or out-of-right-boundary after the relaxation — to the
+    nearest free span over rail-compatible rows. Table 1's "#I. Cell"
+    column is [illegal_before] of this stage. *)
+
+open Mclh_circuit
+
+type result = {
+  placement : Placement.t;  (** legal placement *)
+  illegal_before : int;  (** cells the scan marked illegal *)
+  relocated : int;  (** cells actually moved to a new free span *)
+  relocation_cost : float;  (** total Manhattan distance of relocations,
+                                relative to the input positions *)
+}
+
+val run : Design.t -> Placement.t -> result
+(** Input: a placement whose ys are integral rows admitting each cell
+    (as produced by {!Model.placement_of}); xs may be fractional, off the
+    chip to the right, or overlapping.
+    @raise Failure if some illegal cell cannot be placed anywhere (the
+      design exceeds chip capacity). *)

@@ -1,0 +1,101 @@
+open Mclh_circuit
+
+let attempt ~order (design : Design.t) =
+  let chip = design.chip in
+  let num_rows = chip.Chip.num_rows and num_sites = chip.Chip.num_sites in
+  let n = Design.num_cells design in
+  let frontier = Array.make num_rows 0 in
+  (* blockage intervals per row, sorted; the frontier jumps over them *)
+  let blocked : (int * int) list array = Array.make num_rows [] in
+  Array.iter
+    (fun (b : Blockage.t) ->
+      for r = b.Blockage.row to b.Blockage.row + b.Blockage.height - 1 do
+        blocked.(r) <- (b.Blockage.x, b.Blockage.x + b.Blockage.width) :: blocked.(r)
+      done)
+    design.blockages;
+  Array.iteri (fun r l -> blocked.(r) <- List.sort compare l) blocked;
+  (* smallest x' >= x such that [x', x'+w) avoids every blockage in rows
+     r..r+h-1; iterates to a fixed point across the spanned rows *)
+  let rec clear_of_blockages r h w x =
+    let bumped = ref x in
+    for k = r to r + h - 1 do
+      List.iter
+        (fun (b0, b1) -> if !bumped < b1 && b0 < !bumped + w then bumped := b1)
+        blocked.(k)
+    done;
+    if !bumped = x then x else clear_of_blockages r h w !bumped
+  in
+  let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
+  Array.iter
+    (fun i ->
+      let cell = design.cells.(i) in
+      let h = cell.Cell.height and w = cell.Cell.width in
+      let gx = design.global.Placement.xs.(i)
+      and gy = design.global.Placement.ys.(i) in
+      let desired_x = int_of_float (Float.round gx) in
+      let best = ref None in
+      let best_cost () =
+        match !best with None -> infinity | Some (_, _, c) -> c
+      in
+      for r = 0 to num_rows - h do
+        if Chip.row_admits chip cell r then begin
+          let front = ref 0 in
+          for k = r to r + h - 1 do
+            front := max !front frontier.(k)
+          done;
+          (* appended position: at the frontier, or at the target if the
+             frontier leaves room; bumped right past any blockage *)
+          let x = max !front (min desired_x (num_sites - w)) in
+          let x = clear_of_blockages r h w x in
+          if x + w <= num_sites then begin
+            let cost =
+              Float.abs (float_of_int x -. gx)
+              +. (chip.Chip.row_height *. Float.abs (float_of_int r -. gy))
+            in
+            if cost < best_cost () then best := Some (r, x, cost)
+          end
+        end
+      done;
+      match !best with
+      | None -> failwith "Tetris_legal.legalize: no row can host a cell"
+      | Some (r, x, _) ->
+        for k = r to r + h - 1 do
+          frontier.(k) <- x + w
+        done;
+        xs.(i) <- float_of_int x;
+        ys.(i) <- float_of_int r)
+    order;
+  Placement.make ~xs ~ys
+
+let legalize (design : Design.t) =
+  let n = Design.num_cells design in
+  let x_order = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c =
+        compare design.global.Placement.xs.(a) design.global.Placement.xs.(b)
+      in
+      if c <> 0 then c else compare a b)
+    x_order;
+  match attempt ~order:x_order design with
+  | pl -> pl
+  | exception Failure _ ->
+    (* the no-holes frontier can strand a tall cell at moderate density;
+       classic Tetris has no recourse, so as robustness fallbacks, retry
+       with the tall cells first, then fall back to the hole-reusing
+       greedy search *)
+    let hard_order = Array.copy x_order in
+    Array.sort
+      (fun a b ->
+        let ca = design.cells.(a) and cb = design.cells.(b) in
+        let c = compare cb.Cell.height ca.Cell.height in
+        if c <> 0 then c
+        else
+          compare
+            (design.global.Placement.xs.(a), a)
+            (design.global.Placement.xs.(b), b))
+      hard_order;
+    (match attempt ~order:hard_order design with
+    | pl -> pl
+    | exception Failure _ ->
+      Greedy_cpy.legalize ~options:Greedy_cpy.improved design)

@@ -1,0 +1,18 @@
+(** Classic Tetris legalization (Hill, US patent 6370673), extended with
+    power-rail awareness.
+
+    Cells are processed in global-x order; each goes to the admitting row
+    (or row span) minimizing Manhattan displacement when appended at that
+    row's frontier. No holes are ever reused, which is what makes Tetris
+    fast but displacement-hungry — the weakest baseline, included because
+    the paper's Tetris-like allocation stage descends from it. *)
+
+open Mclh_circuit
+
+val legalize : Design.t -> Placement.t
+(** A legal placement (integral coordinates). The classic frontier scheme
+    can strand a tall cell at moderate density; this implementation then
+    retries with the tall cells first and finally falls back to the
+    hole-reusing greedy search, so it fails only when the design truly
+    exceeds capacity.
+    @raise Failure when the design exceeds chip capacity. *)

@@ -1,0 +1,1 @@
+lib/gp/gp.ml: Array Cell Cg Chip Coo Csr Design Float Hpwl List Mclh_circuit Mclh_core Mclh_linalg Netlist Placement Vec

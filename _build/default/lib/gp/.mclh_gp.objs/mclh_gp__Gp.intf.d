@@ -1,0 +1,1 @@
+lib/gp/gp.mli: Design Mclh_circuit Placement

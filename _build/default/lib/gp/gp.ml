@@ -1,0 +1,194 @@
+open Mclh_linalg
+open Mclh_circuit
+
+type net_model = Clique | B2b
+
+type options = {
+  iterations : int;
+  anchor_weight : float;
+  anchor_growth : float;
+  cg_tol : float;
+  net_model : net_model;
+}
+
+let default_options =
+  { iterations = 12; anchor_weight = 0.01; anchor_growth = 2.0; cg_tol = 1e-7;
+    net_model = Clique }
+
+type stats = { rounds : (float * float) list; final_hpwl : float }
+
+(* clique net model with edge weight 1/(k-1): build the Laplacian L (shared
+   by x and y) and the pin-offset load vectors.
+
+   For an edge (i, j, w) with pin offsets (di, dj) along one axis, the
+   wirelength term w (x_i + di - x_j - dj)^2 contributes
+     L[i,i] += w, L[j,j] += w, L[i,j] -= w, L[j,i] -= w
+     b[i] += w (dj - di), b[j] += w (di - dj). *)
+(* one per-axis Laplacian + load from a list of weighted pin pairs *)
+let add_edge coo load w i j di dj =
+  if i <> j && w > 0.0 then begin
+    Coo.add coo i i w;
+    Coo.add coo j j w;
+    Coo.add coo i j (-.w);
+    Coo.add coo j i (-.w);
+    load.(i) <- load.(i) +. (w *. (dj -. di));
+    load.(j) <- load.(j) +. (w *. (di -. dj))
+  end
+
+(* fixed clique model: one shared Laplacian for both axes (the x/y loads
+   differ through the pin offsets) *)
+let build_clique (design : Design.t) =
+  let n = Design.num_cells design in
+  let coo = Coo.create ~rows:n ~cols:n in
+  let bx = Vec.zeros n and by = Vec.zeros n in
+  let dummy = Vec.zeros n in
+  Netlist.iter design.nets (fun _ pins ->
+      let k = Array.length pins in
+      if k >= 2 then begin
+        let w = 1.0 /. float_of_int (k - 1) in
+        for a = 0 to k - 1 do
+          for b = a + 1 to k - 1 do
+            let pa = pins.(a) and pb = pins.(b) in
+            (* the Laplacian entries are added once; both axis loads *)
+            add_edge coo bx w pa.Netlist.cell pb.Netlist.cell pa.dx pb.dx;
+            (* y load only (reuse the structure; weights already added) *)
+            if pa.Netlist.cell <> pb.Netlist.cell then begin
+              by.(pa.Netlist.cell) <- by.(pa.Netlist.cell) +. (w *. (pb.dy -. pa.dy));
+              by.(pb.Netlist.cell) <- by.(pb.Netlist.cell) +. (w *. (pa.dy -. pb.dy))
+            end
+          done
+        done
+      end);
+  ignore dummy;
+  (Coo.to_csr coo, bx, by, Coo.to_csr (Coo.create ~rows:n ~cols:n))
+
+(* bound-to-bound model for ONE axis at the current positions: each pin
+   connects to the net's min and max pins, weight 2/((k-1) length) (the
+   B2B weights make the quadratic equal HPWL at the linearization point) *)
+let build_b2b (design : Design.t) positions get_offset =
+  let n = Design.num_cells design in
+  let coo = Coo.create ~rows:n ~cols:n in
+  let load = Vec.zeros n in
+  Netlist.iter design.nets (fun _ pins ->
+      let k = Array.length pins in
+      if k >= 2 then begin
+        let pos p = positions.(p.Netlist.cell) +. get_offset p in
+        let lo = ref 0 and hi = ref 0 in
+        Array.iteri
+          (fun idx p ->
+            if pos p < pos pins.(!lo) then lo := idx;
+            if pos p > pos pins.(!hi) then hi := idx)
+          pins;
+        let connect a b =
+          let pa = pins.(a) and pb = pins.(b) in
+          let len = Float.max 1.0 (Float.abs (pos pa -. pos pb)) in
+          let w = 2.0 /. (float_of_int (k - 1) *. len) in
+          add_edge coo load w pa.Netlist.cell pb.Netlist.cell (get_offset pa)
+            (get_offset pb)
+        in
+        connect !lo !hi;
+        Array.iteri
+          (fun idx _ -> if idx <> !lo && idx <> !hi then begin
+               connect idx !lo;
+               connect idx !hi
+             end)
+          pins
+      end);
+  (Coo.to_csr coo, load)
+
+(* lookahead legalization provides the anchors: legalize the current
+   fractional placement with the fast Tetris baseline *)
+let lookahead (design : Design.t) (pl : Placement.t) =
+  let d =
+    Design.make ~blockages:design.blockages ~name:"gp-lookahead"
+      ~chip:design.chip ~cells:design.cells ~global:pl ~nets:design.nets ()
+  in
+  Mclh_core.Tetris_legal.legalize d
+
+let clamp (design : Design.t) (pl : Placement.t) =
+  let chip = design.chip in
+  Array.iteri
+    (fun i (c : Cell.t) ->
+      pl.Placement.xs.(i) <-
+        Float.max 0.0
+          (Float.min pl.Placement.xs.(i)
+             (float_of_int (chip.Chip.num_sites - c.Cell.width)));
+      pl.Placement.ys.(i) <-
+        Float.max 0.0
+          (Float.min pl.Placement.ys.(i)
+             (float_of_int (chip.Chip.num_rows - c.Cell.height))))
+    design.cells;
+  pl
+
+let place ?(options = default_options) (design : Design.t) =
+  if options.iterations < 1 then invalid_arg "Gp.place: iterations < 1";
+  let n = Design.num_cells design in
+  let chip = design.chip in
+  let rh = chip.Chip.row_height in
+  if n = 0 then (Placement.create 0, { rounds = []; final_hpwl = 0.0 })
+  else begin
+    let clique_laplacian, clique_bx, clique_by, _ = build_clique design in
+    let diag_of lap =
+      let d = Vec.zeros n in
+      Csr.iter lap (fun i j v -> if i = j then d.(i) <- d.(i) +. v);
+      d
+    in
+    let clique_diag = diag_of clique_laplacian in
+    (* initial anchors: chip center, with a deterministic sub-site stagger
+       so the Laplacian's nullspace (connected components) is broken *)
+    let cx = float_of_int chip.Chip.num_sites /. 2.0 in
+    let cy = float_of_int chip.Chip.num_rows /. 2.0 in
+    let ax = Vec.init n (fun i -> cx +. (0.001 *. float_of_int (i mod 101))) in
+    let ay = Vec.init n (fun i -> cy +. (0.0005 *. float_of_int (i mod 89))) in
+    let xs = Vec.copy ax and ys = Vec.copy ay in
+    let solve_axis ~laplacian ~diag ~alpha ~anchors ~load current =
+      let apply v =
+        let out = Csr.mul_vec laplacian v in
+        for i = 0 to n - 1 do
+          out.(i) <- out.(i) +. (alpha *. v.(i))
+        done;
+        out
+      in
+      let b = Vec.init n (fun i -> load.(i) +. (alpha *. anchors.(i))) in
+      let jacobi = Vec.init n (fun i -> Float.max 1e-12 diag.(i) +. alpha) in
+      let r =
+        Cg.solve ~tol:options.cg_tol ~x0:current ~jacobi ~dim:n apply ~b
+      in
+      r.Cg.x
+    in
+    let rounds = ref [] in
+    let alpha = ref options.anchor_weight in
+    for _round = 1 to options.iterations do
+      let x', y' =
+        match options.net_model with
+        | Clique ->
+          ( solve_axis ~laplacian:clique_laplacian ~diag:clique_diag
+              ~alpha:!alpha ~anchors:ax ~load:clique_bx xs,
+            solve_axis ~laplacian:clique_laplacian ~diag:clique_diag
+              ~alpha:!alpha ~anchors:ay ~load:clique_by ys )
+        | B2b ->
+          let lap_x, load_x = build_b2b design xs (fun p -> p.Netlist.dx) in
+          let lap_y, load_y = build_b2b design ys (fun p -> p.Netlist.dy) in
+          ( solve_axis ~laplacian:lap_x ~diag:(diag_of lap_x) ~alpha:!alpha
+              ~anchors:ax ~load:load_x xs,
+            solve_axis ~laplacian:lap_y ~diag:(diag_of lap_y) ~alpha:!alpha
+              ~anchors:ay ~load:load_y ys )
+      in
+      Array.blit x' 0 xs 0 n;
+      Array.blit y' 0 ys 0 n;
+      let pl = clamp design (Placement.make ~xs:(Vec.copy xs) ~ys:(Vec.copy ys)) in
+      let hpwl = Hpwl.total ~row_height:rh design.nets pl in
+      rounds := (!alpha, hpwl) :: !rounds;
+      (* refresh anchors by lookahead legalization of the current solution *)
+      let legal = lookahead design pl in
+      Array.blit legal.Placement.xs 0 ax 0 n;
+      Array.blit legal.Placement.ys 0 ay 0 n;
+      alpha := !alpha *. options.anchor_growth
+    done;
+    let final =
+      clamp design (Placement.make ~xs:(Vec.copy xs) ~ys:(Vec.copy ys))
+    in
+    ( final,
+      { rounds = List.rev !rounds;
+        final_hpwl = Hpwl.total ~row_height:rh design.nets final } )
+  end

@@ -1,0 +1,1 @@
+lib/lcp/lcp.ml: Array Coo Csr Float Mclh_linalg Vec

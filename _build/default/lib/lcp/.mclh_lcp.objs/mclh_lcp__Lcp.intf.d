@@ -1,0 +1,1 @@
+lib/lcp/lcp.mli: Csr Dense Mclh_linalg Vec

@@ -1,0 +1,1 @@
+lib/lcp/lemke.ml: Array Csr Float Lcp Mclh_linalg Vec

@@ -1,0 +1,1 @@
+lib/lcp/lemke.mli: Lcp Mclh_linalg Vec

@@ -1,0 +1,1 @@
+lib/lcp/mmsim.ml: Array Csr Float Mclh_linalg Printf Vec

@@ -1,0 +1,1 @@
+lib/lcp/mmsim.mli: Csr Mclh_linalg Vec

@@ -1,0 +1,1 @@
+lib/lcp/pgs.ml: Array Csr Float Lcp Mclh_linalg Printf Vec

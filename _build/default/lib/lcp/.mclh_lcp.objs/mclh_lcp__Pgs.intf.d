@@ -1,0 +1,1 @@
+lib/lcp/pgs.mli: Lcp Mclh_linalg Vec

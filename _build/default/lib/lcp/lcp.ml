@@ -1,0 +1,50 @@
+open Mclh_linalg
+
+type problem = { a : Csr.t; q : Vec.t }
+
+let make a q =
+  if Csr.rows a <> Csr.cols a then invalid_arg "Lcp.make: matrix not square";
+  if Csr.rows a <> Vec.dim q then invalid_arg "Lcp.make: q dimension mismatch";
+  { a; q }
+
+let dim p = Vec.dim p.q
+
+let w_of p z =
+  let w = Csr.mul_vec p.a z in
+  Vec.axpy 1.0 p.q w;
+  w
+
+type residual = {
+  z_neg : float;
+  w_neg : float;
+  complementarity : float;
+  fischer_burmeister : float;
+}
+
+let residual p z =
+  let w = w_of p z in
+  let z_neg = ref 0.0 and w_neg = ref 0.0 in
+  let comp = ref 0.0 and fb = ref 0.0 in
+  for i = 0 to Vec.dim z - 1 do
+    z_neg := Float.max !z_neg (-.z.(i));
+    w_neg := Float.max !w_neg (-.w.(i));
+    comp := Float.max !comp (Float.abs (z.(i) *. w.(i)));
+    let phi =
+      sqrt ((z.(i) *. z.(i)) +. (w.(i) *. w.(i))) -. z.(i) -. w.(i)
+    in
+    fb := Float.max !fb (Float.abs phi)
+  done;
+  { z_neg = !z_neg;
+    w_neg = !w_neg;
+    complementarity = !comp;
+    fischer_burmeister = !fb }
+
+let residual_inf p z =
+  let r = residual p z in
+  Float.max r.z_neg (Float.max r.w_neg r.complementarity)
+
+let is_solution ?(eps = 1e-6) p z =
+  let r = residual p z in
+  r.z_neg <= eps && r.w_neg <= eps && r.complementarity <= eps
+
+let of_dense a q = make (Coo.to_csr (Coo.of_dense a)) q

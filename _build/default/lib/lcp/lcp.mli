@@ -1,0 +1,43 @@
+(** Linear complementarity problems.
+
+    LCP(q, A): find w, z in R^n with
+    [w = A z + q >= 0], [z >= 0], [z^T w = 0].
+
+    This module holds the problem representation shared by the solvers and
+    the residual/verification utilities used in tests and in the empirical
+    optimality validation of the paper's Section 5.3. *)
+
+open Mclh_linalg
+
+type problem = { a : Csr.t; q : Vec.t }
+(** A concrete LCP with an explicit sparse system matrix. *)
+
+val make : Csr.t -> Vec.t -> problem
+(** Validates that [a] is square and [q] matches its dimension. *)
+
+val dim : problem -> int
+
+val w_of : problem -> Vec.t -> Vec.t
+(** [w_of p z] is [A z + q]. *)
+
+type residual = {
+  z_neg : float;  (** largest violation of [z >= 0] *)
+  w_neg : float;  (** largest violation of [w >= 0] *)
+  complementarity : float;  (** largest [|z_i * w_i|] *)
+  fischer_burmeister : float;
+      (** infinity norm of the Fischer-Burmeister residual
+          [phi(z, w) = sqrt(z^2 + w^2) - z - w], a standard merit function
+          that is zero exactly at LCP solutions *)
+}
+
+val residual : problem -> Vec.t -> residual
+
+val residual_inf : problem -> Vec.t -> float
+(** Max of the three violation measures (without the FB residual). *)
+
+val is_solution : ?eps:float -> problem -> Vec.t -> bool
+(** [is_solution ~eps p z] holds when all residual components are within
+    [eps] (default [1e-6]). *)
+
+val of_dense : Dense.t -> Vec.t -> problem
+(** Convenience for tests. *)

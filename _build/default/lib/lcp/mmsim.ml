@@ -1,0 +1,195 @@
+open Mclh_linalg
+
+type operators = {
+  dim : int;
+  apply_a : Vec.t -> Vec.t;
+  apply_n : Vec.t -> Vec.t;
+  solve_m_omega : Vec.t -> Vec.t;
+  omega_diag : Vec.t;
+}
+
+type options = { gamma : float; eps : float; max_iter : int }
+
+let default_options = { gamma = 2.0; eps = 1e-9; max_iter = 10_000 }
+
+type outcome = {
+  z : Vec.t;
+  s : Vec.t;
+  iterations : int;
+  converged : bool;
+  delta_inf : float;
+}
+
+let z_of_s gamma s = Vec.map (fun v -> (Float.abs v +. v) /. gamma) s
+
+let w_of_s options ops s =
+  Vec.mapi (fun i v -> ops.omega_diag.(i) /. options.gamma *. (Float.abs v -. v)) s
+
+let solve ?(options = default_options) ?s0 ops ~q =
+  let { gamma; eps; max_iter } = options in
+  if gamma <= 0.0 then invalid_arg "Mmsim.solve: gamma must be positive";
+  if eps <= 0.0 then invalid_arg "Mmsim.solve: eps must be positive";
+  if max_iter <= 0 then invalid_arg "Mmsim.solve: max_iter must be positive";
+  if Vec.dim q <> ops.dim then invalid_arg "Mmsim.solve: q dimension mismatch";
+  if Vec.dim ops.omega_diag <> ops.dim then
+    invalid_arg "Mmsim.solve: omega dimension mismatch";
+  let s =
+    match s0 with
+    | None -> Vec.zeros ops.dim
+    | Some s0 ->
+      if Vec.dim s0 <> ops.dim then
+        invalid_arg "Mmsim.solve: s0 dimension mismatch";
+      Vec.copy s0
+  in
+  let abs_s = Vec.zeros ops.dim in
+  let z_prev = ref (z_of_s gamma s) in
+  let rec go s k =
+    Vec.abs_into s abs_s;
+    (* rhs = N s + Omega |s| - A |s| - gamma q *)
+    let rhs = ops.apply_n s in
+    let a_abs = ops.apply_a abs_s in
+    for i = 0 to ops.dim - 1 do
+      rhs.(i) <-
+        rhs.(i)
+        +. (ops.omega_diag.(i) *. abs_s.(i))
+        -. a_abs.(i)
+        -. (gamma *. q.(i))
+    done;
+    let s_next = ops.solve_m_omega rhs in
+    let z = z_of_s gamma s_next in
+    let delta = Vec.dist_inf z !z_prev in
+    (* z alone can stall at a bound while s still moves: require the
+       modulus vector to be stationary too (relative to its own scale) *)
+    let delta_s = Vec.dist_inf s_next s in
+    let s_scale = Float.max 1.0 (Vec.norm_inf s_next) in
+    z_prev := z;
+    (* nan detection must not rely on comparisons (nan > x is false);
+       summing propagates nan reliably *)
+    if Float.is_nan delta || Float.is_nan (Vec.sum z) then
+      (* divergence guard: the splitting parameters violate convergence *)
+      { z; s = s_next; iterations = k + 1; converged = false;
+        delta_inf = Float.nan }
+    else if delta < eps && delta_s < eps *. s_scale then
+      { z; s = s_next; iterations = k + 1; converged = true; delta_inf = delta }
+    else if k + 1 >= max_iter then
+      { z; s = s_next; iterations = k + 1; converged = false; delta_inf = delta }
+    else go s_next (k + 1)
+  in
+  go s 0
+
+type operators_inplace = {
+  dim_ip : int;
+  apply_a_into : Vec.t -> Vec.t -> unit;
+  apply_n_into : Vec.t -> Vec.t -> unit;
+  solve_m_omega_into : Vec.t -> Vec.t -> unit;
+  omega_diag_ip : Vec.t;
+}
+
+let solve_inplace ?(options = default_options) ?s0 ops ~q =
+  let { gamma; eps; max_iter } = options in
+  if gamma <= 0.0 then invalid_arg "Mmsim.solve_inplace: gamma must be positive";
+  if eps <= 0.0 then invalid_arg "Mmsim.solve_inplace: eps must be positive";
+  if max_iter <= 0 then invalid_arg "Mmsim.solve_inplace: max_iter must be positive";
+  let n = ops.dim_ip in
+  if Vec.dim q <> n then invalid_arg "Mmsim.solve_inplace: q dimension mismatch";
+  let s =
+    match s0 with
+    | None -> Vec.zeros n
+    | Some s0 ->
+      if Vec.dim s0 <> n then invalid_arg "Mmsim.solve_inplace: s0 dimension";
+      Vec.copy s0
+  in
+  let abs_s = Vec.zeros n in
+  let rhs = Vec.zeros n in
+  let a_abs = Vec.zeros n in
+  let s_next = Vec.zeros n in
+  let z = Vec.zeros n in
+  let z_prev = Vec.zeros n in
+  for i = 0 to n - 1 do
+    z_prev.(i) <- (Float.abs s.(i) +. s.(i)) /. gamma
+  done;
+  let rec go s s_next k =
+    Vec.abs_into s abs_s;
+    ops.apply_n_into s rhs;
+    ops.apply_a_into abs_s a_abs;
+    for i = 0 to n - 1 do
+      rhs.(i) <-
+        rhs.(i)
+        +. (ops.omega_diag_ip.(i) *. abs_s.(i))
+        -. a_abs.(i)
+        -. (gamma *. q.(i))
+    done;
+    ops.solve_m_omega_into rhs s_next;
+    let delta = ref 0.0 and nan_seen = ref false in
+    let delta_s = ref 0.0 and s_scale = ref 1.0 in
+    for i = 0 to n - 1 do
+      let zi = (Float.abs s_next.(i) +. s_next.(i)) /. gamma in
+      z.(i) <- zi;
+      let d = Float.abs (zi -. z_prev.(i)) in
+      if Float.is_nan zi || Float.is_nan d then nan_seen := true
+      else if d > !delta then delta := d;
+      let ds = Float.abs (s_next.(i) -. s.(i)) in
+      if ds > !delta_s then delta_s := ds;
+      let a = Float.abs s_next.(i) in
+      if a > !s_scale then s_scale := a
+    done;
+    Vec.blit ~src:z ~dst:z_prev;
+    if !nan_seen then
+      { z = Vec.copy z; s = Vec.copy s_next; iterations = k + 1;
+        converged = false; delta_inf = Float.nan }
+    else if !delta < eps && !delta_s < eps *. !s_scale then
+      { z = Vec.copy z; s = Vec.copy s_next; iterations = k + 1;
+        converged = true; delta_inf = !delta }
+    else if k + 1 >= max_iter then
+      { z = Vec.copy z; s = Vec.copy s_next; iterations = k + 1;
+        converged = false; delta_inf = !delta }
+    else go s_next s (k + 1)
+  in
+  go s s_next 0
+
+let gauss_seidel_operators ?omega a =
+  let n = Csr.rows a in
+  if Csr.cols a <> n then
+    invalid_arg "Mmsim.gauss_seidel_operators: matrix not square";
+  let diag = Array.make n 0.0 in
+  Csr.iter a (fun i j v -> if i = j then diag.(i) <- diag.(i) +. v);
+  Array.iteri
+    (fun i d ->
+      if d <= 0.0 then
+        invalid_arg
+          (Printf.sprintf
+             "Mmsim.gauss_seidel_operators: nonpositive diagonal at %d" i))
+    diag;
+  let omega_diag =
+    match omega with
+    | None -> Vec.create n 1.0
+    | Some o ->
+      if Vec.dim o <> n then
+        invalid_arg "Mmsim.gauss_seidel_operators: omega dimension";
+      Array.iter
+        (fun v ->
+          if v <= 0.0 then
+            invalid_arg "Mmsim.gauss_seidel_operators: omega not positive")
+        o;
+      Vec.copy o
+  in
+  let apply_a v = Csr.mul_vec a v in
+  (* N = -U: strictly upper part, negated *)
+  let apply_n v =
+    let out = Array.make n 0.0 in
+    Csr.iter a (fun i j value ->
+        if j > i then out.(i) <- out.(i) -. (value *. v.(j)));
+    out
+  in
+  (* (M + Omega) x = rhs with M = D + L: forward substitution *)
+  let solve_m_omega rhs =
+    let x = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      let acc = ref rhs.(i) in
+      Csr.iter_row a i (fun j value ->
+          if j < i then acc := !acc -. (value *. x.(j)));
+      x.(i) <- !acc /. (diag.(i) +. omega_diag.(i))
+    done;
+    x
+  in
+  { dim = n; apply_a; apply_n; solve_m_omega; omega_diag }

@@ -1,0 +1,80 @@
+(** Modulus-based matrix splitting iteration method (MMSIM, Bai 2010).
+
+    For LCP(q, A) with splitting [A = M - N] and positive diagonal [Omega],
+    iterate (Equation (3) of the paper):
+
+    [(M + Omega) s_{k+1} = N s_k + (Omega - A) |s_k| - gamma q]
+
+    and recover [z_{k+1} = (|s_{k+1}| + s_{k+1}) / gamma] (Equation (4)).
+    At a fixed point, [z] solves the LCP with
+    [w = (Omega/gamma) (|s| - s)].
+
+    The solver is expressed over abstract operators so that structured
+    problems (like the legalization KKT system, where [M + Omega] is block
+    lower triangular with an arrowhead top block and a tridiagonal bottom
+    block) never materialize their matrices. *)
+
+open Mclh_linalg
+
+type operators = {
+  dim : int;
+  apply_a : Vec.t -> Vec.t;  (** [A v] *)
+  apply_n : Vec.t -> Vec.t;  (** [N v] *)
+  solve_m_omega : Vec.t -> Vec.t;  (** solves [(M + Omega) x = rhs] *)
+  omega_diag : Vec.t;  (** the positive diagonal of [Omega] *)
+}
+
+type options = {
+  gamma : float;  (** positive scaling constant; the fixed point is invariant *)
+  eps : float;
+      (** stop when both [||z_k - z_{k-1}||_inf < eps] and the modulus
+          vector is stationary, [||s_k - s_{k-1}||_inf < eps * max(1,
+          ||s_k||_inf)]. The paper's Algorithm 1 tests only the z change,
+          which can fire spuriously while [z] sits at a bound (e.g. [z =
+          0] for an iteration although [s] is still moving); the extra
+          s-test restores soundness without changing the fixed point. *)
+  max_iter : int;
+}
+
+val default_options : options
+(** [gamma = 2.0] (so [z = max(s, 0)]), [eps = 1e-9], [max_iter = 10_000]. *)
+
+type outcome = {
+  z : Vec.t;  (** final iterate *)
+  s : Vec.t;  (** final modulus variable *)
+  iterations : int;
+  converged : bool;  (** iterate-difference tolerance reached *)
+  delta_inf : float;  (** final [||z_k - z_{k-1}||_inf] *)
+}
+
+val solve : ?options:options -> ?s0:Vec.t -> operators -> q:Vec.t -> outcome
+(** Runs Algorithm 1. [s0] defaults to the zero vector.
+    @raise Invalid_argument on dimension mismatches or non-positive
+      [gamma]/[eps]/[max_iter]. *)
+
+val w_of_s : options -> operators -> Vec.t -> Vec.t
+(** The complementary slack [w = (Omega/gamma) (|s| - s)] at a modulus
+    iterate — exact complementarity with [z] holds by construction. *)
+
+type operators_inplace = {
+  dim_ip : int;
+  apply_a_into : Vec.t -> Vec.t -> unit;  (** [apply_a_into v dst] *)
+  apply_n_into : Vec.t -> Vec.t -> unit;
+  solve_m_omega_into : Vec.t -> Vec.t -> unit;
+      (** [solve_m_omega_into rhs dst]; [rhs] may be clobbered *)
+  omega_diag_ip : Vec.t;
+}
+
+val solve_inplace :
+  ?options:options -> ?s0:Vec.t -> operators_inplace -> q:Vec.t -> outcome
+(** Allocation-free variant of {!solve} for hot paths: all iteration state
+    lives in preallocated buffers and the operators write into
+    caller-visible destinations. Produces the same iterates as {!solve}
+    given equivalent operators (tested). *)
+
+val gauss_seidel_operators : ?omega:Vec.t -> Csr.t -> operators
+(** The textbook modulus-based Gauss-Seidel splitting [M = D + L],
+    [N = -U] for an explicit square matrix with positive diagonal.
+    [omega] defaults to the identity diagonal. Used as a reference
+    instantiation in tests; raises [Invalid_argument] if a diagonal entry
+    is not positive. *)

@@ -1,0 +1,1 @@
+lib/linalg/blocks.ml: Array Coo Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/linalg/blocks.mli: Csr Vec

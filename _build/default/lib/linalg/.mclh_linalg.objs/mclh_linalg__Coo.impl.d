@@ -1,0 +1,1 @@
+lib/linalg/coo.ml: Array Csr Dense Float List Printf

@@ -1,0 +1,1 @@
+lib/linalg/coo.mli: Csr Dense

@@ -1,0 +1,1 @@
+lib/linalg/eig.ml: Dense Float Int64 Vec

@@ -1,0 +1,27 @@
+(** Conjugate gradient for symmetric positive definite operators.
+
+    Matrix-free: the operator is a function, so Laplacian-like systems
+    from the quadratic global placer never materialize. Optional Jacobi
+    preconditioning via the supplied diagonal. *)
+
+type outcome = {
+  x : Vec.t;
+  iterations : int;
+  converged : bool;
+  residual_norm : float;  (** final ||b - A x||_2 *)
+}
+
+val solve :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?x0:Vec.t ->
+  ?jacobi:Vec.t ->
+  dim:int ->
+  (Vec.t -> Vec.t) ->
+  b:Vec.t ->
+  outcome
+(** [solve ~dim apply ~b] solves [A x = b] for SPD [apply]. Defaults:
+    [max_iter = 10 * dim + 100], [tol = 1e-8] (relative to [||b||]),
+    [x0 = 0]. [jacobi], when given, must be the (positive) diagonal of A.
+    @raise Invalid_argument on dimension mismatches or non-positive
+      [jacobi] entries. *)

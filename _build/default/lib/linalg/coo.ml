@@ -1,0 +1,72 @@
+type t = {
+  nrows : int;
+  ncols : int;
+  mutable entries : (int * int * float) list;
+  mutable count : int;
+}
+
+let create ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Coo.create: negative dimension";
+  { nrows = rows; ncols = cols; entries = []; count = 0 }
+
+let rows t = t.nrows
+let cols t = t.ncols
+
+let add t i j v =
+  if i < 0 || i >= t.nrows || j < 0 || j >= t.ncols then
+    invalid_arg
+      (Printf.sprintf "Coo.add: index (%d, %d) out of %dx%d" i j t.nrows
+         t.ncols);
+  t.entries <- (i, j, v) :: t.entries;
+  t.count <- t.count + 1
+
+let nnz t = t.count
+
+let to_csr ?(drop_zeros = true) t =
+  (* bucket triplets per row, then sort each row by column and merge dups *)
+  let per_row = Array.make t.nrows [] in
+  List.iter (fun (i, j, v) -> per_row.(i) <- (j, v) :: per_row.(i)) t.entries;
+  let merged_rows =
+    Array.map
+      (fun entries ->
+        let sorted =
+          List.sort (fun (j1, _) (j2, _) -> compare j1 j2) entries
+        in
+        let rec merge = function
+          | (j1, v1) :: (j2, v2) :: rest when j1 = j2 ->
+            merge ((j1, v1 +. v2) :: rest)
+          | e :: rest -> e :: merge rest
+          | [] -> []
+        in
+        let merged = merge sorted in
+        if drop_zeros then List.filter (fun (_, v) -> v <> 0.0) merged
+        else merged)
+      per_row
+  in
+  let total = Array.fold_left (fun acc r -> acc + List.length r) 0 merged_rows in
+  let row_ptr = Array.make (t.nrows + 1) 0 in
+  let col_idx = Array.make total 0 in
+  let values = Array.make total 0.0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun i row ->
+      row_ptr.(i) <- !pos;
+      List.iter
+        (fun (j, v) ->
+          col_idx.(!pos) <- j;
+          values.(!pos) <- v;
+          incr pos)
+        row)
+    merged_rows;
+  row_ptr.(t.nrows) <- !pos;
+  Csr.make ~rows:t.nrows ~cols:t.ncols ~row_ptr ~col_idx ~values
+
+let of_dense ?(eps = 0.0) d =
+  let t = create ~rows:(Dense.rows d) ~cols:(Dense.cols d) in
+  for i = 0 to Dense.rows d - 1 do
+    for j = 0 to Dense.cols d - 1 do
+      let v = Dense.get d i j in
+      if Float.abs v > eps || (eps = 0.0 && v <> 0.0) then add t i j v
+    done
+  done;
+  t

@@ -1,0 +1,29 @@
+(** Coordinate-format (triplet) sparse matrix builder.
+
+    Accumulates [(row, col, value)] entries in any order, with duplicates
+    summed, and converts to {!Csr} for fast products. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+
+val rows : t -> int
+val cols : t -> int
+
+val add : t -> int -> int -> float -> unit
+(** [add t i j v] accumulates [v] at position [(i, j)]. Raises
+    [Invalid_argument] when the indices are out of bounds. Zero values are
+    kept (they disappear on conversion only if they sum to zero and
+    [drop_zeros] is requested). *)
+
+val nnz : t -> int
+(** Number of accumulated triplets (before duplicate merging). *)
+
+val to_csr : ?drop_zeros:bool -> t -> Csr.t
+(** Converts to CSR, merging duplicate entries by summation. With
+    [drop_zeros] (default [true]), entries that sum to exactly 0.0 are
+    removed. *)
+
+val of_dense : ?eps:float -> Dense.t -> t
+(** Triplets of all entries of magnitude above [eps] (default 0., i.e. all
+    nonzero entries). *)

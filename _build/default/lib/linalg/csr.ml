@@ -1,0 +1,164 @@
+type t = {
+  nrows : int;
+  ncols : int;
+  row_ptr : int array; (* length nrows + 1 *)
+  col_idx : int array; (* length nnz *)
+  values : float array; (* length nnz *)
+}
+
+let rows t = t.nrows
+let cols t = t.ncols
+let nnz t = Array.length t.values
+
+let make ~rows ~cols ~row_ptr ~col_idx ~values =
+  if rows < 0 || cols < 0 then invalid_arg "Csr.make: negative dimension";
+  if Array.length row_ptr <> rows + 1 then
+    invalid_arg "Csr.make: row_ptr must have length rows + 1";
+  if Array.length col_idx <> Array.length values then
+    invalid_arg "Csr.make: col_idx and values length mismatch";
+  if row_ptr.(0) <> 0 || row_ptr.(rows) <> Array.length values then
+    invalid_arg "Csr.make: row_ptr endpoints invalid";
+  for i = 0 to rows - 1 do
+    if row_ptr.(i) > row_ptr.(i + 1) then
+      invalid_arg "Csr.make: row_ptr not monotone"
+  done;
+  Array.iter
+    (fun j -> if j < 0 || j >= cols then invalid_arg "Csr.make: col_idx bound")
+    col_idx;
+  { nrows = rows; ncols = cols; row_ptr; col_idx; values }
+
+let empty ~rows ~cols =
+  { nrows = rows;
+    ncols = cols;
+    row_ptr = Array.make (rows + 1) 0;
+    col_idx = [||];
+    values = [||] }
+
+let identity n =
+  { nrows = n;
+    ncols = n;
+    row_ptr = Array.init (n + 1) (fun i -> i);
+    col_idx = Array.init n (fun i -> i);
+    values = Array.make n 1.0 }
+
+let get t i j =
+  if i < 0 || i >= t.nrows || j < 0 || j >= t.ncols then
+    invalid_arg "Csr.get: index out of bounds";
+  let acc = ref 0.0 in
+  for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+    if t.col_idx.(k) = j then acc := !acc +. t.values.(k)
+  done;
+  !acc
+
+let mul_vec_into t x dst =
+  if Array.length x <> t.ncols || Array.length dst <> t.nrows then
+    invalid_arg "Csr.mul_vec_into: dimension mismatch";
+  for i = 0 to t.nrows - 1 do
+    let acc = ref 0.0 in
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      acc := !acc +. (t.values.(k) *. x.(t.col_idx.(k)))
+    done;
+    dst.(i) <- !acc
+  done
+
+let mul_vec t x =
+  let dst = Array.make t.nrows 0.0 in
+  mul_vec_into t x dst;
+  dst
+
+let mul_vec_t_into t x dst =
+  if Array.length x <> t.nrows || Array.length dst <> t.ncols then
+    invalid_arg "Csr.mul_vec_t_into: dimension mismatch";
+  Array.fill dst 0 (Array.length dst) 0.0;
+  for i = 0 to t.nrows - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then
+      for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        let j = t.col_idx.(k) in
+        dst.(j) <- dst.(j) +. (t.values.(k) *. xi)
+      done
+  done
+
+let mul_vec_t t x =
+  let dst = Array.make t.ncols 0.0 in
+  mul_vec_t_into t x dst;
+  dst
+
+let add_mul_vec t x acc =
+  if Array.length x <> t.ncols || Array.length acc <> t.nrows then
+    invalid_arg "Csr.add_mul_vec: dimension mismatch";
+  for i = 0 to t.nrows - 1 do
+    let s = ref 0.0 in
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      s := !s +. (t.values.(k) *. x.(t.col_idx.(k)))
+    done;
+    acc.(i) <- acc.(i) +. !s
+  done
+
+let add_mul_vec_t t x acc =
+  if Array.length x <> t.nrows || Array.length acc <> t.ncols then
+    invalid_arg "Csr.add_mul_vec_t: dimension mismatch";
+  for i = 0 to t.nrows - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then
+      for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+        let j = t.col_idx.(k) in
+        acc.(j) <- acc.(j) +. (t.values.(k) *. xi)
+      done
+  done
+
+let transpose t =
+  let counts = Array.make (t.ncols + 1) 0 in
+  Array.iter (fun j -> counts.(j + 1) <- counts.(j + 1) + 1) t.col_idx;
+  for j = 1 to t.ncols do
+    counts.(j) <- counts.(j) + counts.(j - 1)
+  done;
+  let row_ptr = Array.copy counts in
+  let fill_pos = Array.copy counts in
+  let n = nnz t in
+  let col_idx = Array.make n 0 and values = Array.make n 0.0 in
+  for i = 0 to t.nrows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      let j = t.col_idx.(k) in
+      let pos = fill_pos.(j) in
+      col_idx.(pos) <- i;
+      values.(pos) <- t.values.(k);
+      fill_pos.(j) <- pos + 1
+    done
+  done;
+  { nrows = t.ncols; ncols = t.nrows; row_ptr; col_idx; values }
+
+let scale c t = { t with values = Array.map (( *. ) c) t.values }
+
+let row_entries t i =
+  if i < 0 || i >= t.nrows then invalid_arg "Csr.row_entries: row out of bounds";
+  let acc = ref [] in
+  for k = t.row_ptr.(i + 1) - 1 downto t.row_ptr.(i) do
+    acc := (t.col_idx.(k), t.values.(k)) :: !acc
+  done;
+  !acc
+
+let iter_row t i f =
+  if i < 0 || i >= t.nrows then invalid_arg "Csr.iter_row: row out of bounds";
+  for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+    f t.col_idx.(k) t.values.(k)
+  done
+
+let iter t f =
+  for i = 0 to t.nrows - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      f i t.col_idx.(k) t.values.(k)
+    done
+  done
+
+let to_dense t =
+  let d = Dense.create t.nrows t.ncols in
+  iter t (fun i j v -> Dense.set d i j (Dense.get d i j +. v));
+  d
+
+let frobenius_norm t =
+  sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 t.values)
+
+let equal ?eps a b =
+  a.nrows = b.nrows && a.ncols = b.ncols
+  && Dense.equal ?eps (to_dense a) (to_dense b)

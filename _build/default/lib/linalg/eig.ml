@@ -1,0 +1,44 @@
+type result = { value : float; iterations : int; converged : bool }
+
+(* deterministic pseudo-random start vector; quality does not matter much,
+   it only needs a component along the dominant eigenvector *)
+let start_vector seed dim =
+  let state = ref (Int64.of_int (seed lxor 0x9e3779b9)) in
+  Vec.init dim (fun _ ->
+      state := Int64.mul 6364136223846793005L (Int64.add !state 1442695040888963407L);
+      let bits = Int64.to_int (Int64.shift_right_logical !state 17) land 0xFFFFFF in
+      (float_of_int bits /. float_of_int 0xFFFFFF) -. 0.5)
+
+let power_iteration ?(max_iter = 200) ?(tol = 1e-8) ?(seed = 1) ~dim apply =
+  if dim <= 0 then invalid_arg "Eig.power_iteration: dim must be positive";
+  let v = ref (start_vector seed dim) in
+  let normalize x =
+    let n = Vec.norm2 x in
+    if n > 0.0 then Vec.scale (1.0 /. n) x else x
+  in
+  v := normalize !v;
+  let prev = ref infinity in
+  let rec go k =
+    if k >= max_iter then { value = !prev; iterations = k; converged = false }
+    else begin
+      let w = apply !v in
+      let rayleigh = Vec.dot !v w in
+      let nw = Vec.norm2 w in
+      if nw = 0.0 then { value = 0.0; iterations = k + 1; converged = true }
+      else begin
+        v := Vec.scale (1.0 /. nw) w;
+        let delta = Float.abs (rayleigh -. !prev) in
+        let scale_ref = Float.max 1.0 (Float.abs rayleigh) in
+        prev := rayleigh;
+        if delta <= tol *. scale_ref then
+          { value = rayleigh; iterations = k + 1; converged = true }
+        else go (k + 1)
+      end
+    end
+  in
+  go 0
+
+let dominant_dense ?max_iter ?tol m =
+  if Dense.rows m <> Dense.cols m then
+    invalid_arg "Eig.dominant_dense: matrix not square";
+  power_iteration ?max_iter ?tol ~dim:(Dense.rows m) (Dense.mul_vec m)

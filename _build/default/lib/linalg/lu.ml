@@ -1,0 +1,94 @@
+type t = {
+  lu : Dense.t; (* packed L (unit diagonal, below) and U (on/above) *)
+  perm : int array; (* row permutation: row i of PA is row perm.(i) of A *)
+  sign : float; (* permutation parity, for det *)
+}
+
+exception Singular of int
+
+let factorize ?tol a =
+  let n = Dense.rows a in
+  if Dense.cols a <> n then invalid_arg "Lu.factorize: matrix not square";
+  let lu = Dense.copy a in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  let max_abs = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      max_abs := Float.max !max_abs (Float.abs (Dense.get lu i j))
+    done
+  done;
+  let tol =
+    match tol with Some t -> t | None -> 1e-12 *. Float.max 1.0 !max_abs
+  in
+  for k = 0 to n - 1 do
+    (* partial pivoting: bring the largest |entry| of column k to the top *)
+    let pivot_row = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Dense.get lu i k) > Float.abs (Dense.get lu !pivot_row k)
+      then pivot_row := i
+    done;
+    if !pivot_row <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = Dense.get lu k j in
+        Dense.set lu k j (Dense.get lu !pivot_row j);
+        Dense.set lu !pivot_row j tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!pivot_row);
+      perm.(!pivot_row) <- tmp;
+      sign := -. !sign
+    end;
+    let pivot = Dense.get lu k k in
+    if Float.abs pivot <= tol then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      let factor = Dense.get lu i k /. pivot in
+      Dense.set lu i k factor;
+      for j = k + 1 to n - 1 do
+        Dense.set lu i j (Dense.get lu i j -. (factor *. Dense.get lu k j))
+      done
+    done
+  done;
+  { lu; perm; sign = !sign }
+
+let solve { lu; perm; _ } b =
+  let n = Dense.rows lu in
+  if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* forward substitution with unit-diagonal L *)
+  for i = 1 to n - 1 do
+    let acc = ref x.(i) in
+    for j = 0 to i - 1 do
+      acc := !acc -. (Dense.get lu i j *. x.(j))
+    done;
+    x.(i) <- !acc
+  done;
+  (* back substitution with U *)
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (Dense.get lu i j *. x.(j))
+    done;
+    x.(i) <- !acc /. Dense.get lu i i
+  done;
+  x
+
+let solve_matrix fact b =
+  let n = Dense.rows b and m = Dense.cols b in
+  let out = Dense.create n m in
+  for j = 0 to m - 1 do
+    let x = solve fact (Dense.col b j) in
+    Array.iteri (fun i v -> Dense.set out i j v) x
+  done;
+  out
+
+let det { lu; sign; _ } =
+  let n = Dense.rows lu in
+  let acc = ref sign in
+  for i = 0 to n - 1 do
+    acc := !acc *. Dense.get lu i i
+  done;
+  !acc
+
+let inverse fact = solve_matrix fact (Dense.identity (Dense.rows fact.lu))
+let solve_system ?tol a b = solve (factorize ?tol a) b

@@ -1,0 +1,32 @@
+(** Dense LU factorization with partial pivoting.
+
+    Reference solver for small systems: the active-set QP oracle and the
+    exact (non-tridiagonal) Schur-complement checks in tests. *)
+
+type t
+(** A factorization [P A = L U] of a square matrix. *)
+
+exception Singular of int
+(** Raised with the pivot column index when the matrix is numerically
+    singular (pivot magnitude below the factorization tolerance). *)
+
+val factorize : ?tol:float -> Dense.t -> t
+(** [factorize a] computes the factorization.
+    @param tol pivot threshold below which the matrix is declared singular
+      (default [1e-12] scaled by the largest absolute entry).
+    @raise Invalid_argument if [a] is not square.
+    @raise Singular if a pivot is too small. *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve lu b] solves [A x = b]. *)
+
+val solve_matrix : t -> Dense.t -> Dense.t
+(** [solve_matrix lu b] solves [A X = B] column by column. *)
+
+val det : t -> float
+(** Determinant of the factorized matrix. *)
+
+val inverse : t -> Dense.t
+
+val solve_system : ?tol:float -> Dense.t -> Vec.t -> Vec.t
+(** One-shot [factorize] + [solve]. *)

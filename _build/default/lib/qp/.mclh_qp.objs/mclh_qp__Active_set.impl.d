@@ -1,0 +1,1 @@
+lib/qp/active_set.ml: Array Csr Dense Float List Lu Mclh_linalg Qp Vec

@@ -1,0 +1,1 @@
+lib/qp/active_set.mli: Mclh_linalg Qp Vec

@@ -1,0 +1,1 @@
+lib/qp/ipm.mli: Mclh_linalg Qp Vec

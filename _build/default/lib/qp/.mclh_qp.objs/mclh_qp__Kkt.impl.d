@@ -1,0 +1,1 @@
+lib/qp/kkt.ml: Array Coo Csr Float Mclh_lcp Mclh_linalg Qp Vec

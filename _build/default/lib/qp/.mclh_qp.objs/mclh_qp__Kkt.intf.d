@@ -1,0 +1,1 @@
+lib/qp/kkt.mli: Mclh_lcp Mclh_linalg Qp Vec

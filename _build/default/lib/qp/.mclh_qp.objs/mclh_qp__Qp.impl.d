@@ -1,0 +1,1 @@
+lib/qp/qp.ml: Array Csr Float Mclh_linalg Vec

@@ -1,0 +1,1 @@
+lib/qp/qp.mli: Csr Mclh_linalg Vec

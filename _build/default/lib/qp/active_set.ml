@@ -1,0 +1,144 @@
+open Mclh_linalg
+
+type outcome = {
+  x : Vec.t;
+  multipliers : Vec.t;
+  bound_multipliers : Vec.t;
+  iterations : int;
+  converged : bool;
+}
+
+(* Constraints are unified as G x >= h with the m rows of B first and the n
+   bound rows x_j >= 0 after them. *)
+
+let constraint_row (qp : Qp.t) i =
+  if i < Qp.num_constraints qp then Csr.row_entries qp.b_mat i
+  else [ (i - Qp.num_constraints qp, 1.0) ]
+  [@@inline]
+
+let constraint_rhs (qp : Qp.t) i =
+  if i < Qp.num_constraints qp then qp.b_rhs.(i) else 0.0
+
+let row_dot row x =
+  List.fold_left (fun acc (j, v) -> acc +. (v *. x.(j))) 0.0 row
+
+(* Solve the equality-constrained step: minimize (1/2) d^T Q d + g^T d with
+   G_W d = 0. KKT: [Q -Gw^T; Gw 0] [d; lambda] = [-g; 0]. *)
+let kkt_step (qp : Qp.t) working g =
+  let n = Qp.num_vars qp in
+  let k = List.length working in
+  let dim = n + k in
+  let mat = Dense.create dim dim in
+  Csr.iter qp.q_mat (fun i j v -> Dense.set mat i j (Dense.get mat i j +. v));
+  List.iteri
+    (fun idx ci ->
+      let row = constraint_row qp ci in
+      List.iter
+        (fun (j, v) ->
+          Dense.set mat j (n + idx) (Dense.get mat j (n + idx) -. v);
+          Dense.set mat (n + idx) j (Dense.get mat (n + idx) j +. v))
+        row)
+    working;
+  let rhs = Vec.init dim (fun i -> if i < n then -.g.(i) else 0.0) in
+  let sol = Lu.solve_system mat rhs in
+  (Array.sub sol 0 n, Array.sub sol n k)
+
+let solve ?max_iter ?(tol = 1e-9) ~x0 (qp : Qp.t) =
+  let n = Qp.num_vars qp and m = Qp.num_constraints qp in
+  if Vec.dim x0 <> n then invalid_arg "Active_set.solve: x0 dimension";
+  if Qp.constraint_violation qp x0 > Float.max tol 1e-7 then
+    invalid_arg "Active_set.solve: x0 infeasible";
+  let max_iter =
+    match max_iter with Some v -> v | None -> 100 * (n + m + 1)
+  in
+  let x = Vec.copy x0 in
+  let num_total = m + n in
+  let in_working = Array.make num_total false in
+  (* start from the empty working set; blocking constraints join on demand *)
+  let working = ref [] in
+  let lambda_b = Vec.zeros m and lambda_x = Vec.zeros n in
+  let record_multipliers lambdas =
+    Vec.fill lambda_b 0.0;
+    Vec.fill lambda_x 0.0;
+    List.iteri
+      (fun idx ci ->
+        if ci < m then lambda_b.(ci) <- lambdas.(idx)
+        else lambda_x.(ci - m) <- lambdas.(idx))
+      !working
+  in
+  let rec go k =
+    if k >= max_iter then
+      { x; multipliers = lambda_b; bound_multipliers = lambda_x;
+        iterations = k; converged = false }
+    else begin
+      let g = Qp.gradient qp x in
+      match kkt_step qp !working g with
+      | exception Lu.Singular _ ->
+        (* dependent active set: drop the most recently added constraint *)
+        begin match !working with
+        | [] ->
+          { x; multipliers = lambda_b; bound_multipliers = lambda_x;
+            iterations = k; converged = false }
+        | ci :: rest ->
+          in_working.(ci) <- false;
+          working := rest;
+          go (k + 1)
+        end
+      | d, lambdas ->
+        if Vec.norm_inf d <= tol then begin
+          record_multipliers lambdas;
+          (* optimal iff all working multipliers are nonnegative *)
+          let most_negative = ref (-.tol) and drop = ref (-1) in
+          List.iteri
+            (fun idx ci ->
+              if lambdas.(idx) < !most_negative then begin
+                most_negative := lambdas.(idx);
+                drop := ci
+              end)
+            !working;
+          if !drop < 0 then
+            { x; multipliers = lambda_b; bound_multipliers = lambda_x;
+              iterations = k + 1; converged = true }
+          else begin
+            in_working.(!drop) <- false;
+            working := List.filter (fun ci -> ci <> !drop) !working;
+            go (k + 1)
+          end
+        end
+        else begin
+          (* ratio test against constraints leaving feasibility *)
+          let alpha = ref 1.0 and blocking = ref (-1) in
+          for ci = 0 to num_total - 1 do
+            if not in_working.(ci) then begin
+              let row = constraint_row qp ci in
+              let gd = row_dot row d in
+              if gd < -.tol then begin
+                let slack = row_dot row x -. constraint_rhs qp ci in
+                let step = slack /. -.gd in
+                if step < !alpha then begin
+                  alpha := Float.max step 0.0;
+                  blocking := ci
+                end
+              end
+            end
+          done;
+          Vec.axpy !alpha d x;
+          if !blocking >= 0 then begin
+            in_working.(!blocking) <- true;
+            working := !blocking :: !working
+          end;
+          go (k + 1)
+        end
+    end
+  in
+  go 0
+
+let feasible_start (qp : Qp.t) =
+  let n = Qp.num_vars qp in
+  (* constants satisfy bound constraints; ramps additionally satisfy
+     difference constraints like the legalization orderings *)
+  let ramp c = Vec.init n (fun j -> c *. float_of_int j) in
+  let candidates =
+    [ Vec.zeros n; Vec.create n 1.0; ramp 1.0; ramp 10.0; ramp 100.0 ]
+  in
+  List.find_opt (fun x -> Qp.is_feasible ~eps:1e-9 qp x) candidates

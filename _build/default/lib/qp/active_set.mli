@@ -1,0 +1,30 @@
+(** Dense primal active-set method for the convex QP of {!Qp}.
+
+    An exact reference oracle for small instances (tens to a few hundred
+    variables): tests compare the MMSIM solution of the converted LCP
+    against this solver's optimum. It is deliberately simple and dense —
+    never used on production-size problems. *)
+
+open Mclh_linalg
+
+type outcome = {
+  x : Vec.t;  (** primal optimum *)
+  multipliers : Vec.t;
+      (** multipliers of [B x >= b] (length m), nonnegative at optimum *)
+  bound_multipliers : Vec.t;
+      (** multipliers of [x >= 0] (length n), nonnegative at optimum *)
+  iterations : int;
+  converged : bool;
+}
+
+val solve : ?max_iter:int -> ?tol:float -> x0:Vec.t -> Qp.t -> outcome
+(** [solve ~x0 qp] runs the active-set method from the feasible point [x0].
+    Defaults: [tol = 1e-9], [max_iter = 100 * (n + m + 1)].
+    @raise Invalid_argument if [x0] is infeasible beyond [tol] or has the
+      wrong dimension. *)
+
+val feasible_start : Qp.t -> Vec.t option
+(** A heuristic feasible point: tries the zero vector, constants and
+    index ramps (which satisfy difference constraints); [None] if none is
+    feasible (callers with problem structure should construct their
+    own start). *)

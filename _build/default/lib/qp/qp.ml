@@ -1,0 +1,37 @@
+open Mclh_linalg
+
+type t = { q_mat : Csr.t; p : Vec.t; b_mat : Csr.t; b_rhs : Vec.t }
+
+let make ~q_mat ~p ~b_mat ~b_rhs =
+  let n = Vec.dim p in
+  if Csr.rows q_mat <> n || Csr.cols q_mat <> n then
+    invalid_arg "Qp.make: Q must be n x n";
+  if Csr.cols b_mat <> n then invalid_arg "Qp.make: B column count mismatch";
+  if Csr.rows b_mat <> Vec.dim b_rhs then
+    invalid_arg "Qp.make: b dimension mismatch";
+  { q_mat; p; b_mat; b_rhs }
+
+let num_vars t = Vec.dim t.p
+let num_constraints t = Csr.rows t.b_mat
+
+let objective t x =
+  let qx = Csr.mul_vec t.q_mat x in
+  (0.5 *. Vec.dot x qx) +. Vec.dot t.p x
+
+let gradient t x =
+  let g = Csr.mul_vec t.q_mat x in
+  Vec.axpy 1.0 t.p g;
+  g
+
+let constraint_violation t x =
+  let bx = Csr.mul_vec t.b_mat x in
+  let worst = ref 0.0 in
+  for i = 0 to Vec.dim bx - 1 do
+    worst := Float.max !worst (t.b_rhs.(i) -. bx.(i))
+  done;
+  for j = 0 to Vec.dim x - 1 do
+    worst := Float.max !worst (-.x.(j))
+  done;
+  !worst
+
+let is_feasible ?(eps = 1e-9) t x = constraint_violation t x <= eps

@@ -1,0 +1,35 @@
+(** Convex quadratic programs of the legalization form.
+
+    min (1/2) x^T Q x + p^T x
+    s.t. B x >= b, x >= 0
+
+    with [Q] symmetric positive definite. Problem (6) of the paper is this
+    shape with [Q = I]; Problem (13) is the same with
+    [Q = I + lambda E^T E]. *)
+
+open Mclh_linalg
+
+type t = {
+  q_mat : Csr.t;  (** n x n, symmetric positive definite *)
+  p : Vec.t;  (** linear term, length n *)
+  b_mat : Csr.t;  (** m x n constraint matrix *)
+  b_rhs : Vec.t;  (** right-hand side, length m *)
+}
+
+val make : q_mat:Csr.t -> p:Vec.t -> b_mat:Csr.t -> b_rhs:Vec.t -> t
+(** Validates all dimensions; raises [Invalid_argument] on mismatch. *)
+
+val num_vars : t -> int
+val num_constraints : t -> int
+
+val objective : t -> Vec.t -> float
+(** [(1/2) x^T Q x + p^T x]. *)
+
+val gradient : t -> Vec.t -> Vec.t
+(** [Q x + p]. *)
+
+val constraint_violation : t -> Vec.t -> float
+(** Largest violation over [B x >= b] and [x >= 0]; 0 when feasible. *)
+
+val is_feasible : ?eps:float -> t -> Vec.t -> bool
+(** Feasibility within tolerance [eps] (default [1e-9]). *)

@@ -1,0 +1,1 @@
+lib/refine/refine.ml: Array Cell Chip Design Float Hashtbl Hpwl Legality List Mclh_circuit Netlist Occupancy Placement

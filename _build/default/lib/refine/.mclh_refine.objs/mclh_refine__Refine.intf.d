@@ -1,0 +1,1 @@
+lib/refine/refine.mli: Design Mclh_circuit Placement

@@ -1,0 +1,361 @@
+open Mclh_circuit
+
+type options = {
+  passes : int;
+  window : int;
+  move_radius : int;
+  seed : int;
+  enable_moves : bool;
+  enable_swaps : bool;
+  enable_reorders : bool;
+}
+
+let default_options =
+  { passes = 3; window = 3; move_radius = 5; seed = 1; enable_moves = true;
+    enable_swaps = true; enable_reorders = true }
+
+type stats = {
+  hpwl_before : float;
+  hpwl_after : float;
+  moves : int;
+  swaps : int;
+  reorders : int;
+  passes_run : int;
+}
+
+let improvement s =
+  if s.hpwl_before = 0.0 then 0.0
+  else (s.hpwl_before -. s.hpwl_after) /. s.hpwl_before
+
+(* mutable refinement state: positions + occupancy kept in sync *)
+type state = {
+  design : Design.t;
+  pl : Placement.t;
+  occ : Occupancy.t;
+  nets_of : int array array;
+  row_height : float;
+}
+
+let net_hpwl st net_id =
+  Hpwl.net ~row_height:st.row_height (Netlist.net st.design.Design.nets net_id) st.pl
+
+let nets_hpwl st net_ids =
+  Array.fold_left (fun acc n -> acc +. net_hpwl st n) 0.0 net_ids
+
+let union_nets a b =
+  let tbl = Hashtbl.create 16 in
+  Array.iter (fun n -> Hashtbl.replace tbl n ()) a;
+  Array.iter (fun n -> Hashtbl.replace tbl n ()) b;
+  Array.of_seq (Hashtbl.to_seq_keys tbl)
+
+let cell_geom st i =
+  let c = st.design.Design.cells.(i) in
+  (c, int_of_float st.pl.Placement.xs.(i), int_of_float st.pl.Placement.ys.(i))
+
+let release_cell st i =
+  let c, x, row = cell_geom st i in
+  Occupancy.release st.occ ~row ~height:c.Cell.height ~x ~width:c.Cell.width
+
+let occupy_cell st i ~x ~row =
+  let c = st.design.Design.cells.(i) in
+  Occupancy.occupy st.occ ~row ~height:c.Cell.height ~x ~width:c.Cell.width;
+  st.pl.Placement.xs.(i) <- float_of_int x;
+  st.pl.Placement.ys.(i) <- float_of_int row
+
+(* optimal-region target: median of the connected nets' bounding boxes,
+   each computed without the moving cell's own pins *)
+let optimal_target st i =
+  let c = st.design.Design.cells.(i) in
+  let xs = ref [] and ys = ref [] in
+  Array.iter
+    (fun n ->
+      let pins = Netlist.net st.design.Design.nets n in
+      let min_x = ref infinity and max_x = ref neg_infinity in
+      let min_y = ref infinity and max_y = ref neg_infinity in
+      let seen_other = ref false in
+      Array.iter
+        (fun (p : Netlist.pin) ->
+          if p.Netlist.cell <> i then begin
+            seen_other := true;
+            let px = st.pl.Placement.xs.(p.Netlist.cell) +. p.dx in
+            let py = st.pl.Placement.ys.(p.Netlist.cell) +. p.dy in
+            if px < !min_x then min_x := px;
+            if px > !max_x then max_x := px;
+            if py < !min_y then min_y := py;
+            if py > !max_y then max_y := py
+          end)
+        pins;
+      if !seen_other then begin
+        xs := ((!min_x +. !max_x) /. 2.0) :: !xs;
+        ys := ((!min_y +. !max_y) /. 2.0) :: !ys
+      end)
+    st.nets_of.(i);
+  match !xs with
+  | [] -> None
+  | _ ->
+    let median l =
+      let arr = Array.of_list l in
+      Array.sort compare arr;
+      arr.(Array.length arr / 2)
+    in
+    let tx = median !xs -. (float_of_int c.Cell.width /. 2.0) in
+    let ty = median !ys -. (float_of_int c.Cell.height /. 2.0) in
+    Some (int_of_float (Float.round tx), int_of_float (Float.round ty))
+
+let try_global_move st options i =
+  match optimal_target st i with
+  | None -> false
+  | Some (tx, ty) ->
+    let c, old_x, old_row = cell_geom st i in
+    if abs (tx - old_x) <= 1 && abs (ty - old_row) <= 0 then false
+    else begin
+      let before = nets_hpwl st st.nets_of.(i) in
+      release_cell st i;
+      let row0 =
+        max 0 (min ((Occupancy.chip st.occ).Chip.num_rows - c.Cell.height) ty)
+      in
+      match
+        Occupancy.find_spot ~row_window:options.move_radius st.occ c ~row0
+          ~x0:(max 0 tx)
+      with
+      | None ->
+        occupy_cell st i ~x:old_x ~row:old_row;
+        false
+      | Some (row, x, _) ->
+        occupy_cell st i ~x ~row;
+        let after = nets_hpwl st st.nets_of.(i) in
+        if after < before -. 1e-9 then true
+        else begin
+          release_cell st i;
+          occupy_cell st i ~x:old_x ~row:old_row;
+          false
+        end
+    end
+
+(* swap two footprint-identical cells when both rows admit both cells *)
+let try_swap st i j =
+  let ci, xi, ri = cell_geom st i and cj, xj, rj = cell_geom st j in
+  let chip = Occupancy.chip st.occ in
+  if
+    i = j
+    || ci.Cell.width <> cj.Cell.width
+    || ci.Cell.height <> cj.Cell.height
+    || (not (Chip.row_admits chip ci rj))
+    || not (Chip.row_admits chip cj ri)
+  then false
+  else begin
+    let nets = union_nets st.nets_of.(i) st.nets_of.(j) in
+    let before = nets_hpwl st nets in
+    st.pl.Placement.xs.(i) <- float_of_int xj;
+    st.pl.Placement.ys.(i) <- float_of_int rj;
+    st.pl.Placement.xs.(j) <- float_of_int xi;
+    st.pl.Placement.ys.(j) <- float_of_int ri;
+    let after = nets_hpwl st nets in
+    if after < before -. 1e-9 then true
+    else begin
+      st.pl.Placement.xs.(i) <- float_of_int xi;
+      st.pl.Placement.ys.(i) <- float_of_int ri;
+      st.pl.Placement.xs.(j) <- float_of_int xj;
+      st.pl.Placement.ys.(j) <- float_of_int rj;
+      false
+    end
+  end
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y != x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+(* re-sequence a window of consecutive single-height cells in one row:
+   candidates are packed left-to-right from the window start, which keeps
+   them inside the original span *)
+let try_reorder st ids =
+  match ids with
+  | [] | [ _ ] -> false
+  | _ ->
+    (* earlier moves in the same pass may have re-sequenced these cells, so
+       order by the *current* positions and pack from the current left
+       edge of the window *)
+    let ids =
+      List.sort
+        (fun a b -> compare st.pl.Placement.xs.(a) st.pl.Placement.xs.(b))
+        ids
+    in
+    let first = List.hd ids in
+    let nets =
+      List.fold_left
+        (fun acc i -> union_nets acc st.nets_of.(i))
+        [||] ids
+    in
+    let row = int_of_float st.pl.Placement.ys.(first) in
+    let span_start = int_of_float st.pl.Placement.xs.(first) in
+    let original = List.map (fun i -> (i, int_of_float st.pl.Placement.xs.(i))) ids in
+    let place order =
+      let cursor = ref span_start in
+      List.iter
+        (fun i ->
+          st.pl.Placement.xs.(i) <- float_of_int !cursor;
+          cursor := !cursor + st.design.Design.cells.(i).Cell.width)
+        order
+    in
+    let restore () =
+      List.iter (fun (i, x) -> st.pl.Placement.xs.(i) <- float_of_int x) original
+    in
+    let before = nets_hpwl st nets in
+    let best = ref None in
+    List.iter
+      (fun perm ->
+        place perm;
+        let h = nets_hpwl st nets in
+        restore ();
+        match !best with
+        | Some (_, bh) when bh <= h -> ()
+        | Some _ | None -> if h < before -. 1e-9 then best := Some (perm, h))
+      (permutations ids);
+    (match !best with
+    | None -> false
+    | Some (perm, _) ->
+      (* re-occupy: release the window, place the permutation *)
+      List.iter (fun i -> release_cell st i) ids;
+      place perm;
+      List.iter
+        (fun i ->
+          let c = st.design.Design.cells.(i) in
+          Occupancy.occupy st.occ ~row ~height:c.Cell.height
+            ~x:(int_of_float st.pl.Placement.xs.(i))
+            ~width:c.Cell.width)
+        perm;
+      true)
+
+let run ?(options = default_options) (design : Design.t) (input : Placement.t) =
+  if not (Legality.is_legal design input) then
+    invalid_arg "Refine.run: input placement is not legal";
+  let chip = design.Design.chip in
+  let pl = Placement.copy input in
+  let occ = Occupancy.of_design design in
+  Array.iteri
+    (fun i (c : Cell.t) ->
+      Occupancy.occupy occ
+        ~row:(int_of_float pl.Placement.ys.(i))
+        ~height:c.Cell.height
+        ~x:(int_of_float pl.Placement.xs.(i))
+        ~width:c.Cell.width;
+      ignore c)
+    design.Design.cells;
+  let st =
+    { design;
+      pl;
+      occ;
+      nets_of = Netlist.nets_of_cell design.Design.nets;
+      row_height = chip.Chip.row_height }
+  in
+  let hpwl_before = Hpwl.total ~row_height:st.row_height design.Design.nets pl in
+  let n = Design.num_cells design in
+  (* deterministic visit order, shuffled by a tiny LCG *)
+  let order = Array.init n (fun i -> i) in
+  let lcg = ref options.seed in
+  for i = n - 1 downto 1 do
+    lcg := ((!lcg * 1103515245) + 12345) land 0x3FFFFFFF;
+    let j = !lcg mod (i + 1) in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done;
+  (* footprint buckets for the swap move *)
+  let buckets = Hashtbl.create 64 in
+  Array.iter
+    (fun (c : Cell.t) ->
+      let key = (c.Cell.width, c.Cell.height) in
+      let prev = try Hashtbl.find buckets key with Not_found -> [] in
+      Hashtbl.replace buckets key (c.Cell.id :: prev))
+    design.Design.cells;
+  let moves = ref 0 and swaps = ref 0 and reorders = ref 0 in
+  let passes_run = ref 0 in
+  let improved = ref true in
+  while !improved && !passes_run < options.passes do
+    improved := false;
+    incr passes_run;
+    (* pass 1: global moves *)
+    if options.enable_moves then
+      Array.iter
+        (fun i ->
+          if try_global_move st options i then begin
+            incr moves;
+            improved := true
+          end)
+        order;
+    (* pass 2: swaps among footprint twins (bounded candidate list) *)
+    if options.enable_swaps then
+    Array.iter
+      (fun i ->
+        let c = design.Design.cells.(i) in
+        let twins =
+          try Hashtbl.find buckets (c.Cell.width, c.Cell.height)
+          with Not_found -> []
+        in
+        let rec try_first k = function
+          | [] -> ()
+          | j :: rest ->
+            if k = 0 then ()
+            else if try_swap st i j then begin
+              incr swaps;
+              improved := true
+            end
+            else try_first (k - 1) rest
+        in
+        try_first 8 twins)
+      order;
+    (* pass 3: window reorder of single-height runs. A window is only
+       valid when its cells are consecutive among *all* occupants of the
+       row — a multi-row cell sitting between them would be plowed over
+       by the contiguous repacking — and windows are disjoint so earlier
+       reorders cannot invalidate later ones. *)
+    let num_rows = chip.Chip.num_rows in
+    if options.enable_reorders then
+    for row = 0 to num_rows - 1 do
+      (* every cell whose vertical span covers [row], in x order *)
+      let occupants =
+        Array.to_list order
+        |> List.filter (fun i ->
+               let c = design.Design.cells.(i) in
+               let home = int_of_float st.pl.Placement.ys.(i) in
+               home <= row && row < home + c.Cell.height)
+        |> List.sort (fun a b ->
+               compare st.pl.Placement.xs.(a) st.pl.Placement.xs.(b))
+      in
+      let is_single i =
+        design.Design.cells.(i).Cell.height = 1
+        && int_of_float st.pl.Placement.ys.(i) = row
+      in
+      let rec windows = function
+        | a :: b :: c :: rest
+          when options.window >= 3 && is_single a && is_single b && is_single c ->
+          if try_reorder st [ a; b; c ] then begin
+            incr reorders;
+            improved := true
+          end;
+          windows rest
+        | a :: b :: rest when options.window = 2 && is_single a && is_single b ->
+          if try_reorder st [ a; b ] then begin
+            incr reorders;
+            improved := true
+          end;
+          windows rest
+        | _ :: rest -> windows rest
+        | [] -> ()
+      in
+      windows occupants
+    done
+  done;
+  let hpwl_after = Hpwl.total ~row_height:st.row_height design.Design.nets pl in
+  ( pl,
+    { hpwl_before;
+      hpwl_after;
+      moves = !moves;
+      swaps = !swaps;
+      reorders = !reorders;
+      passes_run = !passes_run } )

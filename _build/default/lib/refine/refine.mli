@@ -1,0 +1,46 @@
+(** Post-legalization detailed placement (wirelength refinement).
+
+    The paper's flow ends at legalization; its successor work (MrDP, Lin
+    et al., ICCAD'16 — cited as [12]) refines the legal placement for
+    wirelength. This module implements the three classic local moves on
+    top of any legal placement, each preserving legality by construction:
+
+    - {b global move}: relocate one cell to the nearest free span inside
+      its optimal region (the median box of its connected nets);
+    - {b swap}: exchange two cells of identical footprint and compatible
+      rail parity;
+    - {b reorder}: optimally re-sequence small windows of consecutive
+      cells within a row segment.
+
+    Moves are accepted only when they strictly reduce HPWL, so the refined
+    placement is never worse. *)
+
+open Mclh_circuit
+
+type options = {
+  passes : int;  (** maximum sweeps over all cells (default 3) *)
+  window : int;  (** reorder window size, 2 or 3 (default 3) *)
+  move_radius : int;  (** row radius for global moves (default 5) *)
+  seed : int;  (** tie-breaking/visit-order seed *)
+  enable_moves : bool;  (** run the global-move phase (default true) *)
+  enable_swaps : bool;  (** run the swap phase (default true) *)
+  enable_reorders : bool;  (** run the reorder phase (default true) *)
+}
+
+val default_options : options
+
+type stats = {
+  hpwl_before : float;
+  hpwl_after : float;
+  moves : int;  (** accepted global moves *)
+  swaps : int;
+  reorders : int;
+  passes_run : int;
+}
+
+val improvement : stats -> float
+(** Relative HPWL reduction, in [0, 1). *)
+
+val run : ?options:options -> Design.t -> Placement.t -> Placement.t * stats
+(** [run design placement] refines a legal placement.
+    @raise Invalid_argument if the input placement is not legal. *)

@@ -1,0 +1,10 @@
+(** Minimal CSV output (RFC-4180 quoting) for exporting benchmark rows. *)
+
+val escape : string -> string
+(** Quotes a field when it contains a comma, quote or newline. *)
+
+val row : string list -> string
+(** One CSV line (no trailing newline). *)
+
+val write_file : path:string -> header:string list -> string list list -> unit
+(** Writes a header plus data rows. *)

@@ -1,0 +1,80 @@
+type align = Left | Right
+type column = { title : string; align : align }
+
+type row = Cells of string list | Separator
+
+type t = { columns : column array; mutable rows : row list }
+
+let create columns = { columns = Array.of_list columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> Array.length t.columns then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = Array.length t.columns in
+  let widths = Array.map (fun c -> String.length c.title) t.columns in
+  List.iter
+    (function
+      | Separator -> ()
+      | Cells cells ->
+        List.iteri
+          (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+          cells)
+    rows;
+  let buf = Buffer.create 4096 in
+  let pad align width s =
+    let fill = width - String.length s in
+    if fill <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make fill ' '
+      | Right -> String.make fill ' ' ^ s
+  in
+  let rule () =
+    for i = 0 to ncols - 1 do
+      Buffer.add_string buf (String.make (widths.(i) + 2) '-');
+      if i < ncols - 1 then Buffer.add_char buf '+'
+    done;
+    Buffer.add_char buf '\n'
+  in
+  Array.iteri
+    (fun i c ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (pad c.align widths.(i) c.title);
+      Buffer.add_string buf (if i < ncols - 1 then " |" else " "))
+    t.columns;
+  Buffer.add_char buf '\n';
+  rule ();
+  List.iter
+    (function
+      | Separator -> rule ()
+      | Cells cells ->
+        List.iteri
+          (fun i cell ->
+            Buffer.add_char buf ' ';
+            Buffer.add_string buf (pad t.columns.(i).align widths.(i) cell);
+            Buffer.add_string buf (if i < ncols - 1 then " |" else " "))
+          cells;
+        Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let fmt_float digits v = Printf.sprintf "%.*f" digits v
+let fmt_int v = Printf.sprintf "%.0f" v
+let fmt_pct digits v = Printf.sprintf "%.*f%%" digits (100.0 *. v)
+
+let normalized_average values ~baseline =
+  let ratios =
+    List.concat
+      (List.map2
+         (fun v b -> if b = 0.0 then [] else [ v /. b ])
+         values baseline)
+  in
+  match ratios with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)

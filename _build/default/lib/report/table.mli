@@ -1,0 +1,35 @@
+(** Fixed-width ASCII tables for the benchmark harness.
+
+    Columns are declared with alignment; rows are lists of strings. The
+    harness prints each paper table with measured values next to the
+    paper's reported ones, plus normalized-average footers like Table 2's
+    last row. *)
+
+type align = Left | Right
+
+type column = { title : string; align : align }
+
+type t
+
+val create : column list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument when the arity differs from the header. *)
+
+val add_separator : t -> unit
+
+val render : t -> string
+(** The table with a header rule and column padding. *)
+
+val fmt_float : int -> float -> string
+(** [fmt_float digits v] — fixed-point with the given decimals. *)
+
+val fmt_int : float -> string
+(** Rounded to an integer string (for displacement-in-sites columns). *)
+
+val fmt_pct : int -> float -> string
+(** A ratio as a percentage string (["1.23%"]). *)
+
+val normalized_average : float list -> baseline:float list -> float
+(** Mean of pairwise ratios [value_i / baseline_i], skipping pairs whose
+    baseline is zero — the "N. Average" row of Table 2. *)

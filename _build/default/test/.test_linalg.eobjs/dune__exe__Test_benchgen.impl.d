@@ -1,0 +1,1 @@
+test/test_benchgen.ml: Alcotest Array Cell Chip Design Float Generate Hpwl Legality List Mclh_benchgen Mclh_circuit Netlist Placement QCheck QCheck_alcotest Rail Rng Spec

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Cell Chip Design Hpwl Legality List Mclh_circuit Metrics Netlist Placement Rail String Svg

@@ -1,0 +1,1 @@
+test/test_fence.ml: Alcotest Array Blockage Cell Chip Design Fence Filename Flow Format Io Legality List Mclh_benchgen Mclh_circuit Mclh_core Netlist Placement Rail Region Runner Sys

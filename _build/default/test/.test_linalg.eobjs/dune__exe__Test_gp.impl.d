@@ -1,0 +1,1 @@
+test/test_gp.ml: Alcotest Array Cell Cg Chip Dense Design Float Generate Hpwl Legality List Lu Mclh_benchgen Mclh_circuit Mclh_core Mclh_gp Mclh_linalg Netlist Placement Printf Spec Vec

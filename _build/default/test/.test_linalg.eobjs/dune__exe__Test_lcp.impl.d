@@ -1,0 +1,1 @@
+test/test_lcp.ml: Alcotest Array Coo Dense Float Lcp Lemke List Mclh_lcp Mclh_linalg Mmsim Pgs Printf QCheck QCheck_alcotest Vec

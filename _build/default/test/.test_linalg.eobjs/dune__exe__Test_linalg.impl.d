@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Blocks Coo Csr Dense Eig Float List Lu Mclh_linalg QCheck QCheck_alcotest Tridiag Vec

@@ -1,0 +1,1 @@
+test/test_qp.ml: Active_set Alcotest Array Coo Csr Ipm Kkt List Mclh_lcp Mclh_linalg Mclh_qp QCheck QCheck_alcotest Qp Vec

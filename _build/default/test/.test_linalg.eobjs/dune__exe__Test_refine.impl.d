@@ -1,0 +1,1 @@
+test/test_refine.ml: Alcotest Array Cell Chip Design Flow Generate Legality List Mclh_benchgen Mclh_circuit Mclh_core Mclh_refine Netlist Placement Printf QCheck QCheck_alcotest Refine Spec

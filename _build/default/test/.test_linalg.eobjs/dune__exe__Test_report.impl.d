@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Csv Filename In_channel List Mclh_report Option String Sys Table

@@ -1,0 +1,214 @@
+(* Tests for blockage (fixed obstacle) support across the stack: geometry,
+   legality, row segments, the segment-shifted model, and all legalizers. *)
+
+open Mclh_linalg
+open Mclh_circuit
+open Mclh_benchgen
+open Mclh_core
+
+let cell ?rail ~id ~w ~h () = Cell.make ~id ~width:w ~height:h ?bottom_rail:rail ()
+
+let test_blockage_geometry () =
+  let b = Blockage.make ~row:2 ~height:2 ~x:10 ~width:5 in
+  Alcotest.(check int) "area" 10 (Blockage.area b);
+  Alcotest.(check bool) "covers row" true (Blockage.covers_row b 3);
+  Alcotest.(check bool) "not row 4" false (Blockage.covers_row b 4);
+  Alcotest.(check bool) "overlap" true
+    (Blockage.overlaps_span b ~row:3 ~height:1 ~x:12.0 ~width:4);
+  Alcotest.(check bool) "touch is no overlap" false
+    (Blockage.overlaps_span b ~row:3 ~height:1 ~x:15.0 ~width:4);
+  Alcotest.(check bool) "different rows" false
+    (Blockage.overlaps_span b ~row:0 ~height:2 ~x:12.0 ~width:4);
+  Alcotest.(check bool) "validation" true
+    (try
+       ignore (Blockage.make ~row:0 ~height:0 ~x:0 ~width:1);
+       false
+     with Invalid_argument _ -> true)
+
+let blocked_design () =
+  (* 4 rows x 30 sites, one blockage in the middle of rows 1-2 *)
+  let chip = Chip.make ~num_rows:4 ~num_sites:30 () in
+  let blockages = [| Blockage.make ~row:1 ~height:2 ~x:12 ~width:6 |] in
+  let cells =
+    [| cell ~id:0 ~w:4 ~h:1 ();
+       cell ~id:1 ~w:4 ~h:1 ();
+       cell ~rail:Rail.Vdd ~id:2 ~w:3 ~h:2 () |]
+  in
+  Design.make ~blockages ~name:"blocked" ~chip ~cells
+    ~global:(Placement.make ~xs:[| 10.0; 16.0; 13.0 |] ~ys:[| 1.0; 1.0; 1.0 |])
+    ~nets:(Netlist.empty ~num_cells:3)
+    ()
+
+let test_legality_blocked () =
+  let d = blocked_design () in
+  (* cell 0 placed inside the blockage *)
+  let pl = Placement.make ~xs:[| 13.0; 20.0; 1.0 |] ~ys:[| 1.0; 1.0; 1.0 |] in
+  let v = Legality.check d pl in
+  Alcotest.(check bool) "blocked violation" true
+    (List.exists (function Legality.Blocked (0, 0) -> true | _ -> false) v);
+  (* legal spots on both sides of the blockage *)
+  let ok = Placement.make ~xs:[| 2.0; 20.0; 25.0 |] ~ys:[| 1.0; 1.0; 1.0 |] in
+  Alcotest.(check bool) "clear placement legal" true (Legality.is_legal d ok)
+
+let test_design_capacity () =
+  let d = blocked_design () in
+  Alcotest.(check int) "free capacity" (120 - 12) (Design.free_capacity d)
+
+let test_segments () =
+  let d = blocked_design () in
+  let segs = Segments.compute d in
+  Alcotest.(check bool) "has blockages" true (Segments.has_blockages segs);
+  (match Segments.row_segments segs 1 with
+  | [ a; b ] ->
+    Alcotest.(check int) "left start" 0 a.Segments.start;
+    Alcotest.(check int) "left stop" 12 a.Segments.stop;
+    Alcotest.(check int) "right start" 18 b.Segments.start;
+    Alcotest.(check int) "right stop" 30 b.Segments.stop
+  | l -> Alcotest.failf "expected 2 segments in row 1, got %d" (List.length l));
+  (match Segments.row_segments segs 0 with
+  | [ a ] ->
+    Alcotest.(check int) "full row" 0 a.Segments.start;
+    Alcotest.(check int) "full row stop" 30 a.Segments.stop
+  | l -> Alcotest.failf "expected 1 segment in row 0, got %d" (List.length l));
+  (* locate: wide target near the blockage goes to the side that fits *)
+  (match Segments.locate segs ~row:1 ~x:11.0 ~width:4 with
+  | Some seg -> Alcotest.(check int) "left side" 0 seg.Segments.start
+  | None -> Alcotest.fail "expected a segment");
+  (match Segments.locate segs ~row:1 ~x:16.0 ~width:4 with
+  | Some seg -> Alcotest.(check int) "right side" 18 seg.Segments.start
+  | None -> Alcotest.fail "expected a segment")
+
+let test_model_shifts () =
+  let d = blocked_design () in
+  let m = Model.build d (Row_assign.assign d) in
+  (* cell 1 (gx 16, width 4) is pushed to the right segment: shift 18;
+     cell 0 (gx 10) stays in the left segment: shift 0 *)
+  Alcotest.(check (float 0.0)) "cell0 shift" 0.0 m.Model.shift.(m.Model.first_var.(0));
+  Alcotest.(check (float 0.0)) "cell1 shift" 18.0 m.Model.shift.(m.Model.first_var.(1));
+  (* cells 0 and 1 are in different segments: no ordering constraint links
+     them directly; cell 2 (double, gx 13, w 3) picks a side *)
+  let legal = Flow.legalize d in
+  Alcotest.(check bool) "flow legal with blockage" true (Legality.is_legal d legal)
+
+let test_no_blockage_shifts_zero () =
+  let inst = Generate.generate (Spec.scaled 0.003 (Spec.find "fft_2")) in
+  let d = inst.Generate.design in
+  let m = Model.build d (Row_assign.assign d) in
+  Alcotest.(check (float 0.0)) "all shifts zero" 0.0 (Vec.norm_inf m.Model.shift)
+
+let gen_blocked name =
+  Generate.generate
+    ~options:{ Generate.default_options with blockage_fraction = 0.15 }
+    (Spec.scaled 0.008 (Spec.find name))
+
+let test_generator_blockages () =
+  let inst = gen_blocked "fft_2" in
+  let d = inst.Generate.design in
+  Alcotest.(check bool) "blockages present" true (Array.length d.Design.blockages > 0);
+  Alcotest.(check bool) "reference legal" true
+    (Legality.is_legal d inst.Generate.reference);
+  (* free density close to the spec despite the blocked area *)
+  Alcotest.(check bool)
+    (Printf.sprintf "density %.3f near 0.50" (Design.density d))
+    true
+    (Float.abs (Design.density d -. 0.50) < 0.12)
+
+let test_all_legalizers_with_blockages () =
+  let inst = gen_blocked "fft_1" in
+  let d = inst.Generate.design in
+  List.iter
+    (fun alg ->
+      let r = Runner.run alg d in
+      Alcotest.(check bool) (Runner.name alg ^ " legal") true r.Runner.legal)
+    Runner.all
+
+let test_solver_oracle_with_blockages () =
+  (* the segment-shifted QP must still match the dense oracle *)
+  let inst =
+    Generate.generate
+      ~options:{ Generate.default_options with blockage_fraction = 0.2 }
+      (Spec.scaled 0.0008 (Spec.find "fft_2"))
+  in
+  let d = inst.Generate.design in
+  let m = Model.build d (Row_assign.assign d) in
+  let config = { Config.default with eps = 1e-10; max_iter = 500_000 } in
+  let res = Solver.solve ~config m in
+  Alcotest.(check bool) "converged" true res.Solver.converged;
+  let qp = Model.to_qp m ~lambda:config.Config.lambda in
+  let oracle = Mclh_qp.Active_set.solve ~x0:(Model.packed_start m) qp in
+  Alcotest.(check bool) "oracle converged" true oracle.Mclh_qp.Active_set.converged;
+  let o1 = Mclh_qp.Qp.objective qp res.Solver.x in
+  let o2 = Mclh_qp.Qp.objective qp oracle.Mclh_qp.Active_set.x in
+  if Float.abs (o1 -. o2) > 1e-4 *. Float.max 1.0 (Float.abs o2) then
+    Alcotest.failf "objective %.8f vs oracle %.8f" o1 o2
+
+let test_io_roundtrip_blockages () =
+  let inst = gen_blocked "fft_a" in
+  let d = inst.Generate.design in
+  let path = Filename.temp_file "mclh" ".design" in
+  Io.write_design ~path d;
+  let d2 = Io.read_design ~path in
+  Sys.remove path;
+  Alcotest.(check int) "blockage count"
+    (Array.length d.Design.blockages)
+    (Array.length d2.Design.blockages);
+  Alcotest.(check bool) "same placement" true
+    (Placement.equal d.Design.global d2.Design.global);
+  Alcotest.(check int) "same cells" (Design.num_cells d) (Design.num_cells d2)
+
+let test_refine_with_blockages () =
+  let inst = gen_blocked "fft_2" in
+  let d = inst.Generate.design in
+  let legal = Flow.legalize d in
+  let refined, stats = Mclh_refine.Refine.run d legal in
+  Alcotest.(check bool) "legal" true (Legality.is_legal d refined);
+  Alcotest.(check bool) "not worse" true
+    (stats.Mclh_refine.Refine.hpwl_after
+     <= stats.Mclh_refine.Refine.hpwl_before +. 1e-9)
+
+let test_svg_draws_blockages () =
+  let d = blocked_design () in
+  let pl = Placement.make ~xs:[| 2.0; 20.0; 25.0 |] ~ys:[| 1.0; 1.0; 1.0 |] in
+  let svg = Svg.render d pl in
+  let contains needle =
+    let nl = String.length needle and sl = String.length svg in
+    let rec go i = i + nl <= sl && (String.sub svg i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "blockage color present" true (contains "#555555")
+
+let qc_flow_legal_with_blockages =
+  QCheck.Test.make ~count:15
+    ~name:"flow: legal output with random blockages"
+    QCheck.(pair (int_range 1 10_000) (int_range 0 19))
+    (fun (seed, bench_idx) ->
+      let name = List.nth Spec.names bench_idx in
+      let inst =
+        Generate.generate
+          ~options:
+            { Generate.default_options with seed; blockage_fraction = 0.1 }
+          (Spec.scaled 0.003 (Spec.find name))
+      in
+      let d = inst.Generate.design in
+      Legality.is_legal d (Flow.legalize d))
+
+let () =
+  Alcotest.run "blockage"
+    [ ( "geometry",
+        [ Alcotest.test_case "basics" `Quick test_blockage_geometry;
+          Alcotest.test_case "legality" `Quick test_legality_blocked;
+          Alcotest.test_case "capacity" `Quick test_design_capacity ] );
+      ( "segments",
+        [ Alcotest.test_case "compute/locate" `Quick test_segments;
+          Alcotest.test_case "model shifts" `Quick test_model_shifts;
+          Alcotest.test_case "no blockages = no shifts" `Quick
+            test_no_blockage_shifts_zero ] );
+      ( "end to end",
+        [ Alcotest.test_case "generator" `Quick test_generator_blockages;
+          Alcotest.test_case "all legalizers" `Quick test_all_legalizers_with_blockages;
+          Alcotest.test_case "solver vs oracle" `Slow test_solver_oracle_with_blockages;
+          Alcotest.test_case "io roundtrip" `Quick test_io_roundtrip_blockages;
+          Alcotest.test_case "refine" `Quick test_refine_with_blockages;
+          Alcotest.test_case "svg" `Quick test_svg_draws_blockages ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ qc_flow_legal_with_blockages ] ) ]

@@ -1,0 +1,255 @@
+(* Tests for the placement substrate: rails, cells, chip geometry, legality
+   checking, wirelength and displacement metrics, SVG rendering. *)
+
+open Mclh_circuit
+
+let cell ?rail ~id ~w ~h () = Cell.make ~id ~width:w ~height:h ?bottom_rail:rail ()
+
+let small_chip = Chip.make ~num_rows:6 ~num_sites:30 ()
+
+let test_rail () =
+  Alcotest.(check bool) "opposite" true (Rail.equal (Rail.opposite Rail.Vdd) Rail.Vss);
+  Alcotest.(check bool) "equal" true (Rail.equal Rail.Vdd Rail.Vdd);
+  Alcotest.(check string) "to_string" "VDD" (Rail.to_string Rail.Vdd)
+
+let test_cell_validation () =
+  Alcotest.(check bool) "even needs rail" true
+    (try
+       ignore (Cell.make ~id:0 ~width:2 ~height:2 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "odd must not fix rail" true
+    (try
+       ignore (Cell.make ~id:0 ~width:2 ~height:1 ~bottom_rail:Rail.Vdd ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad width" true
+    (try
+       ignore (Cell.make ~id:0 ~width:0 ~height:1 ());
+       false
+     with Invalid_argument _ -> true);
+  let c = cell ~rail:Rail.Vss ~id:3 ~w:4 ~h:2 () in
+  Alcotest.(check bool) "multi-row" true (Cell.is_multi_row c);
+  Alcotest.(check bool) "even" true (Cell.is_even_height c);
+  Alcotest.(check int) "area" 8 (Cell.area c);
+  Alcotest.(check string) "default name" "c3" c.Cell.name
+
+let test_chip_rails () =
+  (* base rail VSS on row 0; alternating upward *)
+  Alcotest.(check bool) "row0" true (Rail.equal (Chip.bottom_rail small_chip 0) Rail.Vss);
+  Alcotest.(check bool) "row1" true (Rail.equal (Chip.bottom_rail small_chip 1) Rail.Vdd);
+  Alcotest.(check bool) "row2" true (Rail.equal (Chip.bottom_rail small_chip 2) Rail.Vss);
+  Alcotest.(check bool) "row range" true
+    (try
+       ignore (Chip.bottom_rail small_chip 6);
+       false
+     with Invalid_argument _ -> true)
+
+let test_row_admits () =
+  let odd = cell ~id:0 ~w:2 ~h:1 () in
+  let even_vss = cell ~rail:Rail.Vss ~id:1 ~w:2 ~h:2 () in
+  let even_vdd = cell ~rail:Rail.Vdd ~id:2 ~w:2 ~h:2 () in
+  Alcotest.(check bool) "odd anywhere" true (Chip.row_admits small_chip odd 3);
+  Alcotest.(check bool) "odd top edge" true (Chip.row_admits small_chip odd 5);
+  Alcotest.(check bool) "even vss on even rows" true (Chip.row_admits small_chip even_vss 2);
+  Alcotest.(check bool) "even vss not on odd rows" false (Chip.row_admits small_chip even_vss 3);
+  Alcotest.(check bool) "even vdd on odd rows" true (Chip.row_admits small_chip even_vdd 3);
+  Alcotest.(check bool) "tall cell must fit" false (Chip.row_admits small_chip even_vdd 5)
+
+let test_nearest_admitting_row () =
+  let odd = cell ~id:0 ~w:2 ~h:1 () in
+  let even_vss = cell ~rail:Rail.Vss ~id:1 ~w:2 ~h:2 () in
+  Alcotest.(check (option int)) "odd rounds" (Some 3)
+    (Chip.nearest_admitting_row small_chip odd 3.2);
+  Alcotest.(check (option int)) "odd clamps low" (Some 0)
+    (Chip.nearest_admitting_row small_chip odd (-2.0));
+  Alcotest.(check (option int)) "odd clamps high" (Some 5)
+    (Chip.nearest_admitting_row small_chip odd 9.9);
+  (* even_vss admits rows 0, 2, 4; from 3.4 the nearest is 4 *)
+  Alcotest.(check (option int)) "even parity" (Some 4)
+    (Chip.nearest_admitting_row small_chip even_vss 3.4);
+  Alcotest.(check (option int)) "even parity down" (Some 2)
+    (Chip.nearest_admitting_row small_chip even_vss 2.9);
+  (* a cell taller than the chip admits nothing *)
+  let tall = cell ~id:2 ~w:2 ~h:7 () in
+  Alcotest.(check (option int)) "too tall" None
+    (Chip.nearest_admitting_row small_chip tall 1.0)
+
+let two_cell_design ?(nets = []) positions =
+  let cells = [| cell ~id:0 ~w:3 ~h:1 (); cell ~rail:Rail.Vss ~id:1 ~w:2 ~h:2 () |] in
+  let xs = Array.map fst positions and ys = Array.map snd positions in
+  Design.make ~name:"t" ~chip:small_chip ~cells
+    ~global:(Placement.make ~xs ~ys)
+    ~nets:(Netlist.make ~num_cells:2 nets)
+    ()
+
+let test_legality_clean () =
+  let d = two_cell_design [| (1.0, 1.0); (10.0, 2.0) |] in
+  let pl = Placement.make ~xs:[| 1.0; 10.0 |] ~ys:[| 1.0; 2.0 |] in
+  Alcotest.(check bool) "legal" true (Legality.is_legal d pl)
+
+let test_legality_overlap () =
+  let d = two_cell_design [| (1.0, 2.0); (3.0, 2.0) |] in
+  let pl = Placement.make ~xs:[| 1.0; 3.0 |] ~ys:[| 2.0; 2.0 |] in
+  (* cell 0 spans [1,4) in row 2; cell 1 spans [3,5) in rows 2-3: overlap *)
+  let v = Legality.check d pl in
+  Alcotest.(check bool) "overlap found" true
+    (List.exists (function Legality.Overlap (0, 1, 2) -> true | _ -> false) v);
+  Alcotest.(check int) "one blamed cell" 1 (Legality.count_illegal d pl)
+
+let test_legality_offsite_outside () =
+  let d = two_cell_design [| (1.0, 1.0); (10.0, 2.0) |] in
+  let off = Placement.make ~xs:[| 1.4; 10.0 |] ~ys:[| 1.0; 2.0 |] in
+  Alcotest.(check bool) "off site" true
+    (List.exists (function Legality.Off_site 0 -> true | _ -> false)
+       (Legality.check d off));
+  let out = Placement.make ~xs:[| 28.0; 10.0 |] ~ys:[| 1.0; 2.0 |] in
+  Alcotest.(check bool) "outside" true
+    (List.exists (function Legality.Outside 0 -> true | _ -> false)
+       (Legality.check d out))
+
+let test_legality_rail () =
+  let d = two_cell_design [| (1.0, 1.0); (10.0, 2.0) |] in
+  (* the VSS double on an odd row is a rail mismatch *)
+  let pl = Placement.make ~xs:[| 1.0; 10.0 |] ~ys:[| 1.0; 3.0 |] in
+  Alcotest.(check bool) "rail mismatch" true
+    (List.exists (function Legality.Rail_mismatch 1 -> true | _ -> false)
+       (Legality.check d pl))
+
+let test_legality_wide_cell_multi_overlap () =
+  (* one wide cell overlapping two successors must flag both *)
+  let cells = [| cell ~id:0 ~w:10 ~h:1 (); cell ~id:1 ~w:2 ~h:1 (); cell ~id:2 ~w:2 ~h:1 () |] in
+  let xs = [| 0.0; 2.0; 5.0 |] and ys = [| 0.0; 0.0; 0.0 |] in
+  let d =
+    Design.make ~name:"wide" ~chip:small_chip ~cells
+      ~global:(Placement.make ~xs:(Array.copy xs) ~ys:(Array.copy ys))
+      ~nets:(Netlist.empty ~num_cells:3) ()
+  in
+  let v = Legality.check d (Placement.make ~xs ~ys) in
+  let overlaps = List.filter (function Legality.Overlap _ -> true | _ -> false) v in
+  Alcotest.(check int) "two overlaps" 2 (List.length overlaps)
+
+let test_hpwl () =
+  let nets =
+    [ [| { Netlist.cell = 0; dx = 0.0; dy = 0.0 };
+         { Netlist.cell = 1; dx = 1.0; dy = 1.0 } |] ]
+  in
+  let d = two_cell_design ~nets [| (0.0, 0.0); (5.0, 2.0) |] in
+  (* pins at (0,0) and (6,3): hpwl = 6 + rh * 3 *)
+  Alcotest.(check (float 1e-9)) "hpwl rh=1" 9.0 (Hpwl.total d.Design.nets d.Design.global);
+  Alcotest.(check (float 1e-9)) "hpwl rh=8" 30.0
+    (Hpwl.total ~row_height:8.0 d.Design.nets d.Design.global);
+  let after = Placement.make ~xs:[| 0.0; 7.0 |] ~ys:[| 0.0; 2.0 |] in
+  Alcotest.(check (float 1e-9)) "delta" (2.0 /. 9.0)
+    (Hpwl.delta d.Design.nets ~before:d.Design.global after)
+
+let test_metrics () =
+  let before = Placement.make ~xs:[| 0.0; 5.0 |] ~ys:[| 0.0; 1.0 |] in
+  let after = Placement.make ~xs:[| 3.0; 5.0 |] ~ys:[| 0.0; 3.0 |] in
+  let m = Metrics.displacement ~before after in
+  Alcotest.(check (float 1e-9)) "manhattan" 5.0 m.Metrics.total_manhattan;
+  Alcotest.(check (float 1e-9)) "squared" 13.0 m.Metrics.total_squared;
+  Alcotest.(check int) "moved" 2 m.Metrics.moved_cells;
+  let m8 = Metrics.displacement ~row_height:8.0 ~before after in
+  Alcotest.(check (float 1e-9)) "manhattan scaled" 19.0 m8.Metrics.total_manhattan;
+  Alcotest.(check (float 1e-9)) "max scaled" 16.0 m8.Metrics.max_manhattan
+
+let test_placement_utils () =
+  let p = Placement.make ~xs:[| 1.2; 3.0 |] ~ys:[| 0.0; 4.9 |] in
+  Alcotest.(check bool) "not integral" false (Placement.is_integral p);
+  let r = Placement.round p in
+  Alcotest.(check bool) "round integral" true (Placement.is_integral r);
+  Alcotest.(check (float 0.0)) "rounded x" 1.0 r.Placement.xs.(0);
+  Alcotest.(check (float 0.0)) "rounded y" 5.0 r.Placement.ys.(1);
+  Alcotest.(check bool) "copy independent" true
+    (let c = Placement.copy p in
+     Placement.set c 0 ~x:9.0 ~y:9.0;
+     p.Placement.xs.(0) = 1.2)
+
+let test_netlist_validation () =
+  Alcotest.(check bool) "pin out of range" true
+    (try
+       ignore
+         (Netlist.make ~num_cells:1
+            [ [| { Netlist.cell = 3; dx = 0.0; dy = 0.0 } |] ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty net" true
+    (try
+       ignore (Netlist.make ~num_cells:1 [ [||] ]);
+       false
+     with Invalid_argument _ -> true);
+  let nets =
+    Netlist.make ~num_cells:3
+      [ [| { Netlist.cell = 0; dx = 0.0; dy = 0.0 };
+           { Netlist.cell = 2; dx = 0.0; dy = 0.0 } |];
+        [| { Netlist.cell = 2; dx = 1.0; dy = 0.0 } |] ]
+  in
+  Alcotest.(check int) "num_pins" 3 (Netlist.num_pins nets);
+  let by_cell = Netlist.nets_of_cell nets in
+  Alcotest.(check (array (array int))) "nets_of_cell"
+    [| [| 0 |]; [||]; [| 0; 1 |] |] by_cell
+
+let test_design_validation () =
+  let cells = [| cell ~id:0 ~w:3 ~h:1 () |] in
+  Alcotest.(check bool) "id mismatch" true
+    (try
+       ignore
+         (Design.make ~name:"bad" ~chip:small_chip
+            ~cells:[| cell ~id:5 ~w:1 ~h:1 () |]
+            ~global:(Placement.create 1)
+            ~nets:(Netlist.empty ~num_cells:1) ());
+       false
+     with Invalid_argument _ -> true);
+  let d =
+    Design.make ~name:"ok" ~chip:small_chip ~cells
+      ~global:(Placement.create 1) ~nets:(Netlist.empty ~num_cells:1) ()
+  in
+  Alcotest.(check int) "area" 3 (Design.total_cell_area d);
+  Alcotest.(check (float 1e-9)) "density" (3.0 /. 180.0) (Design.density d);
+  Alcotest.(check (list (pair int int))) "heights" [ (1, 1) ] (Design.count_by_height d)
+
+let test_svg_render () =
+  let d = two_cell_design [| (1.0, 1.0); (10.0, 2.0) |] in
+  let pl = Placement.make ~xs:[| 2.0; 10.0 |] ~ys:[| 1.0; 2.0 |] in
+  let svg = Svg.render d pl in
+  Alcotest.(check bool) "has svg root" true
+    (String.length svg > 0
+    && String.sub svg 0 4 = "<svg"
+    &&
+    let contains needle =
+      let nl = String.length needle and sl = String.length svg in
+      let rec go i = i + nl <= sl && (String.sub svg i nl = needle || go (i + 1)) in
+      go 0
+    in
+    contains "<rect" && contains "</svg>" && contains "<line");
+  (* zoom window renders fewer elements than the full chip *)
+  let zoom =
+    Svg.render
+      ~options:{ Svg.default_options with window = Some (0.0, 0.0, 5.0, 3.0) }
+      d pl
+  in
+  Alcotest.(check bool) "zoom smaller" true (String.length zoom <= String.length svg)
+
+let () =
+  Alcotest.run "circuit"
+    [ ("rail", [ Alcotest.test_case "basics" `Quick test_rail ]);
+      ("cell", [ Alcotest.test_case "validation" `Quick test_cell_validation ]);
+      ( "chip",
+        [ Alcotest.test_case "rails" `Quick test_chip_rails;
+          Alcotest.test_case "row_admits" `Quick test_row_admits;
+          Alcotest.test_case "nearest admitting row" `Quick test_nearest_admitting_row ] );
+      ( "legality",
+        [ Alcotest.test_case "clean placement" `Quick test_legality_clean;
+          Alcotest.test_case "overlap" `Quick test_legality_overlap;
+          Alcotest.test_case "off-site / outside" `Quick test_legality_offsite_outside;
+          Alcotest.test_case "rail mismatch" `Quick test_legality_rail;
+          Alcotest.test_case "wide multi-overlap" `Quick test_legality_wide_cell_multi_overlap ] );
+      ( "metrics",
+        [ Alcotest.test_case "hpwl" `Quick test_hpwl;
+          Alcotest.test_case "displacement" `Quick test_metrics ] );
+      ( "data",
+        [ Alcotest.test_case "placement utils" `Quick test_placement_utils;
+          Alcotest.test_case "netlist validation" `Quick test_netlist_validation;
+          Alcotest.test_case "design validation" `Quick test_design_validation ] );
+      ("svg", [ Alcotest.test_case "render" `Quick test_svg_render ]) ]

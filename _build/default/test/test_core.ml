@@ -1,0 +1,618 @@
+(* Tests for the core legalization machinery: row assignment, ordering,
+   the QP/LCP model (checked against the paper's Figure 2 and Figure 3
+   examples), the Schur complement, the MMSIM solver against the dense
+   active-set oracle, Abacus PlaceRow, and the allocation stages. *)
+
+open Mclh_linalg
+open Mclh_circuit
+open Mclh_core
+open Mclh_benchgen
+
+let cell ?rail ~id ~w ~h () = Cell.make ~id ~width:w ~height:h ?bottom_rail:rail ()
+
+let design ~chip ~cells ~xs ~ys =
+  Design.make ~name:"t" ~chip ~cells
+    ~global:(Placement.make ~xs ~ys)
+    ~nets:(Netlist.empty ~num_cells:(Array.length cells))
+    ()
+
+(* ---------- Row_assign ---------- *)
+
+let test_row_assign_nearest () =
+  let chip = Chip.make ~num_rows:6 ~num_sites:40 () in
+  let cells =
+    [| cell ~id:0 ~w:2 ~h:1 ();
+       cell ~rail:Rail.Vss ~id:1 ~w:2 ~h:2 ();
+       cell ~rail:Rail.Vdd ~id:2 ~w:2 ~h:2 () |]
+  in
+  let d =
+    design ~chip ~cells ~xs:[| 0.0; 5.0; 10.0 |] ~ys:[| 2.7; 2.8; 2.8 |]
+  in
+  let a = Row_assign.assign d in
+  Alcotest.(check int) "odd nearest" 3 a.Row_assign.rows.(0);
+  (* VSS double admits even rows: from 2.8, row 2 *)
+  Alcotest.(check int) "vss parity" 2 a.Row_assign.rows.(1);
+  (* VDD double admits odd rows: from 2.8, row 3 *)
+  Alcotest.(check int) "vdd parity" 3 a.Row_assign.rows.(2);
+  (* y displacement in site units: rh * (0.3 + 0.8 + 0.2) *)
+  Alcotest.(check (float 1e-9)) "y displacement"
+    (chip.Chip.row_height *. 1.3)
+    a.Row_assign.y_displacement
+
+(* ---------- Order ---------- *)
+
+let test_order_per_row () =
+  let chip = Chip.make ~num_rows:4 ~num_sites:40 () in
+  let cells =
+    [| cell ~id:0 ~w:2 ~h:1 ();
+       cell ~id:1 ~w:2 ~h:1 ();
+       cell ~rail:Rail.Vss ~id:2 ~w:2 ~h:2 () |]
+  in
+  let d = design ~chip ~cells ~xs:[| 9.0; 1.0; 5.0 |] ~ys:[| 0.0; 0.0; 0.0 |] in
+  let rows = [| 0; 0; 0 |] in
+  let order = Order.per_row d ~rows in
+  Alcotest.(check (array int)) "row0 by global x" [| 1; 2; 0 |] order.(0);
+  Alcotest.(check (array int)) "row1 only the double" [| 2 |] order.(1);
+  Alcotest.(check (array int)) "row2 empty" [||] order.(2)
+
+let test_order_preservation_metric () =
+  let chip = Chip.make ~num_rows:2 ~num_sites:40 () in
+  let cells = Array.init 3 (fun id -> cell ~id ~w:2 ~h:1 ()) in
+  let d = design ~chip ~cells ~xs:[| 0.0; 5.0; 10.0 |] ~ys:[| 0.0; 0.0; 0.0 |] in
+  let same = Placement.make ~xs:[| 0.0; 5.0; 10.0 |] ~ys:[| 0.0; 0.0; 0.0 |] in
+  Alcotest.(check (float 1e-9)) "preserved" 1.0 (Order.preservation d same);
+  let swapped = Placement.make ~xs:[| 5.0; 0.0; 10.0 |] ~ys:[| 0.0; 0.0; 0.0 |] in
+  Alcotest.(check (float 1e-9)) "one inversion" 0.5 (Order.preservation d swapped)
+
+(* ---------- Model: the paper's Figure 2 (single height) ---------- *)
+
+let figure2_design () =
+  (* cells c2, c4 on row 0; c1, c3, c5 on row 1 (paper rows renumbered).
+     widths: w1 = 2, w2 = 3, w3 = 4, w4 = 2, w5 = 2 *)
+  let chip = Chip.make ~num_rows:2 ~num_sites:40 () in
+  let cells =
+    [| cell ~id:0 ~w:2 ~h:1 (); (* c1 *)
+       cell ~id:1 ~w:3 ~h:1 (); (* c2 *)
+       cell ~id:2 ~w:4 ~h:1 (); (* c3 *)
+       cell ~id:3 ~w:2 ~h:1 (); (* c4 *)
+       cell ~id:4 ~w:2 ~h:1 () (* c5 *) |]
+  in
+  design ~chip ~cells
+    ~xs:[| 1.0; 2.0; 6.0; 8.0; 12.0 |]
+    ~ys:[| 1.0; 0.0; 1.0; 0.0; 1.0 |]
+
+let test_model_figure2 () =
+  let d = figure2_design () in
+  let a = Row_assign.assign d in
+  let m = Model.build d a in
+  Alcotest.(check int) "nvars" 5 m.Model.nvars;
+  Alcotest.(check int) "constraints" 3 (Model.num_constraints m);
+  (* row 0 order: c2 then c4 -> constraint x4 - x2 >= w2 = 3 *)
+  (* row 1 order: c1, c3, c5 -> x3 - x1 >= 2; x5 - x3 >= 4 *)
+  let b_dense = Csr.to_dense m.Model.b_mat in
+  let expect =
+    Dense.of_arrays
+      [| [| 0.0; -1.0; 0.0; 1.0; 0.0 |];
+         [| -1.0; 0.0; 1.0; 0.0; 0.0 |];
+         [| 0.0; 0.0; -1.0; 0.0; 1.0 |] |]
+  in
+  Alcotest.(check bool) "B matches the paper" true (Dense.equal b_dense expect);
+  Alcotest.(check bool) "b = (w2, w1, w3)" true
+    (Vec.equal m.Model.b_rhs (Vec.of_list [ 3.0; 2.0; 4.0 ]));
+  Alcotest.(check bool) "p = -x'" true
+    (Vec.equal m.Model.p (Vec.of_list [ -1.0; -2.0; -6.0; -8.0; -12.0 ]));
+  Alcotest.(check int) "no chains" 0 (Blocks.num_chains m.Model.blocks);
+  (* Proposition 1: B has full row rank (here: B B^T nonsingular) *)
+  let bbt = Dense.outer_gram b_dense in
+  Alcotest.(check bool) "full row rank" true
+    (Float.abs (Lu.det (Lu.factorize bbt)) > 1e-9)
+
+(* ---------- Model: the paper's Figure 3 (mixed height) ---------- *)
+
+let figure3_design () =
+  (* c1: double (w 2), c2: single (w 3), c3: double (w 2).
+     row 0 order: c1, c2, c3; row 1 order: c1, c3. *)
+  let chip = Chip.make ~num_rows:2 ~num_sites:40 () in
+  let cells =
+    [| cell ~rail:Rail.Vss ~id:0 ~w:2 ~h:2 ();
+       cell ~id:1 ~w:3 ~h:1 ();
+       cell ~rail:Rail.Vss ~id:2 ~w:2 ~h:2 () |]
+  in
+  design ~chip ~cells ~xs:[| 1.0; 4.0; 8.0 |] ~ys:[| 0.0; 0.0; 0.0 |]
+
+let test_model_figure3 () =
+  let d = figure3_design () in
+  let a = Row_assign.assign d in
+  let m = Model.build d a in
+  (* variables: c1 -> 0 (row0), 1 (row1); c2 -> 2; c3 -> 3 (row0), 4 (row1) *)
+  Alcotest.(check int) "nvars" 5 m.Model.nvars;
+  Alcotest.(check int) "constraints" 3 (Model.num_constraints m);
+  let b_dense = Csr.to_dense m.Model.b_mat in
+  (* row 0: x2 - x0 >= 2; x3 - x2 >= 3. row 1: x4 - x1 >= 2 *)
+  let expect_b =
+    Dense.of_arrays
+      [| [| -1.0; 0.0; 1.0; 0.0; 0.0 |];
+         [| 0.0; 0.0; -1.0; 1.0; 0.0 |];
+         [| 0.0; -1.0; 0.0; 0.0; 1.0 |] |]
+  in
+  Alcotest.(check bool) "B with subcell split" true (Dense.equal b_dense expect_b);
+  Alcotest.(check bool) "b = (w1, w2, w1)" true
+    (Vec.equal m.Model.b_rhs (Vec.of_list [ 2.0; 3.0; 2.0 ]));
+  (* E: one row per double, x_spoke - x_hub *)
+  let e_dense = Csr.to_dense (Blocks.e_matrix m.Model.blocks) in
+  let expect_e =
+    Dense.of_arrays
+      [| [| -1.0; 1.0; 0.0; 0.0; 0.0 |]; [| 0.0; 0.0; 0.0; -1.0; 1.0 |] |]
+  in
+  Alcotest.(check bool) "E matches the paper" true (Dense.equal e_dense expect_e);
+  Alcotest.(check bool) "all chains double" true (Blocks.all_double m.Model.blocks);
+  (* p duplicates targets across subcells *)
+  Alcotest.(check bool) "p subcells" true
+    (Vec.equal m.Model.p (Vec.of_list [ -1.0; -1.0; -4.0; -8.0; -8.0 ]));
+  (* Proposition 2: Q + lambda E^T E is SPD - check via Cholesky-ish LU det
+     of the explicit matrix and symmetry *)
+  let qp = Model.to_qp m ~lambda:10.0 in
+  let qd = Csr.to_dense qp.Mclh_qp.Qp.q_mat in
+  Alcotest.(check bool) "Q~ symmetric" true (Dense.is_symmetric qd);
+  Alcotest.(check bool) "Q~ positive definite" true
+    (Lu.det (Lu.factorize qd) > 0.0);
+  (* B full row rank with the split (Proposition 2) *)
+  let bbt = Dense.outer_gram b_dense in
+  Alcotest.(check bool) "B full row rank" true
+    (Float.abs (Lu.det (Lu.factorize bbt)) > 1e-9)
+
+let test_model_apply_q_tilde () =
+  let d = figure3_design () in
+  let m = Model.build d (Row_assign.assign d) in
+  let lambda = 17.0 in
+  let qp = Model.to_qp m ~lambda in
+  let x = Vec.of_list [ 1.0; -2.0; 0.5; 3.0; 4.0 ] in
+  Alcotest.(check bool) "operator matches matrix" true
+    (Vec.equal ~eps:1e-10
+       (Model.apply_q_tilde m ~lambda x)
+       (Csr.mul_vec qp.Mclh_qp.Qp.q_mat x))
+
+let test_model_packed_start_feasible () =
+  let d = figure3_design () in
+  let m = Model.build d (Row_assign.assign d) in
+  let qp = Model.to_qp m ~lambda:1000.0 in
+  Alcotest.(check bool) "packed start feasible" true
+    (Mclh_qp.Qp.is_feasible qp (Model.packed_start m))
+
+let test_model_cell_positions () =
+  let d = figure3_design () in
+  let m = Model.build d (Row_assign.assign d) in
+  let x = Vec.of_list [ 1.0; 3.0; 5.0; 7.0; 9.0 ] in
+  let pos = Model.cell_positions m x in
+  Alcotest.(check bool) "averaging" true
+    (Vec.equal pos (Vec.of_list [ 2.0; 5.0; 8.0 ]));
+  Alcotest.(check (float 1e-12)) "mismatch" 2.0 (Model.subcell_mismatch m x)
+
+(* ---------- Schur ---------- *)
+
+let test_schur_paths_agree () =
+  let d = figure3_design () in
+  let m = Model.build d (Row_assign.assign d) in
+  let lambda = 1000.0 in
+  let sm = Schur.tridiag ~path:Schur.Sherman_morrison m ~lambda in
+  let exact = Schur.tridiag ~path:Schur.Exact_chains m ~lambda in
+  Alcotest.(check bool) "SM = exact (all doubles)" true
+    (Dense.equal ~eps:1e-9 (Tridiag.to_dense sm) (Tridiag.to_dense exact))
+
+let test_schur_matches_dense () =
+  let d = figure3_design () in
+  let m = Model.build d (Row_assign.assign d) in
+  let lambda = 100.0 in
+  let tri = Schur.tridiag m ~lambda in
+  let full = Schur.dense m ~lambda in
+  let mm = Model.num_constraints m in
+  for i = 0 to mm - 1 do
+    let expect = Dense.get full i i in
+    let got = (Tridiag.to_dense tri |> fun dm -> Dense.get dm i i) in
+    if Float.abs (expect -. got) > 1e-9 then
+      Alcotest.failf "diag %d: %g vs %g" i got expect;
+    if i + 1 < mm then begin
+      let expect = Dense.get full i (i + 1) in
+      let got = (Tridiag.to_dense tri |> fun dm -> Dense.get dm i (i + 1)) in
+      if Float.abs (expect -. got) > 1e-9 then
+        Alcotest.failf "off %d: %g vs %g" i got expect
+    end
+  done
+
+let test_schur_dense_vs_bruteforce () =
+  (* B Q~^-1 B^T computed via explicit dense inversion *)
+  let d = figure3_design () in
+  let m = Model.build d (Row_assign.assign d) in
+  let lambda = 50.0 in
+  let qp = Model.to_qp m ~lambda in
+  let qinv = Lu.inverse (Lu.factorize (Csr.to_dense qp.Mclh_qp.Qp.q_mat)) in
+  let b = Csr.to_dense m.Model.b_mat in
+  let brute = Dense.mul b (Dense.mul qinv (Dense.transpose b)) in
+  Alcotest.(check bool) "dense schur correct" true
+    (Dense.equal ~eps:1e-8 brute (Schur.dense m ~lambda))
+
+(* ---------- Abacus PlaceRow ---------- *)
+
+let rc id target width = { Abacus.id; target; width }
+
+let test_place_row_no_overlap () =
+  let placed = Abacus.place_row [ rc 0 1.0 2.0; rc 1 8.0 2.0 ] in
+  Alcotest.(check (list (pair int (float 1e-12))))
+    "targets kept" [ (0, 1.0); (1, 8.0) ] placed
+
+let test_place_row_two_cell_collapse () =
+  (* both want 10.0, widths 4: optimal split is 8 and 12 *)
+  let placed = Abacus.place_row [ rc 0 10.0 4.0; rc 1 10.0 4.0 ] in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "even split" [ (0, 8.0); (1, 12.0) ] placed
+
+let test_place_row_left_clamp () =
+  let placed = Abacus.place_row [ rc 0 (-5.0) 3.0; rc 1 (-5.0) 3.0 ] in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "clamped at zero" [ (0, 0.0); (1, 3.0) ] placed
+
+let test_place_row_right_boundary () =
+  let placed = Abacus.place_row ~xmax:10.0 [ rc 0 9.0 4.0; rc 1 9.0 4.0 ] in
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "clamped at right" [ (0, 2.0); (1, 6.0) ] placed
+
+let test_place_row_cost () =
+  Alcotest.(check (float 1e-9)) "cost of even split" 8.0
+    (Abacus.place_row_cost [ rc 0 10.0 4.0; rc 1 10.0 4.0 ]);
+  Alcotest.(check (float 1e-9)) "zero cost" 0.0
+    (Abacus.place_row_cost [ rc 0 1.0 2.0; rc 1 8.0 2.0 ])
+
+let test_place_row_does_not_fit () =
+  Alcotest.(check bool) "rejects overflow" true
+    (try
+       ignore (Abacus.place_row ~xmax:3.0 [ rc 0 0.0 2.0; rc 1 0.0 2.0 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_place_row_vs_oracle () =
+  (* the cluster DP must match the dense active-set optimum *)
+  let rand =
+    let state = ref 99 in
+    fun () ->
+      state := (!state * 1103515245) + 12345;
+      float_of_int (!state land 0xFFFFFF) /. float_of_int 0xFFFFFF
+  in
+  for _ = 1 to 15 do
+    let k = 2 + int_of_float (rand () *. 6.0) in
+    let widths = Array.init k (fun _ -> 1.0 +. Float.round (rand () *. 5.0)) in
+    let targets = Array.init k (fun _ -> rand () *. 20.0) in
+    Array.sort compare targets;
+    let cells = List.init k (fun i -> rc i targets.(i) widths.(i)) in
+    let placed = Abacus.place_row cells in
+    let abacus_cost =
+      List.fold_left
+        (fun acc (i, x) ->
+          let dx = x -. targets.(i) in
+          acc +. (dx *. dx))
+        0.0 placed
+    in
+    (* oracle on the same chain QP *)
+    let coo = Coo.create ~rows:(k - 1) ~cols:k in
+    for i = 0 to k - 2 do
+      Coo.add coo i i (-1.0);
+      Coo.add coo i (i + 1) 1.0
+    done;
+    let qp =
+      Mclh_qp.Qp.make ~q_mat:(Csr.identity k)
+        ~p:(Vec.init k (fun i -> -.targets.(i)))
+        ~b_mat:(Coo.to_csr coo)
+        ~b_rhs:(Vec.init (k - 1) (fun i -> widths.(i)))
+    in
+    let x0 = Array.make k 0.0 in
+    for i = 1 to k - 1 do
+      x0.(i) <- x0.(i - 1) +. widths.(i - 1)
+    done;
+    let oracle = Mclh_qp.Active_set.solve ~x0 qp in
+    let oracle_cost =
+      Mclh_qp.Qp.objective qp oracle.Mclh_qp.Active_set.x
+      +. (0.5 *. Array.fold_left (fun acc t -> acc +. (t *. t)) 0.0 targets)
+    in
+    if Float.abs ((abacus_cost /. 2.0) -. oracle_cost) > 1e-6 then
+      Alcotest.failf "PlaceRow %g vs oracle %g" (abacus_cost /. 2.0) oracle_cost
+  done
+
+(* ---------- Solver vs oracle ---------- *)
+
+let solver_matches_oracle d =
+  let a = Row_assign.assign d in
+  let m = Model.build d a in
+  let config = { Config.default with eps = 1e-10; max_iter = 500_000 } in
+  let res = Solver.solve ~config m in
+  Alcotest.(check bool) "converged" true res.Solver.converged;
+  let lambda = config.Config.lambda in
+  let qp = Model.to_qp m ~lambda in
+  let oracle = Mclh_qp.Active_set.solve ~x0:(Model.packed_start m) qp in
+  Alcotest.(check bool) "oracle converged" true oracle.Mclh_qp.Active_set.converged;
+  let obj_mmsim = Mclh_qp.Qp.objective qp res.Solver.x in
+  let obj_oracle = Mclh_qp.Qp.objective qp oracle.Mclh_qp.Active_set.x in
+  if Float.abs (obj_mmsim -. obj_oracle) > 1e-4 *. Float.max 1.0 (Float.abs obj_oracle)
+  then Alcotest.failf "objective %.8f vs oracle %.8f" obj_mmsim obj_oracle
+
+let test_solver_oracle_figure3 () = solver_matches_oracle (figure3_design ())
+
+let test_solver_oracle_random_mixed () =
+  List.iter
+    (fun seed ->
+      let inst =
+        Generate.generate
+          ~options:{ Generate.default_options with seed }
+          (Spec.scaled 0.0008 (Spec.find "fft_2"))
+      in
+      solver_matches_oracle inst.Generate.design)
+    [ 1; 2; 3 ]
+
+let test_solver_lcp_solution () =
+  (* the MMSIM iterate solves the explicit KKT LCP *)
+  let d = figure3_design () in
+  let m = Model.build d (Row_assign.assign d) in
+  let config = { Config.default with eps = 1e-12; max_iter = 500_000 } in
+  let res = Solver.solve ~config m in
+  let lcp = Solver.lcp_problem m ~lambda:config.Config.lambda in
+  let z = Array.append res.Solver.x res.Solver.r in
+  Alcotest.(check bool) "z solves the LCP" true
+    (Mclh_lcp.Lcp.is_solution ~eps:1e-5 lcp z)
+
+let test_solver_bound_check () =
+  let d = figure3_design () in
+  let m = Model.build d (Row_assign.assign d) in
+  let b = Solver.check_bound m Config.default in
+  Alcotest.(check bool) "mu_max positive" true (b.Solver.mu_max > 0.0);
+  Alcotest.(check bool) "paper setting admissible" true b.Solver.theta_ok
+
+let test_solver_mismatch_lambda () =
+  (* larger lambda gives smaller subcell mismatch *)
+  let inst = Generate.generate (Spec.scaled 0.002 (Spec.find "fft_1")) in
+  let d = inst.Generate.design in
+  let m = Model.build d (Row_assign.assign d) in
+  let run lambda =
+    let config = { Config.default with lambda; eps = 1e-9; max_iter = 200_000 } in
+    (Solver.solve ~config m).Solver.mismatch
+  in
+  let m10 = run 10.0 and m1000 = run 1000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "mismatch decreases with lambda (%g vs %g)" m10 m1000)
+    true (m1000 < m10 +. 1e-12)
+
+
+(* ---------- three independent solvers on the same legalization model ---------- *)
+
+let test_cross_solver_agreement () =
+  (* MMSIM (modulus iteration), Lemke (complementary pivoting on the KKT
+     LCP), IPM (path following on the QP) and the active-set method share
+     no code; agreement on the same instance is strong evidence that each
+     is correct *)
+  List.iter
+    (fun seed ->
+      let inst =
+        Generate.generate
+          ~options:{ Generate.default_options with seed }
+          (Spec.scaled 0.0006 (Spec.find "fft_2"))
+      in
+      let d = inst.Generate.design in
+      let m = Model.build d (Row_assign.assign d) in
+      let lambda = Config.default.Config.lambda in
+      let qp = Model.to_qp m ~lambda in
+      let config = { Config.default with eps = 1e-10; max_iter = 500_000 } in
+      let mmsim = Solver.solve ~config m in
+      let obj_mmsim = Mclh_qp.Qp.objective qp mmsim.Solver.x in
+      (* Lemke on the explicit KKT LCP *)
+      let lcp = Solver.lcp_problem m ~lambda in
+      (match Mclh_lcp.Lemke.solve lcp with
+      | Mclh_lcp.Lemke.Solution z ->
+        let x_lemke = Array.sub z 0 m.Model.nvars in
+        let obj_lemke = Mclh_qp.Qp.objective qp x_lemke in
+        if Float.abs (obj_lemke -. obj_mmsim) > 1e-4 *. Float.abs obj_mmsim then
+          Alcotest.failf "Lemke %.8f vs MMSIM %.8f" obj_lemke obj_mmsim
+      | Mclh_lcp.Lemke.Ray_termination | Mclh_lcp.Lemke.Iteration_limit ->
+        Alcotest.fail "Lemke failed on the KKT LCP");
+      (* interior point on the QP *)
+      let ipm = Mclh_qp.Ipm.solve qp in
+      Alcotest.(check bool) "ipm converged" true ipm.Mclh_qp.Ipm.converged;
+      let obj_ipm = Mclh_qp.Qp.objective qp ipm.Mclh_qp.Ipm.x in
+      if Float.abs (obj_ipm -. obj_mmsim) > 1e-4 *. Float.abs obj_mmsim then
+        Alcotest.failf "IPM %.8f vs MMSIM %.8f" obj_ipm obj_mmsim)
+    [ 11; 12; 13 ]
+
+let test_inplace_equals_generic () =
+  (* the production in-place operator set must generate exactly the same
+     iterates as the boxed reference operators *)
+  List.iter
+    (fun seed ->
+      let inst =
+        Generate.generate
+          ~options:{ Generate.default_options with seed }
+          (Spec.scaled 0.002 (Spec.find "fft_2"))
+      in
+      let d = inst.Generate.design in
+      let m = Model.build d (Row_assign.assign d) in
+      let config = { Config.default with eps = 1e-8; max_iter = 200_000 } in
+      let q = Solver.rhs_q m in
+      let options =
+        { Mclh_lcp.Mmsim.gamma = config.Config.gamma; eps = config.Config.eps;
+          max_iter = config.Config.max_iter }
+      in
+      let boxed =
+        Mclh_lcp.Mmsim.solve ~options (Solver.operators m config) ~q
+      in
+      let inplace =
+        Mclh_lcp.Mmsim.solve_inplace ~options (Solver.operators_inplace m config) ~q
+      in
+      Alcotest.(check int) "same iterations" boxed.Mclh_lcp.Mmsim.iterations
+        inplace.Mclh_lcp.Mmsim.iterations;
+      if
+        not
+          (Vec.equal ~eps:1e-9 boxed.Mclh_lcp.Mmsim.z inplace.Mclh_lcp.Mmsim.z)
+      then Alcotest.fail "iterates diverged between boxed and in-place paths")
+    [ 21; 22 ]
+
+(* ---------- Warm start ---------- *)
+
+let test_warm_start_single_height_exact () =
+  let inst =
+    Generate.generate
+      ~options:{ Generate.default_options with single_height_only = true }
+      (Spec.scaled 0.003 (Spec.find "fft_2"))
+  in
+  let d = inst.Generate.design in
+  let m = Model.build d (Row_assign.assign d) in
+  let config = { Config.default with eps = 1e-8; max_iter = 100_000 } in
+  let res = Solver.solve ~config m in
+  Alcotest.(check bool) "single-height warm start is the fixed point" true
+    (res.Solver.iterations <= 2)
+
+let test_warm_start_multipliers_nonnegative () =
+  let d = figure3_design () in
+  let m = Model.build d (Row_assign.assign d) in
+  let x0 = Warm_start.positions m in
+  let r0 = Warm_start.multipliers m x0 in
+  Array.iter
+    (fun r -> if r < 0.0 then Alcotest.failf "negative multiplier %g" r)
+    r0
+
+(* ---------- Occupancy ---------- *)
+
+let test_occupancy_basics () =
+  let chip = Chip.make ~num_rows:4 ~num_sites:20 () in
+  let occ = Occupancy.create chip in
+  Alcotest.(check bool) "free initially" true
+    (Occupancy.is_free_span occ ~row:0 ~height:2 ~x:5 ~width:4);
+  Occupancy.occupy occ ~row:0 ~height:2 ~x:5 ~width:4;
+  Alcotest.(check int) "occupied sites" 8 (Occupancy.occupied_sites occ);
+  Alcotest.(check bool) "not free" false
+    (Occupancy.is_free_span occ ~row:1 ~height:1 ~x:8 ~width:2);
+  Alcotest.(check bool) "double occupy rejected" true
+    (try
+       Occupancy.occupy occ ~row:0 ~height:1 ~x:5 ~width:1;
+       false
+     with Invalid_argument _ -> true);
+  Occupancy.release occ ~row:0 ~height:2 ~x:5 ~width:4;
+  Alcotest.(check int) "released" 0 (Occupancy.occupied_sites occ);
+  Alcotest.(check bool) "span beyond chip" false
+    (Occupancy.is_free_span occ ~row:0 ~height:1 ~x:18 ~width:4)
+
+let test_occupancy_nearest_free_x () =
+  let chip = Chip.make ~num_rows:2 ~num_sites:20 () in
+  let occ = Occupancy.create chip in
+  Occupancy.occupy occ ~row:0 ~height:1 ~x:8 ~width:4;
+  (* want width 3 at x0 = 9: right candidate 12, left candidate 5 *)
+  (match Occupancy.nearest_free_x occ ~row:0 ~height:1 ~width:3 ~x0:9 ~max_dist:20 with
+  | Some (x, dist) ->
+    Alcotest.(check int) "nearest x" 12 x;
+    Alcotest.(check int) "distance" 3 dist
+  | None -> Alcotest.fail "expected a span");
+  (match Occupancy.nearest_free_x occ ~row:0 ~height:1 ~width:3 ~x0:7 ~max_dist:20 with
+  | Some (x, _) -> Alcotest.(check int) "left wins" 5 x
+  | None -> Alcotest.fail "expected a span");
+  Alcotest.(check bool) "max_dist respected" true
+    (Occupancy.nearest_free_x occ ~row:0 ~height:1 ~width:3 ~x0:9 ~max_dist:1 = None)
+
+let test_occupancy_find_spot () =
+  let chip = Chip.make ~num_rows:4 ~num_sites:10 ~row_height:8.0 () in
+  let occ = Occupancy.create chip in
+  (* fill row 1 fully; a single-height cell wanting row 1 slides in-row is
+     impossible, so it must pay a row hop of 8 *)
+  Occupancy.occupy occ ~row:1 ~height:1 ~x:0 ~width:10;
+  (match Occupancy.find_spot occ (cell ~id:0 ~w:3 ~h:1 ()) ~row0:1 ~x0:4 with
+  | Some (row, x, cost) ->
+    Alcotest.(check bool) "adjacent row" true (row = 0 || row = 2);
+    Alcotest.(check int) "same x" 4 x;
+    Alcotest.(check (float 1e-9)) "cost = row hop" 8.0 cost
+  | None -> Alcotest.fail "expected a spot");
+  (* a rail-constrained double only fits even rows *)
+  let dbl = cell ~rail:Rail.Vss ~id:1 ~w:3 ~h:2 () in
+  (match Occupancy.find_spot occ dbl ~row0:0 ~x0:0 with
+  | Some (row, _, _) -> Alcotest.(check int) "parity respected" 2 row
+  | None -> Alcotest.fail "expected a spot");
+  (* window too small -> none *)
+  Occupancy.occupy occ ~row:0 ~height:1 ~x:0 ~width:10;
+  Alcotest.(check bool) "window miss" true
+    (Occupancy.find_spot ~row_window:0 occ (cell ~id:2 ~w:3 ~h:1 ()) ~row0:1 ~x0:0
+     = None)
+
+(* ---------- Tetris_alloc ---------- *)
+
+let test_tetris_alloc_noop_when_legal () =
+  let d = figure2_design () in
+  let input = Placement.make ~xs:[| 1.0; 2.0; 6.0; 8.0; 12.0 |] ~ys:[| 1.0; 0.0; 1.0; 0.0; 1.0 |] in
+  let out = Tetris_alloc.run d input in
+  Alcotest.(check int) "no illegal cells" 0 out.Tetris_alloc.illegal_before;
+  Alcotest.(check bool) "unchanged" true
+    (Placement.equal out.Tetris_alloc.placement input)
+
+let test_tetris_alloc_fixes_overlap () =
+  let d = figure2_design () in
+  (* c2 and c4 overlapping in row 0 *)
+  let input = Placement.make ~xs:[| 1.0; 2.0; 6.0; 3.0; 12.0 |] ~ys:[| 1.0; 0.0; 1.0; 0.0; 1.0 |] in
+  let out = Tetris_alloc.run d input in
+  Alcotest.(check int) "one illegal" 1 out.Tetris_alloc.illegal_before;
+  Alcotest.(check bool) "legal output" true
+    (Legality.is_legal d out.Tetris_alloc.placement)
+
+let test_tetris_alloc_out_of_boundary () =
+  let d = figure2_design () in
+  (* c5 pushed beyond the right boundary (chip is 40 sites) *)
+  let input = Placement.make ~xs:[| 1.0; 2.0; 6.0; 8.0; 39.5 |] ~ys:[| 1.0; 0.0; 1.0; 0.0; 1.0 |] in
+  let out = Tetris_alloc.run d input in
+  Alcotest.(check bool) "legal output" true
+    (Legality.is_legal d out.Tetris_alloc.placement);
+  Alcotest.(check bool) "x within chip" true
+    (out.Tetris_alloc.placement.Placement.xs.(4) <= 38.0)
+
+let test_tetris_alloc_fractional_snap () =
+  let d = figure2_design () in
+  let input = Placement.make ~xs:[| 1.3; 2.4; 6.5; 8.9; 12.1 |] ~ys:[| 1.0; 0.0; 1.0; 0.0; 1.0 |] in
+  let out = Tetris_alloc.run d input in
+  Alcotest.(check bool) "legal output" true
+    (Legality.is_legal d out.Tetris_alloc.placement);
+  Alcotest.(check bool) "integral" true
+    (Placement.is_integral out.Tetris_alloc.placement)
+
+let () =
+  Alcotest.run "core"
+    [ ("row_assign", [ Alcotest.test_case "nearest correct row" `Quick test_row_assign_nearest ]);
+      ( "order",
+        [ Alcotest.test_case "per row" `Quick test_order_per_row;
+          Alcotest.test_case "preservation metric" `Quick test_order_preservation_metric ] );
+      ( "model",
+        [ Alcotest.test_case "figure 2 (single height)" `Quick test_model_figure2;
+          Alcotest.test_case "figure 3 (mixed height)" `Quick test_model_figure3;
+          Alcotest.test_case "Q~ operator" `Quick test_model_apply_q_tilde;
+          Alcotest.test_case "packed start feasible" `Quick test_model_packed_start_feasible;
+          Alcotest.test_case "cell positions / mismatch" `Quick test_model_cell_positions ] );
+      ( "schur",
+        [ Alcotest.test_case "SM = exact chains" `Quick test_schur_paths_agree;
+          Alcotest.test_case "tridiag of dense" `Quick test_schur_matches_dense;
+          Alcotest.test_case "dense vs brute force" `Quick test_schur_dense_vs_bruteforce ] );
+      ( "abacus",
+        [ Alcotest.test_case "no overlap" `Quick test_place_row_no_overlap;
+          Alcotest.test_case "two-cell collapse" `Quick test_place_row_two_cell_collapse;
+          Alcotest.test_case "left clamp" `Quick test_place_row_left_clamp;
+          Alcotest.test_case "right boundary" `Quick test_place_row_right_boundary;
+          Alcotest.test_case "cost" `Quick test_place_row_cost;
+          Alcotest.test_case "overflow rejected" `Quick test_place_row_does_not_fit;
+          Alcotest.test_case "vs active-set oracle" `Quick test_place_row_vs_oracle ] );
+      ( "solver",
+        [ Alcotest.test_case "figure 3 vs oracle" `Quick test_solver_oracle_figure3;
+          Alcotest.test_case "random mixed vs oracle" `Slow test_solver_oracle_random_mixed;
+          Alcotest.test_case "solves the KKT LCP" `Quick test_solver_lcp_solution;
+          Alcotest.test_case "theorem 2 bound" `Quick test_solver_bound_check;
+          Alcotest.test_case "cross-solver agreement" `Slow test_cross_solver_agreement;
+          Alcotest.test_case "in-place = generic" `Quick test_inplace_equals_generic;
+          Alcotest.test_case "lambda vs mismatch" `Slow test_solver_mismatch_lambda ] );
+      ( "warm_start",
+        [ Alcotest.test_case "exact on single height" `Quick test_warm_start_single_height_exact;
+          Alcotest.test_case "multipliers nonnegative" `Quick test_warm_start_multipliers_nonnegative ] );
+      ( "occupancy",
+        [ Alcotest.test_case "basics" `Quick test_occupancy_basics;
+          Alcotest.test_case "nearest free x" `Quick test_occupancy_nearest_free_x;
+          Alcotest.test_case "find spot" `Quick test_occupancy_find_spot ] );
+      ( "tetris_alloc",
+        [ Alcotest.test_case "no-op when legal" `Quick test_tetris_alloc_noop_when_legal;
+          Alcotest.test_case "fixes overlap" `Quick test_tetris_alloc_fixes_overlap;
+          Alcotest.test_case "out of boundary" `Quick test_tetris_alloc_out_of_boundary;
+          Alcotest.test_case "fractional snap" `Quick test_tetris_alloc_fractional_snap ] ) ]

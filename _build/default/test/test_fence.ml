@@ -1,0 +1,256 @@
+(* Tests for fence regions: geometry, legality semantics, and the
+   territorial decomposition legalizer. *)
+
+open Mclh_circuit
+open Mclh_core
+
+let rect row height x width = { Region.row; height; x; width }
+
+let test_region_validation () =
+  Alcotest.(check bool) "empty rejected" true
+    (try
+       ignore (Region.make ~name:"r" []);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "overlap rejected" true
+    (try
+       ignore (Region.make ~name:"r" [ rect 0 2 0 10; rect 1 2 5 10 ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "degenerate rejected" true
+    (try
+       ignore (Region.make ~name:"r" [ rect 0 0 0 10 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let l_region () =
+  (* an L: rows 2-5 sites 10-26, plus rows 2-3 sites 26-36 *)
+  Region.make ~name:"L" [ rect 2 4 10 16; rect 2 2 26 10 ]
+
+let test_region_contains () =
+  let r = l_region () in
+  Alcotest.(check bool) "inside tall arm" true
+    (Region.contains_span r ~row:3 ~height:2 ~x:12.0 ~width:6);
+  Alcotest.(check bool) "inside flat arm" true
+    (Region.contains_span r ~row:2 ~height:1 ~x:28.0 ~width:6);
+  (* spanning the junction of the two rectangles is inside the union *)
+  Alcotest.(check bool) "across the junction" true
+    (Region.contains_span r ~row:2 ~height:2 ~x:20.0 ~width:12);
+  (* the junction only exists in rows 2-3; row 4 does not reach x 26+ *)
+  Alcotest.(check bool) "row 4 stops at 26" false
+    (Region.contains_span r ~row:4 ~height:1 ~x:20.0 ~width:12);
+  Alcotest.(check bool) "outside" false
+    (Region.contains_span r ~row:0 ~height:1 ~x:12.0 ~width:4);
+  Alcotest.(check bool) "half out" false
+    (Region.contains_span r ~row:2 ~height:1 ~x:8.0 ~width:6)
+
+let test_region_intersects () =
+  let r = l_region () in
+  Alcotest.(check bool) "overlapping edge" true
+    (Region.intersects_span r ~row:2 ~height:1 ~x:8.0 ~width:4);
+  Alcotest.(check bool) "fully outside" false
+    (Region.intersects_span r ~row:0 ~height:2 ~x:0.0 ~width:9)
+
+let test_complement_tiles_chip () =
+  (* region blockages + complement blockages together cover the chip with
+     no overlap: total area must equal the chip capacity *)
+  let chip = Chip.make ~num_rows:8 ~num_sites:60 () in
+  let r = l_region () in
+  let total =
+    List.fold_left
+      (fun acc b -> acc + Blockage.area b)
+      0
+      (Region.to_blockages r @ Region.complement_blockages r chip)
+  in
+  Alcotest.(check int) "tiles the chip" (Chip.capacity chip) total
+
+let fenced_design () =
+  let chip = Chip.make ~num_rows:8 ~num_sites:60 () in
+  let fence = l_region () in
+  let cells = ref [] and xs = ref [] and ys = ref [] in
+  let next = ref 0 in
+  let add ?rail ?region w h x y =
+    cells :=
+      Cell.make ~id:!next ~width:w ~height:h ?bottom_rail:rail ?region ()
+      :: !cells;
+    incr next;
+    xs := x :: !xs;
+    ys := y :: !ys
+  in
+  add ~region:0 4 1 12.0 2.3;
+  add ~region:0 4 1 8.0 3.1;
+  add ~region:0 ~rail:Rail.Vss 3 2 14.0 2.0;
+  add ~region:0 5 1 28.0 2.6;
+  add ~region:0 4 1 30.0 3.4;
+  add ~region:0 6 1 16.0 4.2;
+  for i = 0 to 19 do
+    add 4 1 (float_of_int (3 * i)) (float_of_int (i mod 8))
+  done;
+  let cells = Array.of_list (List.rev !cells) in
+  let xs = Array.of_list (List.rev !xs) and ys = Array.of_list (List.rev !ys) in
+  Design.make ~regions:[| fence |] ~name:"fenced" ~chip ~cells
+    ~global:(Placement.make ~xs ~ys)
+    ~nets:(Netlist.empty ~num_cells:(Array.length cells))
+    ()
+
+let test_legality_fence_violations () =
+  let d = fenced_design () in
+  (* the raw global placement has members outside and strangers inside *)
+  let v = Legality.check d d.Design.global in
+  Alcotest.(check bool) "member outside flagged" true
+    (List.exists (function Legality.Outside_region _ -> true | _ -> false) v);
+  Alcotest.(check bool) "stranger inside flagged" true
+    (List.exists (function Legality.In_foreign_region _ -> true | _ -> false) v)
+
+let test_fence_legalize () =
+  let d = fenced_design () in
+  let legal, stats = Fence.legalize d in
+  Alcotest.(check int) "two territories" 2 stats.Fence.territories;
+  let v = Legality.check d legal in
+  if v <> [] then begin
+    List.iteri
+      (fun i viol ->
+        if i < 5 then Format.eprintf "  %a@." Legality.pp_violation viol)
+      v;
+    Alcotest.failf "%d violations" (List.length v)
+  end
+
+let test_fence_no_regions_is_flow () =
+  let inst =
+    Mclh_benchgen.Generate.generate
+      (Mclh_benchgen.Spec.scaled 0.003 (Mclh_benchgen.Spec.find "fft_2"))
+  in
+  let d = inst.Mclh_benchgen.Generate.design in
+  let via_fence, stats = Fence.legalize d in
+  let via_flow = Flow.legalize d in
+  Alcotest.(check int) "one territory" 1 stats.Fence.territories;
+  Alcotest.(check bool) "identical result" true
+    (Placement.equal via_fence via_flow)
+
+let test_design_rejects_bad_region_index () =
+  let chip = Chip.make ~num_rows:4 ~num_sites:20 () in
+  Alcotest.(check bool) "out-of-range region" true
+    (try
+       ignore
+         (Design.make ~regions:[||] ~name:"bad" ~chip
+            ~cells:[| Cell.make ~id:0 ~width:2 ~height:1 ~region:3 () |]
+            ~global:(Placement.create 1)
+            ~nets:(Netlist.empty ~num_cells:1)
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_fence_two_regions () =
+  (* two fences and a default population, all mixed up in the input *)
+  let chip = Chip.make ~num_rows:6 ~num_sites:60 () in
+  let r0 = Region.make ~name:"a" [ rect 0 2 0 18 ] in
+  let r1 = Region.make ~name:"b" [ rect 4 2 40 20 ] in
+  let cells = ref [] and xs = ref [] and ys = ref [] in
+  let next = ref 0 in
+  let add ?region w x y =
+    cells := Cell.make ~id:!next ~width:w ~height:1 ?region () :: !cells;
+    incr next;
+    xs := x :: !xs;
+    ys := y :: !ys
+  in
+  add ~region:0 4 45.0 5.0;
+  add ~region:0 4 2.0 0.5;
+  add ~region:1 4 1.0 1.0;
+  add ~region:1 4 44.0 4.2;
+  for i = 0 to 11 do
+    add 4 (float_of_int (5 * i)) (float_of_int (2 + (i mod 2)))
+  done;
+  let cells = Array.of_list (List.rev !cells) in
+  let xs = Array.of_list (List.rev !xs) and ys = Array.of_list (List.rev !ys) in
+  let d =
+    Design.make ~regions:[| r0; r1 |] ~name:"two" ~chip ~cells
+      ~global:(Placement.make ~xs ~ys)
+      ~nets:(Netlist.empty ~num_cells:(Array.length cells))
+      ()
+  in
+  let legal, stats = Fence.legalize d in
+  Alcotest.(check int) "three territories" 3 stats.Fence.territories;
+  Alcotest.(check bool) "legal" true (Legality.is_legal d legal)
+
+
+let test_generated_fences () =
+  List.iter
+    (fun (name, fences, blocks) ->
+      let options =
+        { Mclh_benchgen.Generate.default_options with
+          fence_count = fences;
+          blockage_fraction = blocks }
+      in
+      let inst =
+        Mclh_benchgen.Generate.generate ~options
+          (Mclh_benchgen.Spec.scaled 0.008 (Mclh_benchgen.Spec.find name))
+      in
+      let d = inst.Mclh_benchgen.Generate.design in
+      Alcotest.(check int) (name ^ " fences") fences (Array.length d.Design.regions);
+      let members =
+        Array.fold_left
+          (fun acc (c : Cell.t) -> if c.Cell.region <> None then acc + 1 else acc)
+          0 d.Design.cells
+      in
+      Alcotest.(check bool) (name ^ " has members") true (members > 0);
+      Alcotest.(check bool)
+        (name ^ " reference honors fences")
+        true
+        (Legality.is_legal d inst.Mclh_benchgen.Generate.reference);
+      let legal, _ = Fence.legalize d in
+      Alcotest.(check bool) (name ^ " legalized") true (Legality.is_legal d legal))
+    [ ("fft_2", 2, 0.0); ("fft_a", 3, 0.1) ]
+
+let test_io_roundtrip_regions () =
+  let options = { Mclh_benchgen.Generate.default_options with fence_count = 2 } in
+  let inst =
+    Mclh_benchgen.Generate.generate ~options
+      (Mclh_benchgen.Spec.scaled 0.005 (Mclh_benchgen.Spec.find "fft_2"))
+  in
+  let d = inst.Mclh_benchgen.Generate.design in
+  let path = Filename.temp_file "mclh_fence" ".mclh" in
+  Io.write_design ~path d;
+  let d2 = Io.read_design ~path in
+  Sys.remove path;
+  Alcotest.(check int) "regions" (Array.length d.Design.regions)
+    (Array.length d2.Design.regions);
+  Array.iteri
+    (fun i (c : Cell.t) ->
+      if c.Cell.region <> d2.Design.cells.(i).Cell.region then
+        Alcotest.failf "cell %d membership lost" i)
+    d.Design.cells;
+  (* fence semantics survive the roundtrip: the same placement is judged
+     identically *)
+  let legal, _ = Fence.legalize d2 in
+  Alcotest.(check bool) "re-read design legalizes" true
+    (Legality.is_legal d2 legal)
+
+let test_runner_uses_fence_path () =
+  let options = { Mclh_benchgen.Generate.default_options with fence_count = 1 } in
+  let inst =
+    Mclh_benchgen.Generate.generate ~options
+      (Mclh_benchgen.Spec.scaled 0.005 (Mclh_benchgen.Spec.find "fft_2"))
+  in
+  let d = inst.Mclh_benchgen.Generate.design in
+  let r = Runner.run Runner.Mmsim d in
+  Alcotest.(check bool) "legal via runner" true r.Runner.legal;
+  Alcotest.(check bool) "fence path (no flow result)" true (r.Runner.mmsim = None)
+
+let () =
+  Alcotest.run "fence"
+    [ ( "region geometry",
+        [ Alcotest.test_case "validation" `Quick test_region_validation;
+          Alcotest.test_case "contains (union)" `Quick test_region_contains;
+          Alcotest.test_case "intersects" `Quick test_region_intersects;
+          Alcotest.test_case "complement tiles chip" `Quick test_complement_tiles_chip ] );
+      ( "legality",
+        [ Alcotest.test_case "fence violations" `Quick test_legality_fence_violations;
+          Alcotest.test_case "bad region index" `Quick test_design_rejects_bad_region_index ] );
+      ( "decomposition",
+        [ Alcotest.test_case "single fence" `Quick test_fence_legalize;
+          Alcotest.test_case "no regions = plain flow" `Quick test_fence_no_regions_is_flow;
+          Alcotest.test_case "two fences" `Quick test_fence_two_regions ] );
+      ( "generator & io",
+        [ Alcotest.test_case "generated fences" `Quick test_generated_fences;
+          Alcotest.test_case "io roundtrip" `Quick test_io_roundtrip_regions;
+          Alcotest.test_case "runner fence path" `Quick test_runner_uses_fence_path ] ) ]

@@ -1,0 +1,173 @@
+(* Tests for the conjugate-gradient solver and the analytical global
+   placer. *)
+
+open Mclh_linalg
+open Mclh_circuit
+open Mclh_benchgen
+
+let mk_rand seed =
+  let state = ref seed in
+  fun () ->
+    state := (!state * 1103515245) + 12345;
+    float_of_int (!state land 0xFFFFFF) /. float_of_int 0xFFFFFF
+
+(* ---------- CG ---------- *)
+
+let random_spd rand n =
+  let m = Dense.init n n (fun _ _ -> rand () -. 0.5) in
+  let a = Dense.gram m in
+  for i = 0 to n - 1 do
+    Dense.set a i i (Dense.get a i i +. 2.0)
+  done;
+  a
+
+let test_cg_matches_lu () =
+  let rand = mk_rand 3 in
+  List.iter
+    (fun n ->
+      let a = random_spd rand n in
+      let b = Vec.init n (fun _ -> rand () *. 4.0 -. 2.0) in
+      let cg = Cg.solve ~dim:n (Dense.mul_vec a) ~b in
+      Alcotest.(check bool) "converged" true cg.Cg.converged;
+      let x_ref = Lu.solve_system a b in
+      if not (Vec.equal ~eps:1e-6 cg.Cg.x x_ref) then
+        Alcotest.failf "CG vs LU mismatch at n = %d" n)
+    [ 1; 2; 5; 12; 30 ]
+
+let test_cg_jacobi () =
+  let rand = mk_rand 7 in
+  let n = 20 in
+  let a = random_spd rand n in
+  (* skew the diagonal so preconditioning matters *)
+  for i = 0 to n - 1 do
+    Dense.set a i i (Dense.get a i i *. float_of_int (1 + (i mod 5)))
+  done;
+  let b = Vec.init n (fun _ -> rand ()) in
+  let diag = Vec.init n (fun i -> Dense.get a i i) in
+  let plain = Cg.solve ~dim:n (Dense.mul_vec a) ~b in
+  let pre = Cg.solve ~jacobi:diag ~dim:n (Dense.mul_vec a) ~b in
+  Alcotest.(check bool) "both converge" true (plain.Cg.converged && pre.Cg.converged);
+  Alcotest.(check bool) "same solution" true (Vec.equal ~eps:1e-5 plain.Cg.x pre.Cg.x);
+  Alcotest.(check bool) "preconditioning not slower" true
+    (pre.Cg.iterations <= plain.Cg.iterations + 2)
+
+let test_cg_warm_start () =
+  let rand = mk_rand 11 in
+  let n = 10 in
+  let a = random_spd rand n in
+  let b = Vec.init n (fun _ -> rand ()) in
+  let first = Cg.solve ~dim:n (Dense.mul_vec a) ~b in
+  let second = Cg.solve ~x0:first.Cg.x ~dim:n (Dense.mul_vec a) ~b in
+  Alcotest.(check bool) "immediate" true (second.Cg.iterations <= 1)
+
+let test_cg_validation () =
+  Alcotest.(check bool) "bad jacobi" true
+    (try
+       ignore (Cg.solve ~jacobi:(Vec.zeros 2) ~dim:2 (fun v -> v) ~b:(Vec.zeros 2));
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- Gp ---------- *)
+
+let design_for name scale =
+  (Generate.generate (Spec.scaled scale (Spec.find name))).Generate.design
+
+let test_gp_basics () =
+  let d = design_for "fft_2" 0.01 in
+  let gp, stats = Mclh_gp.Gp.place d in
+  Alcotest.(check int) "rounds recorded"
+    Mclh_gp.Gp.default_options.Mclh_gp.Gp.iterations
+    (List.length stats.Mclh_gp.Gp.rounds);
+  (* in bounds *)
+  let chip = d.Design.chip in
+  Array.iteri
+    (fun i (c : Cell.t) ->
+      let x = gp.Placement.xs.(i) and y = gp.Placement.ys.(i) in
+      if
+        x < 0.0
+        || x +. float_of_int c.Cell.width > float_of_int chip.Chip.num_sites
+        || y < 0.0
+        || y +. float_of_int c.Cell.height > float_of_int chip.Chip.num_rows
+      then Alcotest.failf "cell %d out of bounds" i)
+    d.Design.cells;
+  (* wirelength sanity: far below a deliberately scattered placement *)
+  let rand = mk_rand 13 in
+  let scattered =
+    Placement.make
+      ~xs:(Array.init (Design.num_cells d) (fun _ ->
+               rand () *. float_of_int (chip.Chip.num_sites - 12)))
+      ~ys:(Array.init (Design.num_cells d) (fun _ ->
+               rand () *. float_of_int (chip.Chip.num_rows - 4)))
+  in
+  let rh = chip.Chip.row_height in
+  let h_gp = Hpwl.total ~row_height:rh d.Design.nets gp in
+  let h_rand = Hpwl.total ~row_height:rh d.Design.nets scattered in
+  Alcotest.(check bool)
+    (Printf.sprintf "gp %.0f < scattered %.0f" h_gp h_rand)
+    true (h_gp < h_rand)
+
+let test_gp_deterministic () =
+  let d = design_for "fft_a" 0.01 in
+  let gp1, _ = Mclh_gp.Gp.place d in
+  let gp2, _ = Mclh_gp.Gp.place d in
+  Alcotest.(check bool) "deterministic" true (Placement.equal gp1 gp2)
+
+let test_gp_output_legalizes () =
+  List.iter
+    (fun name ->
+      let d0 = design_for name 0.01 in
+      let gp, _ = Mclh_gp.Gp.place d0 in
+      let d =
+        Design.make ~blockages:d0.Design.blockages ~name:"gp" ~chip:d0.Design.chip
+          ~cells:d0.Design.cells ~global:gp ~nets:d0.Design.nets ()
+      in
+      let legal = Mclh_core.Flow.legalize d in
+      Alcotest.(check bool) (name ^ " legalizes") true (Legality.is_legal d legal))
+    [ "fft_2"; "pci_bridge32_b" ]
+
+let test_gp_b2b_model () =
+  let d = design_for "fft_a" 0.01 in
+  let options = { Mclh_gp.Gp.default_options with net_model = Mclh_gp.Gp.B2b } in
+  let gp, stats = Mclh_gp.Gp.place ~options d in
+  Alcotest.(check bool) "finite hpwl" true
+    (Float.is_finite stats.Mclh_gp.Gp.final_hpwl);
+  (* B2B output is a usable global placement too *)
+  let d2 =
+    Design.make ~name:"b2b" ~chip:d.Design.chip ~cells:d.Design.cells
+      ~global:gp ~nets:d.Design.nets ()
+  in
+  let legal = Mclh_core.Flow.legalize d2 in
+  Alcotest.(check bool) "legalizes" true (Legality.is_legal d2 legal);
+  (* and it differs from the clique solution (different model) *)
+  let gp_clique, _ = Mclh_gp.Gp.place d in
+  Alcotest.(check bool) "distinct model" false (Placement.equal gp gp_clique)
+
+let test_gp_no_nets () =
+  (* without nets, cells settle at their (staggered center) anchors *)
+  let chip = Chip.make ~num_rows:4 ~num_sites:40 () in
+  let cells = Array.init 3 (fun id -> Cell.make ~id ~width:3 ~height:1 ()) in
+  let d =
+    Design.make ~name:"isolated" ~chip ~cells
+      ~global:(Placement.create 3)
+      ~nets:(Netlist.empty ~num_cells:3)
+      ()
+  in
+  let gp, stats = Mclh_gp.Gp.place d in
+  Alcotest.(check (float 1e-9)) "no wirelength" 0.0 stats.Mclh_gp.Gp.final_hpwl;
+  Array.iter
+    (fun x -> Alcotest.(check bool) "near center" true (Float.abs (x -. 20.0) < 8.0))
+    gp.Placement.xs
+
+let () =
+  Alcotest.run "gp"
+    [ ( "cg",
+        [ Alcotest.test_case "matches LU" `Quick test_cg_matches_lu;
+          Alcotest.test_case "jacobi" `Quick test_cg_jacobi;
+          Alcotest.test_case "warm start" `Quick test_cg_warm_start;
+          Alcotest.test_case "validation" `Quick test_cg_validation ] );
+      ( "placer",
+        [ Alcotest.test_case "basics" `Quick test_gp_basics;
+          Alcotest.test_case "deterministic" `Quick test_gp_deterministic;
+          Alcotest.test_case "output legalizes" `Quick test_gp_output_legalizes;
+          Alcotest.test_case "b2b model" `Quick test_gp_b2b_model;
+          Alcotest.test_case "no nets" `Quick test_gp_no_nets ] ) ]

@@ -1,0 +1,274 @@
+(* Tests for the LCP machinery: residuals, the generic MMSIM, and the
+   projected Gauss-Seidel reference solver. *)
+
+open Mclh_linalg
+open Mclh_lcp
+
+let mk_rand seed =
+  let state = ref seed in
+  fun () ->
+    state := (!state * 1103515245) + 12345;
+    float_of_int (!state land 0xFFFFFF) /. float_of_int 0xFFFFFF
+
+(* random SPD matrix A = M^T M + n I as CSR, with q *)
+let random_spd_lcp rand n =
+  let m = Dense.init n n (fun _ _ -> rand () -. 0.5) in
+  let a = Dense.gram m in
+  for i = 0 to n - 1 do
+    Dense.set a i i (Dense.get a i i +. 1.0)
+  done;
+  let q = Vec.init n (fun _ -> (rand () *. 4.0) -. 2.0) in
+  Lcp.of_dense a q
+
+let test_residual_known_solution () =
+  (* A = I, q = (-1, 2): solution z = (1, 0), w = (0, 2) *)
+  let p = Lcp.of_dense (Dense.identity 2) (Vec.of_list [ -1.0; 2.0 ]) in
+  let z = Vec.of_list [ 1.0; 0.0 ] in
+  Alcotest.(check bool) "solution accepted" true (Lcp.is_solution p z);
+  let r = Lcp.residual p z in
+  Alcotest.(check (float 1e-12)) "fb residual" 0.0 r.Lcp.fischer_burmeister;
+  let bad = Vec.of_list [ 0.0; 0.0 ] in
+  Alcotest.(check bool) "non-solution rejected" false (Lcp.is_solution p bad)
+
+let test_residual_components () =
+  let p = Lcp.of_dense (Dense.identity 2) (Vec.of_list [ 0.0; 0.0 ]) in
+  let z = Vec.of_list [ -1.0; 2.0 ] in
+  let r = Lcp.residual p z in
+  Alcotest.(check (float 1e-12)) "z_neg" 1.0 r.Lcp.z_neg;
+  Alcotest.(check (float 1e-12)) "w_neg" 1.0 r.Lcp.w_neg;
+  Alcotest.(check (float 1e-12)) "complementarity" 4.0 r.Lcp.complementarity
+
+let test_mmsim_gauss_seidel_solves () =
+  let rand = mk_rand 3 in
+  List.iter
+    (fun n ->
+      let p = random_spd_lcp rand n in
+      let ops = Mmsim.gauss_seidel_operators p.Lcp.a in
+      let out = Mmsim.solve ops ~q:p.Lcp.q in
+      Alcotest.(check bool)
+        (Printf.sprintf "converged n=%d" n)
+        true out.Mmsim.converged;
+      if Lcp.residual_inf p out.Mmsim.z > 1e-6 then
+        Alcotest.failf "MMSIM residual too large at n = %d: %g" n
+          (Lcp.residual_inf p out.Mmsim.z))
+    [ 1; 2; 5; 10; 25 ]
+
+let test_mmsim_agrees_with_pgs () =
+  let rand = mk_rand 17 in
+  for _ = 1 to 10 do
+    let n = 3 + int_of_float (rand () *. 10.0) in
+    let p = random_spd_lcp rand n in
+    let ops = Mmsim.gauss_seidel_operators p.Lcp.a in
+    let mm = Mmsim.solve ops ~q:p.Lcp.q in
+    let pg = Pgs.solve p in
+    Alcotest.(check bool) "pgs converged" true pg.Pgs.converged;
+    if Vec.dist_inf mm.Mmsim.z pg.Pgs.z > 1e-5 then
+      Alcotest.failf "MMSIM and PGS disagree: %g"
+        (Vec.dist_inf mm.Mmsim.z pg.Pgs.z)
+  done
+
+let test_mmsim_complementary_w () =
+  let rand = mk_rand 23 in
+  let p = random_spd_lcp rand 8 in
+  let ops = Mmsim.gauss_seidel_operators p.Lcp.a in
+  let options = Mmsim.default_options in
+  let out = Mmsim.solve ~options ops ~q:p.Lcp.q in
+  let w = Mmsim.w_of_s options ops out.Mmsim.s in
+  (* the modulus construction gives exact complementarity *)
+  Array.iteri
+    (fun i wi ->
+      if Float.abs (wi *. out.Mmsim.z.(i)) > 1e-9 then
+        Alcotest.failf "complementarity violated at %d" i)
+    w
+
+let test_mmsim_gamma_invariance () =
+  let rand = mk_rand 31 in
+  let p = random_spd_lcp rand 6 in
+  let ops = Mmsim.gauss_seidel_operators p.Lcp.a in
+  let solve gamma =
+    let options = { Mmsim.default_options with gamma } in
+    (Mmsim.solve ~options ops ~q:p.Lcp.q).Mmsim.z
+  in
+  Alcotest.(check bool)
+    "gamma 1 vs 2" true
+    (Vec.equal ~eps:1e-6 (solve 1.0) (solve 2.0))
+
+let test_mmsim_warm_start_at_solution () =
+  let rand = mk_rand 37 in
+  let p = random_spd_lcp rand 8 in
+  let ops = Mmsim.gauss_seidel_operators p.Lcp.a in
+  let options = Mmsim.default_options in
+  let first = Mmsim.solve ~options ops ~q:p.Lcp.q in
+  let second = Mmsim.solve ~options ~s0:first.Mmsim.s ops ~q:p.Lcp.q in
+  Alcotest.(check bool)
+    "restart converges immediately" true
+    (second.Mmsim.iterations <= 2)
+
+let test_mmsim_validation () =
+  let p = random_spd_lcp (mk_rand 1) 3 in
+  let ops = Mmsim.gauss_seidel_operators p.Lcp.a in
+  Alcotest.(check bool) "bad gamma" true
+    (try
+       ignore
+         (Mmsim.solve ~options:{ Mmsim.default_options with gamma = 0.0 } ops
+            ~q:p.Lcp.q);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad q dim" true
+    (try
+       ignore (Mmsim.solve ops ~q:(Vec.zeros 7));
+       false
+     with Invalid_argument _ -> true)
+
+let test_mmsim_stalled_z_regression () =
+  (* regression: z can sit at 0 for an iteration while s still moves; the
+     paper's z-change-only criterion declares victory at a non-solution.
+     Found by qcheck on (n = 2, seed = 3177). *)
+  let a =
+    Dense.of_arrays
+      [| [| 1.26359; -0.216442 |]; [| -0.216442; 1.21613 |] |]
+  in
+  let p = Lcp.of_dense a (Vec.of_list [ 1.33375; -0.0748509 ]) in
+  let ops = Mmsim.gauss_seidel_operators p.Lcp.a in
+  let out = Mmsim.solve ops ~q:p.Lcp.q in
+  Alcotest.(check bool) "converged" true out.Mmsim.converged;
+  Alcotest.(check bool) "to an actual solution" true
+    (Lcp.residual_inf p out.Mmsim.z < 1e-6);
+  Alcotest.(check bool) "z2 positive" true (out.Mmsim.z.(1) > 0.05)
+
+let test_gs_operators_validation () =
+  let bad = Coo.create ~rows:2 ~cols:2 in
+  Coo.add bad 0 1 1.0;
+  Coo.add bad 1 0 1.0;
+  (* zero diagonal *)
+  Alcotest.(check bool) "zero diagonal rejected" true
+    (try
+       ignore (Mmsim.gauss_seidel_operators (Coo.to_csr bad));
+       false
+     with Invalid_argument _ -> true)
+
+let test_pgs_relaxation () =
+  let rand = mk_rand 41 in
+  let p = random_spd_lcp rand 10 in
+  let plain = Pgs.solve p in
+  let sor =
+    Pgs.solve ~options:{ Pgs.default_options with relaxation = 1.4 } p
+  in
+  Alcotest.(check bool) "sor converged" true sor.Pgs.converged;
+  Alcotest.(check bool)
+    "same solution" true
+    (Vec.equal ~eps:1e-6 plain.Pgs.z sor.Pgs.z)
+
+let test_pgs_validation () =
+  let p = random_spd_lcp (mk_rand 2) 3 in
+  Alcotest.(check bool) "relaxation bound" true
+    (try
+       ignore (Pgs.solve ~options:{ Pgs.default_options with relaxation = 2.5 } p);
+       false
+     with Invalid_argument _ -> true)
+
+
+(* ---------- Lemke ---------- *)
+
+let test_lemke_trivial () =
+  (* q >= 0: z = 0 *)
+  let p = Lcp.of_dense (Dense.identity 3) (Vec.of_list [ 1.0; 0.5; 2.0 ]) in
+  match Lemke.solve p with
+  | Lemke.Solution z -> Alcotest.(check bool) "zero" true (Vec.norm_inf z = 0.0)
+  | Lemke.Ray_termination | Lemke.Iteration_limit -> Alcotest.fail "expected solution"
+
+let test_lemke_known () =
+  (* A = I, q = (-1, 2): z = (1, 0) *)
+  let p = Lcp.of_dense (Dense.identity 2) (Vec.of_list [ -1.0; 2.0 ]) in
+  match Lemke.solve p with
+  | Lemke.Solution z ->
+    Alcotest.(check bool) "z = (1,0)" true
+      (Vec.equal ~eps:1e-8 z (Vec.of_list [ 1.0; 0.0 ]))
+  | Lemke.Ray_termination | Lemke.Iteration_limit -> Alcotest.fail "expected solution"
+
+let test_lemke_vs_pgs_random_spd () =
+  let rand = mk_rand 53 in
+  for _ = 1 to 15 do
+    let n = 2 + int_of_float (rand () *. 12.0) in
+    let p = random_spd_lcp rand n in
+    match Lemke.solve p with
+    | Lemke.Solution z ->
+      if Lcp.residual_inf p z > 1e-6 then
+        Alcotest.failf "Lemke residual %g" (Lcp.residual_inf p z);
+      let pg = Pgs.solve p in
+      if Vec.dist_inf z pg.Pgs.z > 1e-5 then
+        Alcotest.failf "Lemke vs PGS disagree by %g" (Vec.dist_inf z pg.Pgs.z)
+    | Lemke.Ray_termination | Lemke.Iteration_limit ->
+      Alcotest.fail "Lemke failed on an SPD LCP"
+  done
+
+let test_lemke_infeasible_ray () =
+  (* A = 0 (copositive), q with a negative entry: w = q cannot be >= 0,
+     no solution exists; Lemke must terminate on a ray, not loop *)
+  let zero = Dense.create 2 2 in
+  let p = Lcp.of_dense zero (Vec.of_list [ -1.0; 1.0 ]) in
+  match Lemke.solve p with
+  | Lemke.Ray_termination -> ()
+  | Lemke.Solution _ -> Alcotest.fail "no solution exists"
+  | Lemke.Iteration_limit -> Alcotest.fail "should detect the ray"
+
+let qc_lemke_random_spd =
+  QCheck.Test.make ~count:40 ~name:"lemke: random SPD LCPs solved"
+    QCheck.(pair (int_range 1 12) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rand = mk_rand (seed + 7) in
+      let p = random_spd_lcp rand n in
+      match Lemke.solve p with
+      | Lemke.Solution z -> Lcp.residual_inf p z < 1e-6
+      | Lemke.Ray_termination | Lemke.Iteration_limit -> false)
+
+let qc_mmsim_random_spd =
+  QCheck.Test.make ~count:60 ~name:"mmsim: random SPD LCPs solved"
+    QCheck.(pair (int_range 1 15) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rand = mk_rand (seed + 1) in
+      let p = random_spd_lcp rand n in
+      let ops = Mmsim.gauss_seidel_operators p.Lcp.a in
+      (* ill-conditioned draws converge slowly under the GS splitting:
+         give the iteration room, then judge by the residual *)
+      let options = { Mmsim.default_options with max_iter = 500_000 } in
+      let out = Mmsim.solve ~options ops ~q:p.Lcp.q in
+      Lcp.residual_inf p out.Mmsim.z < 1e-5)
+
+let qc_pgs_random_spd =
+  QCheck.Test.make ~count:60 ~name:"pgs: random SPD LCPs solved"
+    QCheck.(pair (int_range 1 15) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rand = mk_rand (seed + 2) in
+      let p = random_spd_lcp rand n in
+      let options = { Pgs.default_options with max_iter = 500_000 } in
+      let out = Pgs.solve ~options p in
+      Lcp.residual_inf p out.Pgs.z < 1e-5)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [ qc_mmsim_random_spd; qc_pgs_random_spd; qc_lemke_random_spd ]
+  in
+  Alcotest.run "lcp"
+    [ ( "residuals",
+        [ Alcotest.test_case "known solution" `Quick test_residual_known_solution;
+          Alcotest.test_case "components" `Quick test_residual_components ] );
+      ( "mmsim",
+        [ Alcotest.test_case "solves SPD LCPs" `Quick test_mmsim_gauss_seidel_solves;
+          Alcotest.test_case "agrees with PGS" `Quick test_mmsim_agrees_with_pgs;
+          Alcotest.test_case "complementary w" `Quick test_mmsim_complementary_w;
+          Alcotest.test_case "gamma invariance" `Quick test_mmsim_gamma_invariance;
+          Alcotest.test_case "warm restart" `Quick test_mmsim_warm_start_at_solution;
+          Alcotest.test_case "validation" `Quick test_mmsim_validation;
+          Alcotest.test_case "stalled-z regression" `Quick test_mmsim_stalled_z_regression;
+          Alcotest.test_case "gs operator validation" `Quick test_gs_operators_validation ] );
+      ( "pgs",
+        [ Alcotest.test_case "relaxation" `Quick test_pgs_relaxation;
+          Alcotest.test_case "validation" `Quick test_pgs_validation ] );
+      ( "lemke",
+        [ Alcotest.test_case "trivial q >= 0" `Quick test_lemke_trivial;
+          Alcotest.test_case "known solution" `Quick test_lemke_known;
+          Alcotest.test_case "vs PGS on SPD" `Quick test_lemke_vs_pgs_random_spd;
+          Alcotest.test_case "ray termination" `Quick test_lemke_infeasible_ray ] );
+      ("properties", qsuite) ]

@@ -1,0 +1,148 @@
+(* Tests for the post-legalization detailed-placement refinement. *)
+
+open Mclh_circuit
+open Mclh_benchgen
+open Mclh_core
+open Mclh_refine
+
+let instance ?(options = Generate.default_options) name scale =
+  Generate.generate ~options (Spec.scaled scale (Spec.find name))
+
+let legal_flow d = Flow.legalize d
+
+let test_rejects_illegal_input () =
+  let inst = instance "fft_2" 0.004 in
+  let d = inst.Generate.design in
+  Alcotest.(check bool) "raises on overlap" true
+    (try
+       (* the raw global placement is not legal *)
+       ignore (Refine.run d d.Design.global);
+       false
+     with Invalid_argument _ -> true)
+
+let test_preserves_legality () =
+  List.iter
+    (fun name ->
+      let inst = instance name 0.008 in
+      let d = inst.Generate.design in
+      let legal = legal_flow d in
+      let refined, _ = Refine.run d legal in
+      Alcotest.(check bool) (name ^ " still legal") true
+        (Legality.is_legal d refined))
+    [ "fft_2"; "des_perf_1"; "pci_bridge32_b" ]
+
+let test_never_worse () =
+  let inst = instance "fft_1" 0.01 in
+  let d = inst.Generate.design in
+  let legal = legal_flow d in
+  let _, stats = Refine.run d legal in
+  Alcotest.(check bool) "hpwl not increased" true
+    (stats.Refine.hpwl_after <= stats.Refine.hpwl_before +. 1e-9);
+  Alcotest.(check bool) "improvement in [0,1)" true
+    (Refine.improvement stats >= 0.0 && Refine.improvement stats < 1.0)
+
+let test_individual_phases_legal () =
+  let inst = instance "fft_2" 0.008 in
+  let d = inst.Generate.design in
+  let legal = legal_flow d in
+  List.iter
+    (fun (label, options) ->
+      let refined, _ = Refine.run ~options d legal in
+      Alcotest.(check bool) (label ^ " legal") true (Legality.is_legal d refined))
+    [ ( "moves",
+        { Refine.default_options with enable_swaps = false; enable_reorders = false } );
+      ( "swaps",
+        { Refine.default_options with enable_moves = false; enable_reorders = false } );
+      ( "reorders",
+        { Refine.default_options with enable_moves = false; enable_swaps = false } );
+      ("window2", { Refine.default_options with window = 2 }) ]
+
+let test_tall_cells_refine () =
+  let options =
+    { Generate.default_options with tall_cell_fraction = 0.5 }
+  in
+  let inst = instance ~options "fft_2" 0.008 in
+  let d = inst.Generate.design in
+  let legal = legal_flow d in
+  let refined, stats = Refine.run d legal in
+  Alcotest.(check bool) "legal with tall cells" true (Legality.is_legal d refined);
+  Alcotest.(check bool) "not worse" true
+    (stats.Refine.hpwl_after <= stats.Refine.hpwl_before +. 1e-9)
+
+let test_no_nets_noop () =
+  (* without nets there is nothing to improve; the placement is unchanged *)
+  let chip = Chip.make ~num_rows:4 ~num_sites:20 () in
+  let cells = Array.init 3 (fun id -> Cell.make ~id ~width:3 ~height:1 ()) in
+  let d =
+    Design.make ~name:"no-nets" ~chip ~cells
+      ~global:(Placement.make ~xs:[| 0.0; 5.0; 10.0 |] ~ys:[| 0.0; 1.0; 2.0 |])
+      ~nets:(Netlist.empty ~num_cells:3) ()
+  in
+  let legal = Placement.make ~xs:[| 0.0; 5.0; 10.0 |] ~ys:[| 0.0; 1.0; 2.0 |] in
+  let refined, stats = Refine.run d legal in
+  Alcotest.(check bool) "unchanged" true (Placement.equal refined legal);
+  Alcotest.(check int) "no moves" 0 stats.Refine.moves;
+  Alcotest.(check (float 0.0)) "hpwl 0" 0.0 stats.Refine.hpwl_after
+
+let test_pulls_connected_pair_together () =
+  (* two connected cells far apart in one row with free space between:
+     refinement must shrink the net *)
+  let chip = Chip.make ~num_rows:2 ~num_sites:60 () in
+  let cells = Array.init 2 (fun id -> Cell.make ~id ~width:3 ~height:1 ()) in
+  let nets =
+    Netlist.make ~num_cells:2
+      [ [| { Netlist.cell = 0; dx = 1.5; dy = 0.5 };
+           { Netlist.cell = 1; dx = 1.5; dy = 0.5 } |] ]
+  in
+  let pl () = Placement.make ~xs:[| 0.0; 50.0 |] ~ys:[| 0.0; 0.0 |] in
+  let d =
+    Design.make ~name:"pair" ~chip ~cells ~global:(pl ()) ~nets ()
+  in
+  let refined, stats = Refine.run d (pl ()) in
+  Alcotest.(check bool) "legal" true (Legality.is_legal d refined);
+  Alcotest.(check bool)
+    (Printf.sprintf "hpwl shrank (%.1f -> %.1f)" stats.Refine.hpwl_before
+       stats.Refine.hpwl_after)
+    true
+    (stats.Refine.hpwl_after < 10.0)
+
+let test_deterministic () =
+  let inst = instance "fft_a" 0.01 in
+  let d = inst.Generate.design in
+  let legal = legal_flow d in
+  let r1, s1 = Refine.run d legal in
+  let r2, s2 = Refine.run d legal in
+  Alcotest.(check bool) "same placement" true (Placement.equal r1 r2);
+  Alcotest.(check (float 0.0)) "same hpwl" s1.Refine.hpwl_after s2.Refine.hpwl_after
+
+let qc_refine_legal_and_monotone =
+  QCheck.Test.make ~count:15
+    ~name:"refine: legal and never worse on random instances"
+    QCheck.(pair (int_range 1 10_000) (int_range 0 19))
+    (fun (seed, bench_idx) ->
+      let name = List.nth Spec.names bench_idx in
+      let inst =
+        Generate.generate
+          ~options:{ Generate.default_options with seed }
+          (Spec.scaled 0.003 (Spec.find name))
+      in
+      let d = inst.Generate.design in
+      let legal = Flow.legalize d in
+      let refined, stats = Refine.run d legal in
+      Legality.is_legal d refined
+      && stats.Refine.hpwl_after <= stats.Refine.hpwl_before +. 1e-9)
+
+let () =
+  Alcotest.run "refine"
+    [ ( "invariants",
+        [ Alcotest.test_case "rejects illegal input" `Quick test_rejects_illegal_input;
+          Alcotest.test_case "preserves legality" `Quick test_preserves_legality;
+          Alcotest.test_case "never worse" `Quick test_never_worse;
+          Alcotest.test_case "individual phases" `Quick test_individual_phases_legal;
+          Alcotest.test_case "tall cells" `Quick test_tall_cells_refine ] );
+      ( "behaviour",
+        [ Alcotest.test_case "no nets no-op" `Quick test_no_nets_noop;
+          Alcotest.test_case "pulls pair together" `Quick test_pulls_connected_pair_together;
+          Alcotest.test_case "deterministic" `Quick test_deterministic ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ qc_refine_legal_and_monotone ] ) ]

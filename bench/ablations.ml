@@ -79,12 +79,12 @@ let run () =
   (* Schur paths *)
   Printf.printf "\n--- Schur complement path (D assembly time) ---\n";
   let time f =
-    let t0 = Sys.time () in
+    let t0 = Mclh_par.Clock.now () in
     let reps = 50 in
     for _ = 1 to reps do
       ignore (f ())
     done;
-    (Sys.time () -. t0) /. float_of_int reps
+    (Mclh_par.Clock.now () -. t0) /. float_of_int reps
   in
   let lambda = Config.default.Config.lambda in
   let t_sm =
@@ -104,9 +104,8 @@ let run () =
     let config =
       { Config.default with warm_start; eps = 1e-6; max_iter = 200_000 }
     in
-    let t0 = Sys.time () in
-    let res = Solver.solve ~config model in
-    (res.Solver.iterations, res.Solver.converged, Sys.time () -. t0)
+    let res, dt = Mclh_par.Clock.timed (fun () -> Solver.solve ~config model) in
+    (res.Solver.iterations, res.Solver.converged, dt)
   in
   let it_plain, conv_plain, t_plain = run_ws false in
   let it_warm, conv_warm, t_warm = run_ws true in

@@ -10,10 +10,7 @@ open Mclh_circuit
 open Mclh_core
 open Mclh_report
 
-let time f =
-  let t0 = Sys.time () in
-  let v = f () in
-  (v, Sys.time () -. t0)
+let time f = Mclh_par.Clock.timed f
 
 let run () =
   Util.section
@@ -31,34 +28,39 @@ let run () =
         { title = "t PlaceRow (s)"; align = Right };
         { title = "t PlaceRow batch (s)"; align = Right } ]
   in
+  let measure name =
+    let inst = Util.instance ~single_height:true name in
+    let d = inst.Mclh_benchgen.Generate.design in
+    let rh = Util.row_height d in
+    let config = { Config.default with eps = 1e-9; max_iter = 500_000 } in
+    (* both paths share assignment + model building; time the solvers *)
+    let assignment = Row_assign.assign d in
+    let model = Model.build d assignment in
+    let solver_res, t_mmsim = time (fun () -> Solver.solve ~config model) in
+    let mmsim_relaxed = Model.placement_of model solver_res.Solver.x in
+    let mmsim_legal = (Tetris_alloc.run d mmsim_relaxed).Tetris_alloc.placement in
+    let placerow_pl, t_placerow =
+      time (fun () -> Abacus.legalize_fixed_rows_incremental d assignment)
+    in
+    let _, t_placerow_batch =
+      time (fun () -> Abacus.legalize_fixed_rows d assignment)
+    in
+    let placerow_legal = (Tetris_alloc.run d placerow_pl).Tetris_alloc.placement in
+    let da =
+      (Metrics.displacement ~row_height:rh ~before:d.Design.global mmsim_legal)
+        .Metrics.total_manhattan
+    and db =
+      (Metrics.displacement ~row_height:rh ~before:d.Design.global placerow_legal)
+        .Metrics.total_manhattan
+    in
+    (name, da, db, solver_res.Solver.iterations, t_mmsim, t_placerow,
+     t_placerow_batch)
+  in
+  let rows = Util.fanout ~label:"sec53 fan-out" measure (Util.benchmarks ()) in
   let equal_count = ref 0 and total = ref 0 in
   let sum_mmsim_t = ref 0.0 and sum_placerow_t = ref 0.0 in
   List.iter
-    (fun name ->
-      let inst = Util.instance ~single_height:true name in
-      let d = inst.Mclh_benchgen.Generate.design in
-      let rh = Util.row_height d in
-      let config = { Config.default with eps = 1e-9; max_iter = 500_000 } in
-      (* both paths share assignment + model building; time the solvers *)
-      let assignment = Row_assign.assign d in
-      let model = Model.build d assignment in
-      let solver_res, t_mmsim = time (fun () -> Solver.solve ~config model) in
-      let mmsim_relaxed = Model.placement_of model solver_res.Solver.x in
-      let mmsim_legal = (Tetris_alloc.run d mmsim_relaxed).Tetris_alloc.placement in
-      let placerow_pl, t_placerow =
-        time (fun () -> Abacus.legalize_fixed_rows_incremental d assignment)
-      in
-      let _, t_placerow_batch =
-        time (fun () -> Abacus.legalize_fixed_rows d assignment)
-      in
-      let placerow_legal = (Tetris_alloc.run d placerow_pl).Tetris_alloc.placement in
-      let da =
-        (Metrics.displacement ~row_height:rh ~before:d.Design.global mmsim_legal)
-          .Metrics.total_manhattan
-      and db =
-        (Metrics.displacement ~row_height:rh ~before:d.Design.global placerow_legal)
-          .Metrics.total_manhattan
-      in
+    (fun (name, da, db, iters, t_mmsim, t_placerow, t_placerow_batch) ->
       let equal = Float.abs (da -. db) <= 1e-6 *. Float.max 1.0 db in
       incr total;
       if equal then incr equal_count;
@@ -69,11 +71,11 @@ let run () =
           Table.fmt_float 1 da;
           Table.fmt_float 1 db;
           (if equal then "yes" else "NO");
-          string_of_int solver_res.Solver.iterations;
+          string_of_int iters;
           Table.fmt_float 3 t_mmsim;
           Table.fmt_float 3 t_placerow;
           Table.fmt_float 3 t_placerow_batch ])
-    (Util.benchmarks ());
+    rows;
   print_string (Table.render table);
   Printf.printf
     "\nEqual displacements: %d / %d benchmarks (paper: 20/20).\n" !equal_count

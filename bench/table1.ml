@@ -28,7 +28,7 @@ let run () =
     let res = Flow.run d in
     (name, d, res)
   in
-  let rows = Util.parallel_map measure (Util.benchmarks ()) in
+  let rows = Util.fanout ~label:"table1 fan-out" measure (Util.benchmarks ()) in
   List.iter
     (fun (name, d, res) ->
       let n = Design.num_cells d in

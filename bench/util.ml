@@ -51,39 +51,29 @@ let instance ?(single_height = false) name =
     inst
 
 (* deterministic parallel map over independent benchmark jobs: results come
-   back in input order whatever the scheduling *)
+   back in input order whatever the scheduling. The shared domain pool
+   honours MCLH_DOMAINS; nested parallel layers (Fence territories, the
+   solver's chain chunks) find the pool busy and run sequentially. *)
+let pool () = Mclh_par.Pool.default ()
+
 let parallel_map f items =
-  let arr = Array.of_list items in
-  let n = Array.length arr in
-  let domains =
-    match Sys.getenv_opt "MCLH_DOMAINS" with
-    | Some s -> (try max 1 (int_of_string s) with _ -> 1)
-    | None -> max 1 (min 8 (Domain.recommended_domain_count () - 1))
-  in
-  if domains <= 1 || n <= 1 then Array.to_list (Array.map f arr)
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <- Some (f arr.(i));
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let spawned =
-      List.init (min (domains - 1) (n - 1)) (fun _ -> Domain.spawn worker)
-    in
-    worker ();
-    List.iter Domain.join spawned;
-    Array.to_list
-      (Array.map
-         (function Some v -> v | None -> failwith "parallel_map: missing result")
-         results)
-  end
+  Array.to_list (Mclh_par.Pool.parallel_map (pool ()) f (Array.of_list items))
+
+(* fan [f] out over the benchmark jobs, timing each job and the whole
+   fan-out on the wall clock, and report the multicore speedup: summed
+   per-job wall seconds vs elapsed wall seconds *)
+let fanout ~label f items =
+  let t0 = Mclh_par.Clock.now () in
+  let timed_results = parallel_map (fun x -> Mclh_par.Clock.timed (fun () -> f x)) items in
+  let wall = Mclh_par.Clock.now () -. t0 in
+  let work = List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 timed_results in
+  Printf.printf
+    "[%s] %d jobs on %d domains: %.2fs of work in %.2fs wall (%.2fx speedup)\n%!"
+    label (List.length timed_results)
+    (Mclh_par.Pool.size (pool ()))
+    work wall
+    (if wall > 0.0 then work /. wall else 1.0);
+  List.map fst timed_results
 
 let row_height (d : Design.t) = d.Design.chip.Chip.row_height
 

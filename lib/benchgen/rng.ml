@@ -22,10 +22,22 @@ let next_int64 t =
 
 let split t = { state = next_int64 t }
 
+(* uniform in [0, bound) by rejection: [v mod bound] alone is biased for
+   any bound that does not divide 2^62 (the low residues are hit one extra
+   time). Draw 62-bit values and reject those at or above the largest
+   multiple of bound, so every residue is equally likely; the rejection
+   probability is bound / 2^62 per draw. *)
+let two_62 = Int64.shift_left 1L 62
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-  v mod bound
+  let b = Int64.of_int bound in
+  let limit = Int64.sub two_62 (Int64.rem two_62 b) in
+  let rec draw () =
+    let v = Int64.shift_right_logical (next_int64 t) 2 in
+    if v >= limit then draw () else Int64.to_int (Int64.rem v b)
+  in
+  draw ()
 
 let int_in t lo hi =
   if lo > hi then invalid_arg "Rng.int_in: empty range";

@@ -19,7 +19,9 @@ val split : t -> t
     parent). *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [0, bound); [bound] must be positive. *)
+(** [int t bound] is uniform in [0, bound); [bound] must be positive.
+    Exactly uniform: draws are rejection-sampled, so there is no modulo
+    bias toward the low residues. *)
 
 val int_in : t -> int -> int -> int
 (** [int_in t lo hi] is uniform in [lo, hi] inclusive; requires [lo <= hi]. *)

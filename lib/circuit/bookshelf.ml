@@ -217,7 +217,7 @@ let read_scl file =
              (List.length rows));
       rows)
 
-let read_nets file nodes_index =
+let read_nets file nodes nodes_index =
   let r = open_reader file in
   Fun.protect
     ~finally:(fun () -> close_in r.ic)
@@ -234,18 +234,27 @@ let read_nets file nodes_index =
           | "NetDegree" :: ":" :: k :: _ ->
             let k = int_of_string k in
             let pins = ref [] in
+            (* a pin on a terminal is legitimately dropped (blockages carry
+               no nets), but a name absent from .nodes altogether is a
+               broken input and must not pass silently *)
+            let add_pin name dx dy =
+              match Hashtbl.find_opt nodes_index name with
+              | Some cell -> pins := (cell, dx, dy) :: !pins
+              | None ->
+                if not (Hashtbl.mem nodes name) then
+                  fail r
+                    (Printf.sprintf
+                       "net pin references node '%s', which is not defined \
+                        in the .nodes file"
+                       name)
+            in
             for _ = 1 to k do
               match next_line r with
               | Some pin_line ->
                 (match tokens pin_line with
                 | name :: _dir :: ":" :: dx :: dy :: _ ->
-                  (match Hashtbl.find_opt nodes_index name with
-                  | Some cell -> pins := (cell, float_of_string dx, float_of_string dy) :: !pins
-                  | None -> () (* pins on terminals are dropped *))
-                | [ name; _dir ] ->
-                  (match Hashtbl.find_opt nodes_index name with
-                  | Some cell -> pins := (cell, 0.0, 0.0) :: !pins
-                  | None -> ())
+                  add_pin name (float_of_string dx) (float_of_string dy)
+                | [ name; _dir ] -> add_pin name 0.0 0.0
                 | _ -> fail r "expected '<node> <dir> : <dx> <dy>'")
               | None -> fail r "unterminated net"
             done;
@@ -293,10 +302,22 @@ let read ~aux =
   let num_rows = List.length rows in
   let num_sites = List.fold_left (fun acc row -> max acc row.num_sites) 1 rows in
   let chip = Chip.make ~row_height ~num_rows ~num_sites () in
+  (* every node lookup goes through this: a name that is referenced but
+     missing from .nodes must name the file and the node, not escape as a
+     bare Not_found *)
+  let node_info name =
+    match Hashtbl.find_opt nodes name with
+    | Some node -> node
+    | None ->
+      failwith
+        (Printf.sprintf
+           "%s: node '%s' is referenced but not defined in the .nodes file"
+           aux name)
+  in
   (* split nodes into movable cells and terminal blockages, preserving file
      order for ids *)
-  let movable = List.filter (fun name -> not (Hashtbl.find nodes name).terminal) node_order in
-  let terminals = List.filter (fun name -> (Hashtbl.find nodes name).terminal) node_order in
+  let movable = List.filter (fun name -> not (node_info name).terminal) node_order in
+  let terminals = List.filter (fun name -> (node_info name).terminal) node_order in
   let to_rows name h =
     let k = h /. row_height in
     let ki = Float.round k in
@@ -317,7 +338,7 @@ let read ~aux =
     Array.of_list
       (List.mapi
          (fun id name ->
-           let node = Hashtbl.find nodes name in
+           let node = node_info name in
            let h = to_rows name node.height in
            let x, y = position name in
            xs.(id) <- x;
@@ -342,7 +363,7 @@ let read ~aux =
     Array.of_list
       (List.map
          (fun name ->
-           let node = Hashtbl.find nodes name in
+           let node = node_info name in
            let x, y = position name in
            Blockage.make
              ~row:(max 0 (int_of_float (Float.round y)))
@@ -352,7 +373,7 @@ let read ~aux =
          terminals)
   in
   let nets =
-    read_nets (find_ext ".nets") node_index
+    read_nets (find_ext ".nets") nodes node_index
     |> List.map (fun pins ->
            pins
            |> List.map (fun (cell, dx, dy) ->

@@ -8,6 +8,7 @@ type t = {
   use_sherman_morrison : bool;
   verify_bound : bool;
   warm_start : bool;
+  num_domains : int;
 }
 
 (* eps is measured in site widths; final positions snap to integer sites,
@@ -23,7 +24,8 @@ let default =
     max_iter = 10_000;
     use_sherman_morrison = true;
     verify_bound = false;
-    warm_start = true }
+    warm_start = true;
+    num_domains = Mclh_par.Pool.default_num_domains () }
 
 let validate t =
   if t.lambda <= 0.0 then Error "lambda must be positive"
@@ -32,4 +34,5 @@ let validate t =
   else if t.gamma <= 0.0 then Error "gamma must be positive"
   else if t.eps <= 0.0 then Error "eps must be positive"
   else if t.max_iter <= 0 then Error "max_iter must be positive"
+  else if t.num_domains < 1 then Error "num_domains must be >= 1"
   else Ok t

@@ -21,6 +21,13 @@ type t = {
       (** start Algorithm 1 from the {!Warm_start} modulus vector instead
           of the plain global-placement start; identical fixed point, far
           fewer iterations (see the ablation bench) *)
+  num_domains : int;
+      (** parallelism degree for the multicore layers ({!Fence}
+          territories, the solver's per-chain top-block solves); [1]
+          bypasses the domain pool entirely. Defaults to
+          {!Mclh_par.Pool.default_num_domains}, i.e. the [MCLH_DOMAINS]
+          environment override when set. Parallel and sequential runs
+          produce bit-identical placements. *)
 }
 
 val default : t

@@ -34,10 +34,10 @@ let sub_design (design : Design.t) ~label ~cell_ids ~extra_blockages =
     ~nets:(Netlist.empty ~num_cells:(Array.length cells))
     ()
 
-let legalize ?config (design : Design.t) =
+let legalize ?(config = Config.default) (design : Design.t) =
   let num_regions = Array.length design.Design.regions in
   if num_regions = 0 then begin
-    let result = Flow.run ?config design in
+    let result = Flow.run ~config design in
     ( result.Flow.legal,
       { territories = 1;
         per_territory =
@@ -55,36 +55,54 @@ let legalize ?config (design : Design.t) =
       in
       classes.(k) <- i :: classes.(k)
     done;
+    (* one job per non-empty territory, in class order; the sub-problems
+       are independent (disjoint cell sets, disjoint geometry), so they
+       fan out over the domain pool. Results come back in job order and
+       every job writes a disjoint set of cell indices, so the merged
+       placement is identical to a sequential run. *)
+    let jobs =
+      Array.of_list
+        (List.filter_map
+           (fun k -> if classes.(k) = [] then None else Some k)
+           (List.init (num_regions + 1) Fun.id))
+    in
+    let run_territory k =
+      let cell_ids = classes.(k) in
+      let label, extra =
+        if k < num_regions then begin
+          let reg = design.Design.regions.(k) in
+          ( reg.Region.name,
+            Region.complement_blockages reg design.Design.chip )
+        end
+        else
+          ( "default",
+            Array.to_list design.Design.regions
+            |> List.concat_map Region.to_blockages )
+      in
+      let sub = sub_design design ~label ~cell_ids ~extra_blockages:extra in
+      let result = Flow.run ~config sub in
+      (label, cell_ids, result)
+    in
+    let results =
+      if config.Config.num_domains <= 1 then Array.map run_territory jobs
+      else
+        Mclh_par.Pool.parallel_map
+          (Mclh_par.Pool.get ~num_domains:config.Config.num_domains)
+          run_territory jobs
+    in
     let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
-    let per_territory = ref [] in
-    let solved = ref 0 in
-    Array.iteri
-      (fun k cell_ids ->
-        if cell_ids <> [] then begin
-          let label, extra =
-            if k < num_regions then begin
-              let reg = design.Design.regions.(k) in
-              ( reg.Region.name,
-                Region.complement_blockages reg design.Design.chip )
-            end
-            else
-              ( "default",
-                Array.to_list design.Design.regions
-                |> List.concat_map Region.to_blockages )
-          in
-          let sub = sub_design design ~label ~cell_ids ~extra_blockages:extra in
-          let result = Flow.run ?config sub in
-          incr solved;
-          per_territory :=
-            (label, List.length cell_ids, result.Flow.solver.Solver.iterations)
-            :: !per_territory;
-          List.iteri
-            (fun new_id old_id ->
-              xs.(old_id) <- result.Flow.legal.Placement.xs.(new_id);
-              ys.(old_id) <- result.Flow.legal.Placement.ys.(new_id))
-            cell_ids
-        end)
-      classes;
+    let per_territory =
+      Array.to_list results
+      |> List.map (fun (label, cell_ids, result) ->
+             List.iteri
+               (fun new_id old_id ->
+                 xs.(old_id) <- result.Flow.legal.Placement.xs.(new_id);
+                 ys.(old_id) <- result.Flow.legal.Placement.ys.(new_id))
+               cell_ids;
+             ( label,
+               List.length cell_ids,
+               result.Flow.solver.Solver.iterations ))
+    in
     ( Placement.make ~xs ~ys,
-      { territories = !solved; per_territory = List.rev !per_territory } )
+      { territories = Array.length results; per_territory } )
   end

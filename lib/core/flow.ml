@@ -20,13 +20,12 @@ type result = {
   timings : timings;
 }
 
-let timed f =
-  let t0 = Sys.time () in
-  let v = f () in
-  (v, Sys.time () -. t0)
+(* wall clock, not [Sys.time]: processor time over-counts multicore
+   stages and under-counts anything that blocks *)
+let timed = Mclh_par.Clock.timed
 
 let run ?(config = Config.default) design =
-  let start = Sys.time () in
+  let start = Mclh_par.Clock.now () in
   let assignment, assign_s = timed (fun () -> Row_assign.assign design) in
   Log.debug (fun m ->
       m "%s: rows assigned, y displacement %.1f sites (%.3fs)"
@@ -57,7 +56,11 @@ let run ?(config = Config.default) design =
     solver;
     alloc;
     timings =
-      { assign_s; model_s; solve_s; alloc_s; total_s = Sys.time () -. start } }
+      { assign_s;
+        model_s;
+        solve_s;
+        alloc_s;
+        total_s = Mclh_par.Clock.now () -. start } }
 
 let legalize ?config design = (run ?config design).legal
 

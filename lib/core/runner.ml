@@ -32,7 +32,7 @@ type report = {
 let snap design placement = (Tetris_alloc.run design placement).Tetris_alloc.placement
 
 let run ?config algorithm design =
-  let t0 = Sys.time () in
+  let t0 = Mclh_par.Clock.now () in
   let placement, mmsim =
     match algorithm with
     | Mmsim ->
@@ -53,7 +53,7 @@ let run ?config algorithm design =
     | Abacus_multirow -> (snap design (Abacus_mr.legalize design), None)
     | Tetris -> (Tetris_legal.legalize design, None)
   in
-  let runtime_s = Sys.time () -. t0 in
+  let runtime_s = Mclh_par.Clock.now () -. t0 in
   { algorithm;
     placement;
     legal = Legality.is_legal design placement;
@@ -65,3 +65,32 @@ let run ?config algorithm design =
         design.Design.nets ~before:design.Design.global placement;
     runtime_s;
     mmsim }
+
+let run_all ?config ?(algorithms = all) designs =
+  let num_domains =
+    match config with
+    | Some c -> c.Config.num_domains
+    | None -> Config.default.Config.num_domains
+  in
+  (* flatten to one job per (design, algorithm) pair for load balance —
+     a slow MMSIM solve on one design should not serialize the cheap
+     baselines of the others — and regroup in input order afterwards *)
+  let designs = Array.of_list designs in
+  let algorithms = Array.of_list algorithms in
+  let na = Array.length algorithms in
+  let jobs =
+    Array.init
+      (Array.length designs * na)
+      (fun i -> (designs.(i / na), algorithms.(i mod na)))
+  in
+  let reports =
+    if num_domains <= 1 then
+      Array.map (fun (d, alg) -> run ?config alg d) jobs
+    else
+      Mclh_par.Pool.parallel_map
+        (Mclh_par.Pool.get ~num_domains)
+        (fun (d, alg) -> run ?config alg d)
+        jobs
+  in
+  List.init (Array.length designs) (fun i ->
+      List.init na (fun j -> reports.((i * na) + j)))

@@ -31,3 +31,12 @@ type report = {
 }
 
 val run : ?config:Config.t -> algorithm -> Design.t -> report
+
+val run_all :
+  ?config:Config.t -> ?algorithms:algorithm list -> Design.t list ->
+  report list list
+(** [run_all designs] runs every algorithm (default {!all}) on every
+    design, fanning the (design, algorithm) jobs out over the domain
+    pool (degree [config.num_domains]; [1] stays fully sequential).
+    Returns one report list per design, algorithms in input order —
+    the same reports, in the same order, as nested {!run} loops. *)

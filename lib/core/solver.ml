@@ -89,12 +89,29 @@ let operators (model : Model.t) (config : Config.t) =
     solve_m_omega;
     omega_diag = Vec.create (n + m) 1.0 }
 
+(* Minimum chains per domain chunk for the parallel top-block path: below
+   this the per-iteration pool barrier costs more than the arrowhead
+   solves it spreads out. Chunks are contiguous chain ranges with
+   disjoint variable footprints, so the parallel path is bit-identical
+   to the sequential one (asserted by test_par.ml, which lowers this
+   threshold to force the path on small models). *)
+let par_chain_chunk = ref 1024
+
 (* allocation-free operator set: the same mathematics as [operators], with
    every intermediate in preallocated scratch; used by the production
    solve loop *)
 let operators_inplace (model : Model.t) (config : Config.t) =
   let n = model.nvars and m = Model.num_constraints model in
   let { Config.lambda; beta; theta; _ } = config in
+  let nchains = Blocks.num_chains model.blocks in
+  let chain_chunk = !par_chain_chunk in
+  let pool =
+    (* the tridiagonal Schur sweep is inherently sequential (Thomas
+       recurrence); only the independent per-chain solves chunk out *)
+    if config.num_domains > 1 && nchains >= 2 * chain_chunk then
+      Some (Mclh_par.Pool.get ~num_domains:config.num_domains)
+    else None
+  in
   let d =
     Schur.tridiag
       ~path:
@@ -115,8 +132,16 @@ let operators_inplace (model : Model.t) (config : Config.t) =
     Array.blit z 0 xbuf 0 n;
     Array.blit z n rbuf 0 m
   in
+  let apply_ete x dst =
+    match pool with
+    | None -> Blocks.apply_ete_into model.blocks x dst
+    | Some p ->
+      Array.fill dst 0 n 0.0;
+      Mclh_par.Pool.parallel_iter_chunks ~min_chunk:chain_chunk p nchains
+        ~f:(fun lo hi -> Blocks.apply_ete_chains model.blocks ~lo ~hi x dst)
+  in
   let q_tilde_into x out =
-    Blocks.apply_ete_into model.blocks x ete_buf;
+    apply_ete x ete_buf;
     for i = 0 to n - 1 do
       out.(i) <- x.(i) +. (lambda *. ete_buf.(i))
     done
@@ -146,10 +171,23 @@ let operators_inplace (model : Model.t) (config : Config.t) =
     end
   in
   let alpha = 1.0 +. (1.0 /. beta) and coef = lambda /. beta in
+  let solve_shifted b dst =
+    match pool with
+    | None -> Blocks.solve_shifted_into ~alpha ~coef model.blocks b dst
+    | Some p ->
+      (* chain chunks write disjoint variable slices; the chain-free
+         diagonal entries follow in a second sweep over variable ranges *)
+      Mclh_par.Pool.parallel_iter_chunks ~min_chunk:chain_chunk p nchains
+        ~f:(fun lo hi ->
+          Blocks.solve_shifted_chains ~alpha ~coef model.blocks ~lo ~hi b dst);
+      Mclh_par.Pool.parallel_iter_chunks ~min_chunk:(16 * chain_chunk) p n
+        ~f:(fun lo hi ->
+          Blocks.solve_shifted_singles ~alpha model.blocks ~lo ~hi b dst)
+  in
   let solve_m_omega_into rhs dst =
     split rhs;
     (* top: ((1/beta) Q~ + I) s_x = rhs_x, solved per chain into dst *)
-    Blocks.solve_shifted_into ~alpha ~coef model.blocks xbuf xbuf;
+    solve_shifted xbuf xbuf;
     Array.blit xbuf 0 dst 0 n;
     (* bottom: ((1/theta) D + I) s_r = rhs_r - B s_x *)
     if m > 0 then begin

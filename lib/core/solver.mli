@@ -34,6 +34,15 @@ val operators : Model.t -> Config.t -> Mclh_lcp.Mmsim.operators
 (** The MMSIM operators for this model/config — exposed for tests that
     drive the generic solver directly. *)
 
+val par_chain_chunk : int ref
+(** Minimum chains per domain chunk before the top-block solves of
+    {!operators_inplace} fan out over the pool (when
+    [config.num_domains > 1]); below [2 * !par_chain_chunk] chains the
+    per-iteration barrier is not worth paying and the solve stays
+    sequential. Exposed so tests can lower it and exercise the parallel
+    path on small models; the parallel path is bit-identical to the
+    sequential one either way. *)
+
 val operators_inplace : Model.t -> Config.t -> Mclh_lcp.Mmsim.operators_inplace
 (** Allocation-free operators over preallocated scratch buffers; the
     production path ({!solve} uses {!Mclh_lcp.Mmsim.solve_inplace} with

@@ -37,24 +37,37 @@ let chain_of_var t v =
 
 let chain_vars t c = Array.copy t.chains.(c)
 
+let check_chain_range t ~lo ~hi name =
+  if lo < 0 || hi > Array.length t.chains || lo > hi then
+    invalid_arg (name ^ ": chain range out of bounds")
+
+(* E^T E contribution of chains [lo, hi) only; touches exactly those
+   chains' variables, so disjoint ranges write disjoint slices of [dst]
+   and the range decomposition is safe to run on separate domains. The
+   caller is responsible for zeroing (or otherwise initializing) the
+   entries of variables outside every chain. *)
+let apply_ete_chains t ~lo ~hi x dst =
+  check_chain_range t ~lo ~hi "Blocks.apply_ete_chains";
+  for c = lo to hi - 1 do
+    let vars = t.chains.(c) in
+    let hub = vars.(0) in
+    let d = Array.length vars in
+    let sum_spokes = ref 0.0 in
+    for k = 1 to d - 1 do
+      let s = vars.(k) in
+      dst.(s) <- x.(s) -. x.(hub);
+      sum_spokes := !sum_spokes +. x.(s)
+    done;
+    dst.(hub) <- (float_of_int (d - 1) *. x.(hub)) -. !sum_spokes
+  done
+
 let apply_ete_into t x dst =
   if Array.length x <> t.nvars || Array.length dst <> t.nvars then
     invalid_arg "Blocks.apply_ete_into: dimension mismatch";
   (* write result; safe even if x == dst is NOT allowed, so stage per chain *)
   if x == dst then invalid_arg "Blocks.apply_ete_into: aliased arguments";
   Array.fill dst 0 t.nvars 0.0;
-  Array.iter
-    (fun vars ->
-      let hub = vars.(0) in
-      let d = Array.length vars in
-      let sum_spokes = ref 0.0 in
-      for k = 1 to d - 1 do
-        let s = vars.(k) in
-        dst.(s) <- x.(s) -. x.(hub);
-        sum_spokes := !sum_spokes +. x.(s)
-      done;
-      dst.(hub) <- (float_of_int (d - 1) *. x.(hub)) -. !sum_spokes)
-    t.chains
+  apply_ete_chains t ~lo:0 ~hi:(Array.length t.chains) x dst
 
 let apply_ete t x =
   let dst = Array.make t.nvars 0.0 in
@@ -90,28 +103,44 @@ let check_params ~alpha ~coef =
   if not (alpha > 0.0) then invalid_arg "Blocks.solve_shifted: alpha <= 0";
   if coef < 0.0 then invalid_arg "Blocks.solve_shifted: coef < 0"
 
+(* arrowhead solves for chains [lo, hi) only; touches exactly those
+   chains' entries of [dst], so disjoint ranges are domain-safe. Chain
+   solves read all of a chain's b before writing it (the inputs are
+   staged), so b == dst is safe. *)
+let solve_shifted_chains ~alpha ~coef t ~lo ~hi b dst =
+  check_params ~alpha ~coef;
+  check_chain_range t ~lo ~hi "Blocks.solve_shifted_chains";
+  for c = lo to hi - 1 do
+    let vars = t.chains.(c) in
+    let local = Array.map (fun v -> b.(v)) vars in
+    let idx v =
+      (* position of v within vars; chains are tiny so linear scan is fine *)
+      let rec go k = if vars.(k) = v then k else go (k + 1) in
+      go 0
+    in
+    solve_chain ~alpha ~coef vars
+      (fun v -> local.(idx v))
+      (fun v y -> dst.(v) <- y)
+  done
+
+(* the diagonal part of the shifted solve: variables in [lo, hi) that
+   belong to no chain; disjoint variable ranges are domain-safe *)
+let solve_shifted_singles ~alpha t ~lo ~hi b dst =
+  if not (alpha > 0.0) then
+    invalid_arg "Blocks.solve_shifted_singles: alpha <= 0";
+  if lo < 0 || hi > t.nvars || lo > hi then
+    invalid_arg "Blocks.solve_shifted_singles: variable range out of bounds";
+  let inv_alpha = 1.0 /. alpha in
+  for v = lo to hi - 1 do
+    if t.chain_of.(v) = -1 then dst.(v) <- b.(v) *. inv_alpha
+  done
+
 let solve_shifted_into ~alpha ~coef t b dst =
   check_params ~alpha ~coef;
   if Array.length b <> t.nvars || Array.length dst <> t.nvars then
     invalid_arg "Blocks.solve_shifted_into: dimension mismatch";
-  (* chain solves read all of a chain's b before writing it, so staging the
-     chain inputs first makes b == dst safe *)
-  let inv_alpha = 1.0 /. alpha in
-  Array.iter
-    (fun vars ->
-      let local = Array.map (fun v -> b.(v)) vars in
-      let idx v =
-        (* position of v within vars; chains are tiny so linear scan is fine *)
-        let rec go k = if vars.(k) = v then k else go (k + 1) in
-        go 0
-      in
-      solve_chain ~alpha ~coef vars
-        (fun v -> local.(idx v))
-        (fun v y -> dst.(v) <- y))
-    t.chains;
-  for v = 0 to t.nvars - 1 do
-    if t.chain_of.(v) = -1 then dst.(v) <- b.(v) *. inv_alpha
-  done
+  solve_shifted_chains ~alpha ~coef t ~lo:0 ~hi:(Array.length t.chains) b dst;
+  solve_shifted_singles ~alpha t ~lo:0 ~hi:t.nvars b dst
 
 let solve_shifted ~alpha ~coef t b =
   let dst = Array.make t.nvars 0.0 in

@@ -36,6 +36,14 @@ val apply_ete : t -> Vec.t -> Vec.t
 
 val apply_ete_into : t -> Vec.t -> Vec.t -> unit
 
+val apply_ete_chains : t -> lo:int -> hi:int -> Vec.t -> Vec.t -> unit
+(** [apply_ete_chains t ~lo ~hi x dst] writes the [E^T E x] entries of
+    chains [lo, hi) (and only those chains' variables) into [dst].
+    Disjoint chain ranges touch disjoint slices of [dst], so the range
+    decomposition may run on separate domains; the caller zeroes the
+    entries of chain-free variables once up front. Covering the full
+    range reproduces {!apply_ete_into} bit for bit. *)
+
 val solve_shifted : alpha:float -> coef:float -> t -> Vec.t -> Vec.t
 (** [solve_shifted ~alpha ~coef t b] solves [(alpha I + coef E^T E) y = b].
     Requires [alpha > 0] and [coef >= 0]; raises [Invalid_argument]
@@ -44,6 +52,20 @@ val solve_shifted : alpha:float -> coef:float -> t -> Vec.t -> Vec.t
 val solve_shifted_into : alpha:float -> coef:float -> t -> Vec.t -> Vec.t -> unit
 (** In-place variant writing into a caller-provided destination (the MMSIM
     hot path). [b] and the destination may be the same array. *)
+
+val solve_shifted_chains :
+  alpha:float -> coef:float -> t -> lo:int -> hi:int -> Vec.t -> Vec.t -> unit
+(** The arrowhead solves of chains [lo, hi) only, writing exactly those
+    chains' entries of the destination; disjoint ranges are domain-safe
+    and [b] may alias the destination (chain inputs are staged). *)
+
+val solve_shifted_singles :
+  alpha:float -> t -> lo:int -> hi:int -> Vec.t -> Vec.t -> unit
+(** The diagonal part of {!solve_shifted_into}: for variables in
+    [lo, hi) that belong to no chain, writes [b.(v) / alpha]; other
+    entries are untouched. Disjoint variable ranges are domain-safe.
+    Running {!solve_shifted_chains} then this over the full ranges
+    reproduces {!solve_shifted_into} bit for bit. *)
 
 val solve_shifted_sparse :
   alpha:float -> coef:float -> t -> (int * float) list -> (int * float) list

@@ -1,0 +1,56 @@
+(** A reusable domain pool for the repository's embarrassingly parallel
+    stages (fence territories, benchmark fan-out, per-chain arrowhead
+    solves).
+
+    Worker domains persist across jobs and park between submissions, so
+    dispatch is cheap enough for per-iteration use inside the MMSIM
+    solver loop. The pool is non-reentrant by design: a nested parallel
+    call from inside a running job degrades to the sequential path
+    instead of oversubscribing the machine. Work partitioning is
+    index-deterministic and parallel writes target disjoint slices, so
+    parallel and sequential execution produce bit-identical results. *)
+
+type t
+
+val create : num_domains:int -> t
+(** A pool of parallelism degree [num_domains] (the submitting domain
+    participates; [num_domains - 1] worker domains are spawned).
+    [num_domains = 1] spawns nothing and runs everything sequentially.
+    @raise Invalid_argument if [num_domains < 1]. *)
+
+val size : t -> int
+(** The pool's parallelism degree. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains. Idempotent; subsequent parallel calls on
+    the pool fall back to sequential execution. Pools obtained from
+    {!get} / {!default} are process-lifetime and need no shutdown. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f arr] applies [f] to every element, dynamically
+    load-balanced over the pool, and collects results in index order.
+    If any application raises, the first exception is re-raised in the
+    caller after all workers finish. Runs sequentially when the pool is
+    degenerate, busy (nested call), or [arr] has fewer than two
+    elements. *)
+
+val parallel_iter_chunks : ?min_chunk:int -> t -> int -> f:(int -> int -> unit) -> unit
+(** [parallel_iter_chunks pool n ~f] covers the index range [0, n) with
+    disjoint contiguous chunks, calling [f lo hi] for each (the chunk is
+    [lo, hi)). Chunks are statically partitioned over the pool members;
+    [min_chunk] bounds how finely the range is split (a range of at most
+    [min_chunk] indices is processed by the caller alone). Falls back to
+    a single [f 0 n] call in the same situations as {!parallel_map}. *)
+
+val default_num_domains : unit -> int
+(** The [MCLH_DOMAINS] environment override when set (clamped to >= 1),
+    otherwise [min 8 (Domain.recommended_domain_count ())]. *)
+
+val get : num_domains:int -> t
+(** The shared process-lifetime pool of the given degree (created on
+    first use). Layers that are handed the same degree — the bench
+    fan-out, {!Mclh_core.Fence} territories, the solver's chain chunks —
+    therefore share one pool, whose busy flag serializes nested use. *)
+
+val default : unit -> t
+(** [get ~num_domains:(default_num_domains ())]. *)

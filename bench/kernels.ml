@@ -30,6 +30,12 @@ let tests () =
     (* Table 2: one kernel per comparison column *)
     Test.make ~name:"table2/ours"
       (Staged.stage (fun () -> ignore (Solver.solve model)));
+    Test.make ~name:"table2/ours_monolithic"
+      (Staged.stage (fun () ->
+           ignore
+             (Solver.solve
+                ~config:{ Config.default with decompose = false }
+                model)));
     Test.make ~name:"table2/dac16"
       (Staged.stage (fun () ->
            ignore (Greedy_cpy.legalize ~options:Greedy_cpy.default d)));
@@ -48,6 +54,63 @@ let tests () =
       (Staged.stage
          (let legal = Flow.legalize d in
           fun () -> ignore (Mclh_circuit.Svg.render d legal))) ]
+
+(* machine-readable perf snapshot for CI trend tracking: solver wall
+   times (monolithic vs component-decomposed), iteration counts,
+   component structure, and the steady-state minor-heap allocation per
+   MMSIM iteration (0 on the in-place path) *)
+let write_perf_json () =
+  let inst = kernel_instance () in
+  let d = inst.Mclh_benchgen.Generate.design in
+  let model = Model.build d (Row_assign.assign d) in
+  let deco = Decompose.analyze model in
+  let mono, t_mono =
+    Mclh_par.Clock.timed (fun () ->
+        Solver.solve ~config:{ Config.default with decompose = false } model)
+  in
+  let dec, t_dec = Mclh_par.Clock.timed (fun () -> Solver.solve model) in
+  let words_per_iter =
+    let config = { Config.default with num_domains = 1 } in
+    let ops = Solver.operators_inplace model config in
+    let q = Solver.rhs_q model in
+    let run iters =
+      let options =
+        { Mclh_lcp.Mmsim.default_options with eps = 1e-300; max_iter = iters }
+      in
+      let before = Gc.minor_words () in
+      ignore (Mclh_lcp.Mmsim.solve_inplace ~options ops ~q);
+      Gc.minor_words () -. before
+    in
+    ignore (run 3) (* warm up the code path *);
+    let lo = run 10 and hi = run 110 in
+    (hi -. lo) /. 100.0
+  in
+  Util.ensure_out_dir ();
+  let path = Filename.concat Util.out_dir "BENCH_pr2.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"design\": \"fft_2\",\n\
+    \  \"nvars\": %d,\n\
+    \  \"constraints\": %d,\n\
+    \  \"components\": %d,\n\
+    \  \"largest_component_dim\": %d,\n\
+    \  \"shards\": %d,\n\
+    \  \"domains\": %d,\n\
+    \  \"solve_monolithic_s\": %.6f,\n\
+    \  \"solve_decomposed_s\": %.6f,\n\
+    \  \"solve_speedup\": %.3f,\n\
+    \  \"iterations_monolithic\": %d,\n\
+    \  \"iterations_decomposed_max\": %d,\n\
+    \  \"minor_words_per_iteration\": %.3f\n\
+     }\n"
+    model.Model.nvars (Model.num_constraints model)
+    (Decompose.num_components deco) (Decompose.largest_dim deco)
+    (Decompose.num_shards deco) Config.default.Config.num_domains t_mono t_dec
+    (if t_dec > 0.0 then t_mono /. t_dec else 1.0)
+    mono.Solver.iterations dec.Solver.iterations words_per_iter;
+  close_out oc;
+  Printf.printf "perf snapshot written to %s\n%!" path
 
 let run () =
   Util.section "Bechamel kernels (one per table/figure)";
@@ -74,4 +137,5 @@ let run () =
   List.iter
     (fun (name, ns) -> Printf.printf "%-40s %12.1f ns/run (%10.3f ms)\n" name ns (ns /. 1e6))
     (List.sort compare !rows);
-  print_newline ()
+  print_newline ();
+  write_perf_json ()

@@ -14,6 +14,8 @@ let run () =
       [ { Table.title = "scale"; align = Table.Right };
         { title = "cells"; align = Right };
         { title = "vars+constraints"; align = Right };
+        { title = "components"; align = Right };
+        { title = "largest"; align = Right };
         { title = "iterations"; align = Right };
         { title = "solve (s)"; align = Right };
         { title = "total (s)"; align = Right };
@@ -35,6 +37,8 @@ let run () =
         [ Printf.sprintf "%g" scale;
           string_of_int n;
           Printf.sprintf "%d+%d" m.Model.nvars (Model.num_constraints m);
+          string_of_int res.Flow.solver.Solver.components;
+          string_of_int res.Flow.solver.Solver.largest_dim;
           string_of_int res.Flow.solver.Solver.iterations;
           Table.fmt_float 3 res.Flow.timings.Flow.solve_s;
           Table.fmt_float 3 res.Flow.timings.Flow.total_s;

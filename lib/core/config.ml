@@ -9,6 +9,7 @@ type t = {
   verify_bound : bool;
   warm_start : bool;
   num_domains : int;
+  decompose : bool;
 }
 
 (* eps is measured in site widths; final positions snap to integer sites,
@@ -25,7 +26,8 @@ let default =
     use_sherman_morrison = true;
     verify_bound = false;
     warm_start = true;
-    num_domains = Mclh_par.Pool.default_num_domains () }
+    num_domains = Mclh_par.Pool.default_num_domains ();
+    decompose = true }
 
 let validate t =
   if t.lambda <= 0.0 then Error "lambda must be positive"

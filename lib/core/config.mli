@@ -28,6 +28,15 @@ type t = {
           {!Mclh_par.Pool.default_num_domains}, i.e. the [MCLH_DOMAINS]
           environment override when set. Parallel and sequential runs
           produce bit-identical placements. *)
+  decompose : bool;
+      (** split the x-direction LCP into its independent connected
+          components ({!Decompose}) and solve them as separate sub-LCPs,
+          fanned out over the domain pool. The placement agrees with the
+          monolithic solve up to the iteration tolerance (each component
+          converges on its own schedule instead of the global one); a
+          single-component design falls back to the monolithic solve
+          exactly. Results are bit-identical across [num_domains] values
+          either way. *)
 }
 
 val default : t

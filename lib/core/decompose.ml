@@ -1,0 +1,272 @@
+open Mclh_linalg
+
+(* Connected-component decomposition of the x-direction LCP.
+
+   Variables interact only through
+     - ordering constraints, which couple adjacent subcells of the same
+       row segment (every group of [Model.row_vars] is connected through
+       its adjacency chain), and
+     - subcell-equality chains, which couple the rows spanned by one
+       multi-row cell.
+   Union-find over those two relations therefore partitions the KKT
+   system [[Q~, -B^T]; [B, 0]] into exact block-diagonal components: a
+   constraint's two variables always share a component, and Q~ = I +
+   lambda E^T E never couples across components because every E chain is
+   contained in one. Each component is an independent LCP that can be
+   extracted, solved, and scattered back with no approximation beyond the
+   iteration tolerance.
+
+   [analyze] only plans the partition (index maps and renumbered
+   group/chain structure — O(n + m) and cheap); materializing a shard's
+   sub-model is deferred to [extract] so the solver can run it inside the
+   parallel shard jobs instead of on the critical path. *)
+
+type shard = {
+  vars : int array; (* local variable -> global variable, ascending *)
+  cons : int array; (* local constraint -> global constraint, ascending *)
+  groups : int array array; (* [Model.row_vars] restricted, local ids *)
+  chains : int array array; (* equality chains restricted, local ids *)
+}
+
+type t = {
+  model : Model.t;
+  comp_of_var : int array; (* dense component ids, by first appearance *)
+  num_components : int;
+  largest_dim : int; (* max over components of vars + constraints *)
+  shards : shard array; (* [||] when the packing degenerates to one shard *)
+}
+
+(* ---------- union-find ---------- *)
+
+let rec find parent i =
+  let p = parent.(i) in
+  if p = i then i
+  else begin
+    let r = find parent p in
+    parent.(i) <- r;
+    r
+  end
+
+let union parent rank a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then
+    if rank.(ra) < rank.(rb) then parent.(ra) <- rb
+    else if rank.(ra) > rank.(rb) then parent.(rb) <- ra
+    else begin
+      parent.(rb) <- ra;
+      rank.(ra) <- rank.(ra) + 1
+    end
+
+(* group [g] of [row_vars] starts at this constraint id; groups emit their
+   constraints consecutively in order (see [Model.build]) *)
+let constraint_bases (model : Model.t) =
+  let bases = Array.make (Array.length model.row_vars) 0 in
+  let acc = ref 0 in
+  Array.iteri
+    (fun g vars ->
+      bases.(g) <- !acc;
+      acc := !acc + max 0 (Array.length vars - 1))
+    model.row_vars;
+  bases
+
+let components (model : Model.t) =
+  let n = model.nvars in
+  let parent = Array.init n Fun.id and rank = Array.make n 0 in
+  Array.iter
+    (fun vars ->
+      for k = 0 to Array.length vars - 2 do
+        union parent rank vars.(k) vars.(k + 1)
+      done)
+    model.row_vars;
+  for c = 0 to Blocks.num_chains model.blocks - 1 do
+    let vars = Blocks.chain_vars model.blocks c in
+    for k = 1 to Array.length vars - 1 do
+      union parent rank vars.(0) vars.(k)
+    done
+  done;
+  (* dense component ids in order of first appearance, so everything
+     downstream is deterministic in the global variable order *)
+  let comp_of_var = Array.make n (-1) in
+  let comp_of_root = Array.make n (-1) in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    let r = find parent v in
+    if comp_of_root.(r) = -1 then begin
+      comp_of_root.(r) <- !count;
+      incr count
+    end;
+    comp_of_var.(v) <- comp_of_root.(r)
+  done;
+  (comp_of_var, !count)
+
+(* ---------- shard planning ---------- *)
+
+(* Pack consecutive components (in dense-id order) into shards of at
+   least [min_shard_vars] variables: solving thousands of tiny components
+   as separate LCPs would drown in per-solve setup, and a joint solve of
+   several components is still exact (their blocks stay independent
+   inside the shard). The packing depends only on the model — never on
+   [num_domains] — so results are identical whatever the pool size. *)
+let pack ~min_shard_vars ~comp_of_var ~num_components n =
+  let vars_per_comp = Array.make num_components 0 in
+  for v = 0 to n - 1 do
+    let c = comp_of_var.(v) in
+    vars_per_comp.(c) <- vars_per_comp.(c) + 1
+  done;
+  let shard_of_comp = Array.make num_components 0 in
+  let num_shards = ref 0 in
+  let filled = ref 0 in
+  for c = 0 to num_components - 1 do
+    if !filled >= min_shard_vars then begin
+      incr num_shards;
+      filled := 0
+    end;
+    shard_of_comp.(c) <- !num_shards;
+    filled := !filled + vars_per_comp.(c)
+  done;
+  (shard_of_comp, !num_shards + 1)
+
+let plan_shards (model : Model.t) ~shard_of_comp ~num_shards ~comp_of_var =
+  let n = model.nvars in
+  let shard_of_var v = shard_of_comp.(comp_of_var.(v)) in
+  (* local variable numbering: ascending global order within each shard *)
+  let local_of_var = Array.make n 0 in
+  let shard_nvars = Array.make num_shards 0 in
+  for v = 0 to n - 1 do
+    let s = shard_of_var v in
+    local_of_var.(v) <- shard_nvars.(s);
+    shard_nvars.(s) <- shard_nvars.(s) + 1
+  done;
+  let vars = Array.init num_shards (fun s -> Array.make shard_nvars.(s) 0) in
+  for v = 0 to n - 1 do
+    vars.(shard_of_var v).(local_of_var.(v)) <- v
+  done;
+  (* groups and their constraints, in global order per shard *)
+  let bases = constraint_bases model in
+  let groups_rev = Array.make num_shards [] in
+  let cons_rev = Array.make num_shards [] in
+  Array.iteri
+    (fun g gvars ->
+      if Array.length gvars > 0 then begin
+        let s = shard_of_var gvars.(0) in
+        groups_rev.(s) <-
+          Array.map (fun v -> local_of_var.(v)) gvars :: groups_rev.(s);
+        for k = 0 to Array.length gvars - 2 do
+          cons_rev.(s) <- (bases.(g) + k) :: cons_rev.(s)
+        done
+      end)
+    model.row_vars;
+  let chains_rev = Array.make num_shards [] in
+  for c = Blocks.num_chains model.blocks - 1 downto 0 do
+    let cvars = Blocks.chain_vars model.blocks c in
+    let s = shard_of_var cvars.(0) in
+    chains_rev.(s) <-
+      Array.map (fun v -> local_of_var.(v)) cvars :: chains_rev.(s)
+  done;
+  Array.init num_shards (fun s ->
+      { vars = vars.(s);
+        cons = Array.of_list (List.rev cons_rev.(s));
+        groups = Array.of_list (List.rev groups_rev.(s));
+        chains = Array.of_list chains_rev.(s) })
+
+(* ---------- sub-model extraction ---------- *)
+
+let extract (model : Model.t) shard =
+  let sub_n = Array.length shard.vars in
+  let sub_m = Array.length shard.cons in
+  (* B restricted to the shard, built directly in CSR form: every
+     constraint row is a (-1, +1) pair over two distinct local columns,
+     emitted in ascending column order — exactly the (sorted, merged)
+     layout [Coo.to_csr] gives the global B in [Model.build], without the
+     intermediate triplet lists. b_rhs carries the global separations
+     over unchanged. *)
+  let row_ptr = Array.init (sub_m + 1) (fun i -> 2 * i) in
+  let col_idx = Array.make (2 * sub_m) 0 in
+  let values = Array.make (2 * sub_m) 0.0 in
+  let ci = ref 0 in
+  Array.iter
+    (fun gvars ->
+      for k = 0 to Array.length gvars - 2 do
+        let a = gvars.(k) and b = gvars.(k + 1) in
+        let pos = 2 * !ci in
+        if a < b then begin
+          col_idx.(pos) <- a;
+          values.(pos) <- -1.0;
+          col_idx.(pos + 1) <- b;
+          values.(pos + 1) <- 1.0
+        end
+        else begin
+          col_idx.(pos) <- b;
+          values.(pos) <- 1.0;
+          col_idx.(pos + 1) <- a;
+          values.(pos + 1) <- -1.0
+        end;
+        incr ci
+      done)
+    shard.groups;
+  { model with
+    Model.nvars = sub_n;
+    (* per-cell lookup tables are global-model notions; sub-models are
+       solver-facing only (placement_of is never called on one) *)
+    first_var = [||];
+    var_cell = Array.map (fun v -> model.var_cell.(v)) shard.vars;
+    var_row = Array.map (fun v -> model.var_row.(v)) shard.vars;
+    row_vars = shard.groups;
+    b_mat = Csr.make ~rows:sub_m ~cols:sub_n ~row_ptr ~col_idx ~values;
+    b_rhs = Array.init sub_m (fun i -> model.b_rhs.(shard.cons.(i)));
+    p = Array.map (fun v -> model.p.(v)) shard.vars;
+    shift = Array.map (fun v -> model.shift.(v)) shard.vars;
+    blocks = Blocks.make ~nvars:sub_n (Array.to_list shard.chains) }
+
+(* Small enough that independent components stop iterating as soon as
+   they individually converge (the work saving that pays off even on one
+   core), large enough that per-shard solve setup stays noise. *)
+let default_min_shard_vars = 64
+
+let analyze ?(min_shard_vars = default_min_shard_vars) (model : Model.t) =
+  if min_shard_vars < 1 then invalid_arg "Decompose.analyze: min_shard_vars < 1";
+  let n = model.nvars in
+  let comp_of_var, num_components = components model in
+  (* largest component dimension (vars + constraints), for reporting *)
+  let vars_per_comp = Array.make (max 1 num_components) 0 in
+  for v = 0 to n - 1 do
+    let c = comp_of_var.(v) in
+    vars_per_comp.(c) <- vars_per_comp.(c) + 1
+  done;
+  let cons_per_comp = Array.make (max 1 num_components) 0 in
+  Array.iter
+    (fun gvars ->
+      if Array.length gvars > 1 then begin
+        let c = comp_of_var.(gvars.(0)) in
+        cons_per_comp.(c) <- cons_per_comp.(c) + Array.length gvars - 1
+      end)
+    model.row_vars;
+  let largest_dim = ref 0 in
+  for c = 0 to num_components - 1 do
+    let dim = vars_per_comp.(c) + cons_per_comp.(c) in
+    if dim > !largest_dim then largest_dim := dim
+  done;
+  let shards =
+    if num_components <= 1 then [||]
+    else begin
+      let shard_of_comp, num_shards =
+        pack ~min_shard_vars ~comp_of_var ~num_components n
+      in
+      if num_shards <= 1 then [||]
+      else plan_shards model ~shard_of_comp ~num_shards ~comp_of_var
+    end
+  in
+  { model; comp_of_var; num_components; largest_dim = !largest_dim; shards }
+
+let num_components t = t.num_components
+let largest_dim t = t.largest_dim
+let num_shards t = if Array.length t.shards = 0 then 1 else Array.length t.shards
+
+let shard_dim shard = Array.length shard.vars + Array.length shard.cons
+
+(* scatter a per-shard solution slice back into a global vector *)
+let scatter_vars shard local global =
+  Array.iteri (fun i v -> global.(v) <- local.(i)) shard.vars
+
+let scatter_cons shard local global =
+  Array.iteri (fun i c -> global.(c) <- local.(i)) shard.cons

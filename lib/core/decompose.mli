@@ -1,0 +1,85 @@
+(** Connected-component decomposition of the x-direction LCP.
+
+    The KKT system of Problem (13) is block-separable: subcell variables
+    are coupled only by same-segment ordering constraints (the groups of
+    [Model.row_vars]) and by the equality chains of multi-row cells. A
+    union-find pass over those two relations splits the [(n + m)]-
+    dimensional LCP into exact independent components; each is extracted
+    as a self-contained {!Model.t} (with index maps back to the global
+    variable and constraint numbering) and can be solved on its own
+    domain, then scattered back. The component blocks never interact, so
+    the only deviation from the monolithic solve is the stopping
+    schedule: each component iterates to its own tolerance instead of the
+    global maximum — which is also where the speedup beyond parallelism
+    comes from.
+
+    Tiny components are packed together into shards of at least
+    [min_shard_vars] variables (a joint solve of several components is
+    still exact). The packing depends only on the model, never on the
+    domain count, so decomposed solves are bit-identical across
+    [Config.num_domains] settings.
+
+    {!analyze} only plans the partition (cheap, O(n + m)); the sub-model
+    of a shard is materialized on demand by {!extract}, which the solver
+    calls inside each parallel shard job so extraction runs off the
+    critical path. *)
+
+type shard = {
+  vars : int array;  (** local variable -> global variable, ascending *)
+  cons : int array;  (** local constraint -> global constraint, ascending *)
+  groups : int array array;
+      (** the ordering groups ([Model.row_vars]) falling in this shard,
+          renumbered to local variable ids, in global order *)
+  chains : int array array;
+      (** the multi-row equality chains falling in this shard, local ids,
+          in global order *)
+}
+
+type t = {
+  model : Model.t;
+  comp_of_var : int array;
+      (** dense component id per global variable, numbered by first
+          appearance in variable order *)
+  num_components : int;
+  largest_dim : int;
+      (** variables + constraints of the largest single component *)
+  shards : shard array;
+      (** [[||]] when decomposition finds a single component (or the
+          packing collapses to one shard): callers must fall back to the
+          monolithic solve, which is then exact by construction *)
+}
+
+val default_min_shard_vars : int
+
+val analyze : ?min_shard_vars:int -> Model.t -> t
+(** Partitions the model. O(n alpha(n) + m). [min_shard_vars] defaults to
+    {!default_min_shard_vars}; it must be positive and must not be derived
+    from the domain count (see above). *)
+
+val extract : Model.t -> shard -> Model.t
+(** [extract model shard] materializes the shard's self-contained
+    sub-model. Solver-facing: [nvars], [row_vars], [b_mat], [b_rhs], [p],
+    [shift] and [blocks] are fully renumbered; the per-cell tables
+    ([first_var]) are not meaningful on a sub-model, so
+    {!Model.placement_of} and {!Model.cell_positions} must only be called
+    on the parent. The sub-model's B is built directly in (sorted) CSR
+    form, bit-identical to what [Model.build] would produce for the same
+    rows. *)
+
+val num_components : t -> int
+
+val largest_dim : t -> int
+
+val num_shards : t -> int
+(** Number of independent solves the decomposition produces (1 on the
+    fallback path). *)
+
+val shard_dim : shard -> int
+(** Variables + constraints of a shard — the size of the LCP {!extract}
+    yields for it. *)
+
+val scatter_vars : shard -> Mclh_linalg.Vec.t -> Mclh_linalg.Vec.t -> unit
+(** [scatter_vars shard local global] writes the shard's local variable
+    vector into the global one through the index map. *)
+
+val scatter_cons : shard -> Mclh_linalg.Vec.t -> Mclh_linalg.Vec.t -> unit

@@ -38,9 +38,10 @@ let run ?(config = Config.default) design =
         model_s);
   let solver, solve_s = timed (fun () -> Solver.solve ~config model) in
   Log.debug (fun m ->
-      m "mmsim: %d iterations, converged %b, mismatch %.2e (%.3fs)"
+      m "mmsim: %d iterations, converged %b, mismatch %.2e, %d components \
+         (largest %d) (%.3fs)"
         solver.Solver.iterations solver.Solver.converged solver.Solver.mismatch
-        solve_s);
+        solver.Solver.components solver.Solver.largest_dim solve_s);
   if not solver.Solver.converged then
     Log.warn (fun m ->
         m "%s: MMSIM hit max_iter %d (delta %.2e); the Tetris stage will \

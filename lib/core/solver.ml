@@ -8,6 +8,8 @@ type result = {
   delta_inf : float;
   mismatch : float;
   bound : bound_check option;
+  components : int;
+  largest_dim : int;
 }
 
 and bound_check = { mu_max : float; theta_limit : float; theta_ok : bool }
@@ -165,8 +167,7 @@ let operators_inplace (model : Model.t) (config : Config.t) =
       dst.(i) <- (c_top *. dst.(i)) +. btr.(i)
     done;
     if m > 0 then begin
-      let dr_out = Tridiag.mul_vec d_over_theta rbuf in
-      Array.blit dr_out 0 dr 0 m;
+      Tridiag.mul_vec_into d_over_theta rbuf dr;
       Array.blit dr 0 dst n m
     end
   in
@@ -228,10 +229,9 @@ let check_bound (model : Model.t) (config : Config.t) =
     { mu_max; theta_limit; theta_ok = config.Config.theta < theta_limit }
   end
 
-let solve ?(config = Config.default) (model : Model.t) =
-  (match Config.validate config with
-  | Ok _ -> ()
-  | Error msg -> invalid_arg ("Solver.solve: " ^ msg));
+(* one MMSIM solve of [model] as a single LCP; the core shared by the
+   monolithic path and every decomposition shard *)
+let solve_raw (config : Config.t) (model : Model.t) =
   let n = model.nvars and m = Model.num_constraints model in
   let ops = operators_inplace model config in
   let q = rhs_q model in
@@ -250,16 +250,78 @@ let solve ?(config = Config.default) (model : Model.t) =
   let out = Mclh_lcp.Mmsim.solve_inplace ~options ~s0 ops ~q in
   let x = Array.sub out.Mclh_lcp.Mmsim.z 0 n in
   let r = Array.sub out.Mclh_lcp.Mmsim.z n m in
+  (x, r, out.Mclh_lcp.Mmsim.iterations, out.Mclh_lcp.Mmsim.converged,
+   out.Mclh_lcp.Mmsim.delta_inf)
+
+let solve ?(config = Config.default) (model : Model.t) =
+  (match Config.validate config with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Solver.solve: " ^ msg));
+  let n = model.nvars and m = Model.num_constraints model in
+  let deco = if config.decompose then Some (Decompose.analyze model) else None in
+  let x, r, iterations, converged, delta_inf =
+    match deco with
+    | Some d when Array.length d.Decompose.shards > 1 ->
+      (* independent sub-LCPs fan out over the domain pool; each job
+         materializes its sub-model ([Decompose.extract]) and converges on
+         its own schedule. Shard contents are fixed by the model alone, so
+         any pool size produces the same bits. Nested entries (Fence
+         territories, bench fan-out) find the pool busy and fall back to a
+         sequential map with identical results. *)
+      let pool = Mclh_par.Pool.get ~num_domains:config.num_domains in
+      let shards = d.Decompose.shards in
+      (* dispatch heaviest shards first: jobs are handed out in index
+         order, so a size-descending order trims the makespan. The order
+         affects scheduling only, never the per-shard bits. *)
+      let order = Array.init (Array.length shards) Fun.id in
+      Array.sort
+        (fun i j ->
+          let di = Decompose.shard_dim shards.(i)
+          and dj = Decompose.shard_dim shards.(j) in
+          if di <> dj then Int.compare dj di else Int.compare i j)
+        order;
+      let solve_shard i =
+        let shard = shards.(i) in
+        (shard, solve_raw config (Decompose.extract model shard))
+      in
+      let results =
+        (* on an oversubscribed pool (more domains than cores) fan-out
+           only adds GC-rendezvous stalls; same bits either way *)
+        if Mclh_par.Pool.oversubscribed pool then Array.map solve_shard order
+        else Mclh_par.Pool.parallel_map pool solve_shard order
+      in
+      let x = Vec.zeros n and r = Vec.zeros m in
+      let iterations = ref 0 and converged = ref true and delta = ref 0.0 in
+      Array.iter
+        (fun (shard, (sx, sr, it, conv, dinf)) ->
+          Decompose.scatter_vars shard sx x;
+          Decompose.scatter_cons shard sr r;
+          if it > !iterations then iterations := it;
+          if not conv then converged := false;
+          (* a nan delta (divergence guard) must survive the max *)
+          if Float.is_nan dinf then delta := dinf
+          else if (not (Float.is_nan !delta)) && dinf > !delta then delta := dinf)
+        results;
+      (x, r, !iterations, !converged, !delta)
+    | Some _ | None ->
+      (* single component (or decomposition off): the monolithic solve is
+         the exact reference path *)
+      solve_raw config model
+  in
   let bound =
     if config.verify_bound then Some (check_bound model config) else None
   in
   { x;
     r;
-    iterations = out.Mclh_lcp.Mmsim.iterations;
-    converged = out.Mclh_lcp.Mmsim.converged;
-    delta_inf = out.Mclh_lcp.Mmsim.delta_inf;
+    iterations;
+    converged;
+    delta_inf;
     mismatch = Model.subcell_mismatch model x;
-    bound }
+    bound;
+    components =
+      (match deco with Some d -> Decompose.num_components d | None -> 1);
+    largest_dim =
+      (match deco with Some d -> Decompose.largest_dim d | None -> n + m) }
 
 let lcp_problem (model : Model.t) ~lambda =
   Mclh_qp.Kkt.to_lcp (Model.to_qp model ~lambda)

@@ -21,6 +21,12 @@ type result = {
   delta_inf : float;  (** final iterate change *)
   mismatch : float;  (** subcell mismatch after the solve *)
   bound : bound_check option;  (** present when the config asks for it *)
+  components : int;
+      (** independent LCP components found by {!Decompose} (1 when
+          [config.decompose] is off) *)
+  largest_dim : int;
+      (** variables + constraints of the largest component ([n + m] when
+          [config.decompose] is off) *)
 }
 
 and bound_check = {
@@ -52,7 +58,13 @@ val rhs_q : Model.t -> Vec.t
 (** The LCP right-hand side [q = (p; -b)]. *)
 
 val solve : ?config:Config.t -> Model.t -> result
-(** Runs Algorithm 1 from [s_0 = 0]. *)
+(** Runs Algorithm 1. When [config.decompose] is set (the default) the
+    LCP is first split into its independent connected components
+    ({!Decompose}); multi-shard decompositions solve every sub-LCP on the
+    domain pool and scatter the solutions back, while single-component
+    designs take the monolithic path exactly. Decomposed results agree
+    with the monolithic solve up to the iteration tolerance and are
+    bit-identical across [num_domains] values. *)
 
 val check_bound : Model.t -> Config.t -> bound_check
 (** The Theorem 2 convergence check on its own. *)

@@ -173,12 +173,38 @@ let gauss_seidel_operators ?omega a =
         o;
       Vec.copy o
   in
+  (* split the strict triangular parts once: apply_n and solve_m_omega run
+     every iteration and must not re-walk the full matrix each time *)
+  let strict_part keep =
+    let row_ptr = Array.make (n + 1) 0 in
+    Csr.iter a (fun i j _ -> if keep i j then row_ptr.(i + 1) <- row_ptr.(i + 1) + 1);
+    for i = 1 to n do
+      row_ptr.(i) <- row_ptr.(i) + row_ptr.(i - 1)
+    done;
+    let count = row_ptr.(n) in
+    let col_idx = Array.make count 0 and values = Array.make count 0.0 in
+    let fill = Array.copy row_ptr in
+    Csr.iter a (fun i j v ->
+        if keep i j then begin
+          col_idx.(fill.(i)) <- j;
+          values.(fill.(i)) <- v;
+          fill.(i) <- fill.(i) + 1
+        end);
+    (row_ptr, col_idx, values)
+  in
+  let up_ptr, up_col, up_val = strict_part (fun i j -> j > i) in
+  let lo_ptr, lo_col, lo_val = strict_part (fun i j -> j < i) in
   let apply_a v = Csr.mul_vec a v in
   (* N = -U: strictly upper part, negated *)
   let apply_n v =
     let out = Array.make n 0.0 in
-    Csr.iter a (fun i j value ->
-        if j > i then out.(i) <- out.(i) -. (value *. v.(j)));
+    for i = 0 to n - 1 do
+      let acc = ref 0.0 in
+      for k = up_ptr.(i) to up_ptr.(i + 1) - 1 do
+        acc := !acc -. (up_val.(k) *. v.(up_col.(k)))
+      done;
+      out.(i) <- !acc
+    done;
     out
   in
   (* (M + Omega) x = rhs with M = D + L: forward substitution *)
@@ -186,8 +212,9 @@ let gauss_seidel_operators ?omega a =
     let x = Array.make n 0.0 in
     for i = 0 to n - 1 do
       let acc = ref rhs.(i) in
-      Csr.iter_row a i (fun j value ->
-          if j < i then acc := !acc -. (value *. x.(j)));
+      for k = lo_ptr.(i) to lo_ptr.(i + 1) - 1 do
+        acc := !acc -. (lo_val.(k) *. x.(lo_col.(k)))
+      done;
       x.(i) <- !acc /. (diag.(i) +. omega_diag.(i))
     done;
     x

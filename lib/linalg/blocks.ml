@@ -104,23 +104,33 @@ let check_params ~alpha ~coef =
   if coef < 0.0 then invalid_arg "Blocks.solve_shifted: coef < 0"
 
 (* arrowhead solves for chains [lo, hi) only; touches exactly those
-   chains' entries of [dst], so disjoint ranges are domain-safe. Chain
-   solves read all of a chain's b before writing it (the inputs are
-   staged), so b == dst is safe. *)
+   chains' entries of [dst], so disjoint ranges are domain-safe.
+   Allocation-free: this runs once per MMSIM iteration, so the arrowhead
+   arithmetic of [solve_chain] is unrolled here over [b]/[dst] directly.
+   b == dst is safe: y_hub depends only on b values read before the hub
+   write, and each spoke reads its own b.(s) before overwriting it. *)
 let solve_shifted_chains ~alpha ~coef t ~lo ~hi b dst =
   check_params ~alpha ~coef;
   check_chain_range t ~lo ~hi "Blocks.solve_shifted_chains";
+  let ac = alpha +. coef in
   for c = lo to hi - 1 do
     let vars = t.chains.(c) in
-    let local = Array.map (fun v -> b.(v)) vars in
-    let idx v =
-      (* position of v within vars; chains are tiny so linear scan is fine *)
-      let rec go k = if vars.(k) = v then k else go (k + 1) in
-      go 0
+    let d = Array.length vars in
+    let hub = vars.(0) in
+    let sum_spoke_b = ref 0.0 in
+    for k = 1 to d - 1 do
+      sum_spoke_b := !sum_spoke_b +. b.(vars.(k))
+    done;
+    let y_hub =
+      (b.(hub) +. (coef /. ac *. !sum_spoke_b))
+      *. ac
+      /. (alpha *. (alpha +. (coef *. float_of_int d)))
     in
-    solve_chain ~alpha ~coef vars
-      (fun v -> local.(idx v))
-      (fun v y -> dst.(v) <- y)
+    dst.(hub) <- y_hub;
+    for k = 1 to d - 1 do
+      let s = vars.(k) in
+      dst.(s) <- (b.(s) +. (coef *. y_hub)) /. ac
+    done
   done
 
 (* the diagonal part of the shifted solve: variables in [lo, hi) that

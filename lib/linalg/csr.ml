@@ -4,7 +4,19 @@ type t = {
   row_ptr : int array; (* length nrows + 1 *)
   col_idx : int array; (* length nnz *)
   values : float array; (* length nnz *)
+  sorted_rows : bool;
+      (* every row's col_idx strictly increasing (implies no duplicate
+         entries); Coo.to_csr always produces such matrices *)
 }
+
+let detect_sorted_rows ~nrows ~row_ptr ~col_idx =
+  let ok = ref true in
+  for i = 0 to nrows - 1 do
+    for k = row_ptr.(i) to row_ptr.(i + 1) - 2 do
+      if col_idx.(k) >= col_idx.(k + 1) then ok := false
+    done
+  done;
+  !ok
 
 let rows t = t.nrows
 let cols t = t.ncols
@@ -25,30 +37,54 @@ let make ~rows ~cols ~row_ptr ~col_idx ~values =
   Array.iter
     (fun j -> if j < 0 || j >= cols then invalid_arg "Csr.make: col_idx bound")
     col_idx;
-  { nrows = rows; ncols = cols; row_ptr; col_idx; values }
+  { nrows = rows;
+    ncols = cols;
+    row_ptr;
+    col_idx;
+    values;
+    sorted_rows = detect_sorted_rows ~nrows:rows ~row_ptr ~col_idx }
 
 let empty ~rows ~cols =
   { nrows = rows;
     ncols = cols;
     row_ptr = Array.make (rows + 1) 0;
     col_idx = [||];
-    values = [||] }
+    values = [||];
+    sorted_rows = true }
 
 let identity n =
   { nrows = n;
     ncols = n;
     row_ptr = Array.init (n + 1) (fun i -> i);
     col_idx = Array.init n (fun i -> i);
-    values = Array.make n 1.0 }
+    values = Array.make n 1.0;
+    sorted_rows = true }
 
 let get t i j =
   if i < 0 || i >= t.nrows || j < 0 || j >= t.ncols then
     invalid_arg "Csr.get: index out of bounds";
-  let acc = ref 0.0 in
-  for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
-    if t.col_idx.(k) = j then acc := !acc +. t.values.(k)
-  done;
-  !acc
+  let lo = t.row_ptr.(i) and hi = t.row_ptr.(i + 1) in
+  if t.sorted_rows then begin
+    (* strictly increasing columns: binary search, at most one hit *)
+    let rec search lo hi =
+      if lo >= hi then 0.0
+      else
+        let mid = lo + ((hi - lo) / 2) in
+        let c = t.col_idx.(mid) in
+        if c = j then t.values.(mid)
+        else if c < j then search (mid + 1) hi
+        else search lo mid
+    in
+    search lo hi
+  end
+  else begin
+    (* unsorted rows may carry duplicate entries that sum; scan them all *)
+    let acc = ref 0.0 in
+    for k = lo to hi - 1 do
+      if t.col_idx.(k) = j then acc := !acc +. t.values.(k)
+    done;
+    !acc
+  end
 
 let mul_vec_into t x dst =
   if Array.length x <> t.ncols || Array.length dst <> t.nrows then
@@ -126,7 +162,12 @@ let transpose t =
       fill_pos.(j) <- pos + 1
     done
   done;
-  { nrows = t.ncols; ncols = t.nrows; row_ptr; col_idx; values }
+  { nrows = t.ncols;
+    ncols = t.nrows;
+    row_ptr;
+    col_idx;
+    values;
+    sorted_rows = detect_sorted_rows ~nrows:t.ncols ~row_ptr ~col_idx }
 
 let scale c t = { t with values = Array.map (( *. ) c) t.values }
 

@@ -26,7 +26,10 @@ val empty : rows:int -> cols:int -> t
 val identity : int -> t
 
 val get : t -> int -> int -> float
-(** O(row nnz) lookup; 0.0 when absent. *)
+(** Lookup; 0.0 when absent. O(log row nnz) binary search when the row's
+    column indices are strictly increasing (always true for matrices from
+    {!Coo.to_csr}); falls back to an O(row nnz) duplicate-summing scan for
+    raw {!make} inputs with unsorted or repeated columns. *)
 
 val mul_vec : t -> Vec.t -> Vec.t
 (** [mul_vec a x] is [A x]. *)

@@ -26,14 +26,23 @@ let scale c t =
     diag = Array.map (( *. ) c) t.diag;
     sup = Array.map (( *. ) c) t.sup }
 
-let mul_vec t x =
+let mul_vec_into t x dst =
   let n = dim t in
-  if Array.length x <> n then invalid_arg "Tridiag.mul_vec: dimension";
-  Array.init n (fun i ->
-      let acc = ref (t.diag.(i) *. x.(i)) in
-      if i > 0 then acc := !acc +. (t.sub.(i - 1) *. x.(i - 1));
-      if i < n - 1 then acc := !acc +. (t.sup.(i) *. x.(i + 1));
-      !acc)
+  if Array.length x <> n || Array.length dst <> n then
+    invalid_arg "Tridiag.mul_vec_into: dimension";
+  (* reads of x.(i-1)/x.(i+1) must not see freshly written dst entries *)
+  if x == dst then invalid_arg "Tridiag.mul_vec_into: aliased arguments";
+  for i = 0 to n - 1 do
+    let acc = ref (t.diag.(i) *. x.(i)) in
+    if i > 0 then acc := !acc +. (t.sub.(i - 1) *. x.(i - 1));
+    if i < n - 1 then acc := !acc +. (t.sup.(i) *. x.(i + 1));
+    dst.(i) <- !acc
+  done
+
+let mul_vec t x =
+  let dst = Array.make (dim t) 0.0 in
+  mul_vec_into t x dst;
+  dst
 
 let to_dense t =
   let n = dim t in

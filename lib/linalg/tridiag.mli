@@ -29,6 +29,10 @@ val scale : float -> t -> t
 
 val mul_vec : t -> Vec.t -> Vec.t
 
+val mul_vec_into : t -> Vec.t -> Vec.t -> unit
+(** [mul_vec_into t x dst] writes [t x] into [dst] (no allocation).
+    @raise Invalid_argument when [x == dst] or on dimension mismatch. *)
+
 val to_dense : t -> Dense.t
 
 exception Singular of int

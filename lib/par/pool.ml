@@ -38,6 +38,14 @@ type t = {
 
 let size t = t.size
 
+(* More pool members than hardware threads: fanning a job out would only
+   timeslice domains on shared cores — and every minor collection then
+   pays a stop-the-world rendezvous across runnable domains that cannot
+   actually run, which is far slower than doing the work on the caller.
+   (Results are unaffected either way; this is purely a scheduling
+   signal.) *)
+let oversubscribed t = t.size > Domain.recommended_domain_count ()
+
 let default_num_domains () =
   match Sys.getenv_opt "MCLH_DOMAINS" with
   | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)

@@ -21,6 +21,13 @@ val create : num_domains:int -> t
 val size : t -> int
 (** The pool's parallelism degree. *)
 
+val oversubscribed : t -> bool
+(** True when the pool's degree exceeds the hardware parallelism
+    ([Domain.recommended_domain_count ()]). Fan-out on an oversubscribed
+    pool still produces identical results but merely timeslices domains
+    on shared cores while paying cross-domain minor-GC rendezvous; cost-
+    sensitive callers should prefer their sequential path. *)
+
 val shutdown : t -> unit
 (** Joins the worker domains. Idempotent; subsequent parallel calls on
     the pool fall back to sequential execution. Pools obtained from

@@ -1,0 +1,236 @@
+(* Tests for the connected-component LCP decomposition and the
+   allocation-free MMSIM kernels: partition validity, decomposed-parallel
+   vs monolithic agreement, bit-identity across domain counts, the exact
+   single-component fallback, and zero steady-state allocation per
+   iteration on the in-place path. *)
+
+open Mclh_core
+open Mclh_linalg
+
+let instance ?(options = Mclh_benchgen.Generate.default_options) ~scale name =
+  Mclh_benchgen.Generate.generate ~options
+    (Mclh_benchgen.Spec.scaled scale (Mclh_benchgen.Spec.find name))
+
+let model_of ?options ~scale name =
+  let d = (instance ?options ~scale name).Mclh_benchgen.Generate.design in
+  (d, Model.build d (Row_assign.assign d))
+
+let blockage_options =
+  { Mclh_benchgen.Generate.default_options with
+    blockage_fraction = 0.15;
+    blockage_count = 24 }
+
+let tall_options =
+  { Mclh_benchgen.Generate.default_options with tall_cell_fraction = 0.3 }
+
+(* ---------- partition validity ---------- *)
+
+let test_partition_valid () =
+  let _, model = model_of ~options:blockage_options ~scale:0.02 "fft_2" in
+  let deco = Decompose.analyze ~min_shard_vars:64 model in
+  Alcotest.(check bool) "several components" true (deco.Decompose.num_components > 1);
+  Alcotest.(check bool) "several shards" true (Array.length deco.Decompose.shards > 1);
+  let n = model.Model.nvars and m = Model.num_constraints model in
+  let var_seen = Array.make n 0 and con_seen = Array.make m 0 in
+  Array.iter
+    (fun shard ->
+      let sub = Decompose.extract model shard in
+      Alcotest.(check int) "vars map length" sub.Model.nvars
+        (Array.length shard.Decompose.vars);
+      Alcotest.(check int) "cons map length" (Model.num_constraints sub)
+        (Array.length shard.Decompose.cons);
+      Array.iteri
+        (fun local v ->
+          var_seen.(v) <- var_seen.(v) + 1;
+          (* extraction preserves the linear term and shift *)
+          Alcotest.(check (float 0.0)) "p extracted" model.Model.p.(v)
+            sub.Model.p.(local);
+          Alcotest.(check (float 0.0)) "shift extracted" model.Model.shift.(v)
+            sub.Model.shift.(local))
+        shard.Decompose.vars;
+      Array.iteri
+        (fun local c ->
+          con_seen.(c) <- con_seen.(c) + 1;
+          Alcotest.(check (float 0.0)) "b_rhs extracted" model.Model.b_rhs.(c)
+            sub.Model.b_rhs.(local))
+        shard.Decompose.cons;
+      (* every constraint row must stay a (-1, +1) pair over shard-local
+         variables of the same component *)
+      for i = 0 to Model.num_constraints sub - 1 do
+        match Csr.row_entries sub.Model.b_mat i with
+        | [ (_, a); (_, b) ] ->
+          Alcotest.(check (float 0.0)) "pair sum" 0.0 (a +. b)
+        | _ -> Alcotest.fail "constraint row is not a two-entry pair"
+      done)
+    deco.Decompose.shards;
+  Alcotest.(check (array int)) "vars partitioned" (Array.make n 1) var_seen;
+  Alcotest.(check (array int)) "cons partitioned" (Array.make m 1) con_seen;
+  (* chains never split across shards *)
+  let total_chains =
+    Array.fold_left
+      (fun acc shard ->
+        acc + Blocks.num_chains (Decompose.extract model shard).Model.blocks)
+      0 deco.Decompose.shards
+  in
+  Alcotest.(check int) "chains preserved"
+    (Blocks.num_chains model.Model.blocks)
+    total_chains
+
+let test_component_ids_cover () =
+  let _, model = model_of ~scale:0.02 "fft_2" in
+  let deco = Decompose.analyze model in
+  Alcotest.(check int) "one id per var" model.Model.nvars
+    (Array.length deco.Decompose.comp_of_var);
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "dense ids" true
+        (c >= 0 && c < deco.Decompose.num_components))
+    deco.Decompose.comp_of_var;
+  (* constraints keep both endpoints in one component *)
+  Csr.iter model.Model.b_mat (fun _ _ _ -> ());
+  for i = 0 to Model.num_constraints model - 1 do
+    match Csr.row_entries model.Model.b_mat i with
+    | [ (u, _); (v, _) ] ->
+      Alcotest.(check int) "constraint inside one component"
+        deco.Decompose.comp_of_var.(u)
+        deco.Decompose.comp_of_var.(v)
+    | _ -> Alcotest.fail "constraint row arity"
+  done
+
+(* ---------- decomposed vs monolithic ---------- *)
+
+let placement_xs model res =
+  (Model.placement_of model res.Solver.x).Mclh_circuit.Placement.xs
+
+let check_against_monolithic ?(tol = 1e-9) name model =
+  let tight = { Config.default with eps = 1e-10; num_domains = 1 } in
+  let mono = Solver.solve ~config:{ tight with decompose = false } model in
+  let dec = Solver.solve ~config:tight model in
+  let diff =
+    Vec.dist_inf (placement_xs model mono) (placement_xs model dec)
+  in
+  if mono.Solver.iterations = dec.Solver.iterations
+     && dec.Solver.components = 1
+  then
+    Alcotest.(check (array (float 0.0)))
+      (name ^ " bit-identical (single component)")
+      mono.Solver.x dec.Solver.x
+  else
+    Alcotest.(check bool)
+      (Printf.sprintf "%s |dx| %.2e <= %.0e" name diff tol)
+      true (diff <= tol)
+
+let test_matches_monolithic () =
+  List.iter
+    (fun (name, options, scale) ->
+      let _, model = model_of ~options ~scale name in
+      check_against_monolithic name model)
+    [ ("fft_2", Mclh_benchgen.Generate.default_options, 0.02);
+      ("fft_2", blockage_options, 0.02);
+      ("fft_2", tall_options, 0.015);
+      ("pci_bridge32_a",
+       { Mclh_benchgen.Generate.default_options with single_height_only = true },
+       0.02) ]
+
+let test_matches_monolithic_property =
+  QCheck.Test.make ~count:6 ~name:"decomposed solve matches monolithic"
+    QCheck.(triple (int_bound 1000) (int_bound 20) (int_bound 40))
+    (fun (seed, blockage_pct, tall_pct) ->
+      let blockage_fraction = float_of_int blockage_pct /. 100.0 in
+      let options =
+        { Mclh_benchgen.Generate.default_options with
+          seed;
+          blockage_fraction;
+          blockage_count = (if blockage_fraction > 0.0 then 12 else 0);
+          tall_cell_fraction = float_of_int tall_pct /. 100.0 }
+      in
+      let _, model = model_of ~options ~scale:0.01 "fft_2" in
+      check_against_monolithic "property" model;
+      true)
+
+(* ---------- bit-identity across domain counts ---------- *)
+
+let test_domain_count_bit_identity () =
+  let _, model = model_of ~options:blockage_options ~scale:0.02 "fft_2" in
+  let solve nd =
+    Solver.solve ~config:{ Config.default with num_domains = nd } model
+  in
+  let seq = solve 1 in
+  Alcotest.(check bool) "decomposition active" true (seq.Solver.components > 1);
+  List.iter
+    (fun nd ->
+      let par = solve nd in
+      let tag = Printf.sprintf "nd=%d" nd in
+      Alcotest.(check int) (tag ^ " iterations") seq.Solver.iterations
+        par.Solver.iterations;
+      Alcotest.(check (array (float 0.0))) (tag ^ " x") seq.Solver.x par.Solver.x;
+      Alcotest.(check (array (float 0.0))) (tag ^ " r") seq.Solver.r par.Solver.r)
+    [ 2; 4 ]
+
+let test_single_component_fallback () =
+  (* des_perf_1's mixed rows are all bridged by double-height cells: one
+     component, so the decomposed path must be the monolithic one exactly *)
+  let _, model = model_of ~scale:0.02 "des_perf_1" in
+  let deco = Decompose.analyze model in
+  Alcotest.(check int) "single component" 1 (Decompose.num_components deco);
+  Alcotest.(check int) "single shard" 1 (Decompose.num_shards deco);
+  let mono =
+    Solver.solve ~config:{ Config.default with decompose = false } model
+  in
+  let dec = Solver.solve model in
+  Alcotest.(check int) "iterations" mono.Solver.iterations dec.Solver.iterations;
+  Alcotest.(check (array (float 0.0))) "x bit-identical" mono.Solver.x dec.Solver.x;
+  Alcotest.(check (array (float 0.0))) "r bit-identical" mono.Solver.r dec.Solver.r
+
+let test_packing_collapse_fallback () =
+  (* a huge min_shard_vars packs everything into one shard: analyze must
+     report the fallback ([shards] empty, num_shards 1) *)
+  let _, model = model_of ~options:blockage_options ~scale:0.02 "fft_2" in
+  let deco = Decompose.analyze ~min_shard_vars:max_int model in
+  Alcotest.(check bool) "components found" true
+    (Decompose.num_components deco > 1);
+  Alcotest.(check int) "one shard" 1 (Decompose.num_shards deco);
+  Alcotest.(check int) "no shard array" 0 (Array.length deco.Decompose.shards)
+
+(* ---------- allocation-free steady state ---------- *)
+
+let test_zero_alloc_per_iteration () =
+  let _, model = model_of ~scale:0.01 "fft_2" in
+  (* num_domains = 1: the pool path allocates its dispatch closures; the
+     zero-allocation guarantee is for the sequential in-place kernels *)
+  let config = { Config.default with num_domains = 1 } in
+  let ops = Solver.operators_inplace model config in
+  let q = Solver.rhs_q model in
+  let words iters =
+    let options =
+      (* eps below any representable progress: the loop never converges
+         early, so the two runs differ by exactly [iters] iterations *)
+      { Mclh_lcp.Mmsim.default_options with eps = 1e-300; max_iter = iters }
+    in
+    let before = Gc.minor_words () in
+    ignore (Mclh_lcp.Mmsim.solve_inplace ~options ops ~q);
+    Gc.minor_words () -. before
+  in
+  ignore (words 3) (* warm up: first entry may trigger lazy init *);
+  let lo = words 10 and hi = words 110 in
+  Alcotest.(check (float 0.0))
+    "minor words per 100 steady-state iterations" 0.0 (hi -. lo)
+
+let () =
+  Alcotest.run "decompose"
+    [ ( "structure",
+        [ Alcotest.test_case "partition validity" `Quick test_partition_valid;
+          Alcotest.test_case "component ids" `Quick test_component_ids_cover;
+          Alcotest.test_case "packing collapse fallback" `Quick
+            test_packing_collapse_fallback ] );
+      ( "vs-monolithic",
+        [ Alcotest.test_case "fixed designs" `Quick test_matches_monolithic;
+          QCheck_alcotest.to_alcotest test_matches_monolithic_property;
+          Alcotest.test_case "single-component fallback" `Quick
+            test_single_component_fallback ] );
+      ( "bit-identity",
+        [ Alcotest.test_case "across domain counts" `Quick
+            test_domain_count_bit_identity ] );
+      ( "allocation",
+        [ Alcotest.test_case "zero alloc per iteration" `Quick
+            test_zero_alloc_per_iteration ] ) ]

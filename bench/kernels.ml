@@ -112,6 +112,31 @@ let write_perf_json () =
   close_out oc;
   Printf.printf "perf snapshot written to %s\n%!" path
 
+(* observability snapshot: one metrics-enabled legalization of the kernel
+   instance serialized as the full versioned run report — stage spans,
+   convergence traces, Tetris repair counters. CI archives it next to
+   BENCH_pr2.json so metric names and magnitudes are trackable over time. *)
+let write_obs_json () =
+  let inst = kernel_instance () in
+  let d = inst.Mclh_benchgen.Generate.design in
+  let config = { Config.default with metrics = true } in
+  let r = Runner.run ~config Runner.Mmsim d in
+  Util.ensure_out_dir ();
+  let path = Filename.concat Util.out_dir "BENCH_pr4.json" in
+  (match r.Runner.obs with
+  | None -> ()
+  | Some obs ->
+    let open Mclh_report in
+    let meta =
+      [ ("design", Json.String "fft_2");
+        ("cells", Json.Int (Mclh_circuit.Design.num_cells d));
+        ("algorithm", Json.String (Runner.name r.Runner.algorithm));
+        ("legal", Json.Bool r.Runner.legal);
+        ("runtime_s", Json.Float r.Runner.runtime_s) ]
+    in
+    Mclh_obs.Run_report.write ~path (Mclh_obs.Run_report.to_json ~meta obs));
+  Printf.printf "obs snapshot written to %s\n%!" path
+
 let run () =
   Util.section "Bechamel kernels (one per table/figure)";
   let ols =
@@ -138,4 +163,5 @@ let run () =
     (fun (name, ns) -> Printf.printf "%-40s %12.1f ns/run (%10.3f ms)\n" name ns (ns /. 1e6))
     (List.sort compare !rows);
   print_newline ();
-  write_perf_json ()
+  write_perf_json ();
+  write_obs_json ()

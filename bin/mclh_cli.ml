@@ -35,6 +35,25 @@ let report_of design (r : Runner.report) =
     Printf.bprintf b "order preserved  : %.4f\n"
       (Order.preservation design r.Runner.placement)
   | None -> ());
+  (match r.Runner.fence with
+  | Some s ->
+    (* fenced run: the territory aggregates play the role of the solver
+       summary above *)
+    Printf.bprintf b "territories      : %d\n" s.Fence.territories;
+    Printf.bprintf b "mmsim iterations : %d (converged %b)\n"
+      (Fence.max_iterations s) (Fence.all_converged s);
+    Printf.bprintf b "subcell mismatch : %.2e sites\n" (Fence.max_mismatch s);
+    Printf.bprintf b "illegal pre-fix  : %d\n" (Fence.total_illegal s);
+    List.iter
+      (fun (t : Fence.territory_stats) ->
+        Printf.bprintf b
+          "  %-14s : %d cells, %d iterations, converged %b, %d illegal\n"
+          t.Fence.name t.Fence.cells t.Fence.iterations t.Fence.converged
+          t.Fence.illegal_before)
+      s.Fence.per_territory;
+    Printf.bprintf b "order preserved  : %.4f\n"
+      (Order.preservation design r.Runner.placement)
+  | None -> ());
   Buffer.contents b
 
 (* ---- common arguments ---- *)
@@ -81,7 +100,40 @@ let eps_arg =
   let doc = "MMSIM stopping tolerance (site widths)." in
   Arg.(value & opt float Config.default.Config.eps & info [ "eps" ] ~doc)
 
-let config_of lambda eps = { Config.default with lambda; eps }
+let metrics_out_arg =
+  let doc =
+    "Write the run's metrics (stage spans, convergence traces, repair \
+     counters) to $(docv) as a versioned JSON run report. Implies metrics \
+     collection; without this flag, collection follows the \
+     $(b,MCLH_METRICS) environment gate."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let config_of ?(metrics_out = None) lambda eps =
+  { Config.default with
+    lambda;
+    eps;
+    metrics = Config.default.Config.metrics || metrics_out <> None }
+
+let write_metrics design (r : Runner.report) = function
+  | None -> ()
+  | Some path ->
+    (match r.Runner.obs with
+    | None -> ()
+    | Some obs ->
+      let open Mclh_report in
+      let meta =
+        [ ("design", Json.String design.Design.name);
+          ("cells", Json.Int (Design.num_cells design));
+          ("algorithm", Json.String (Runner.name r.Runner.algorithm));
+          ("legal", Json.Bool r.Runner.legal);
+          ("runtime_s", Json.Float r.Runner.runtime_s) ]
+      in
+      Mclh_obs.Run_report.write ~path (Mclh_obs.Run_report.to_json ~meta obs);
+      Printf.printf "metrics          : %s\n" path)
 
 let refine_arg =
   let doc =
@@ -181,11 +233,12 @@ let legalize_cmd =
     let doc = "Output placement file." in
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
   in
-  let run input alg output svg lambda eps refine =
+  let run input alg output svg lambda eps refine metrics_out =
     let design = Io.read_design ~path:input in
-    let r = Runner.run ~config:(config_of lambda eps) alg design in
+    let r = Runner.run ~config:(config_of ~metrics_out lambda eps) alg design in
     let r = maybe_refine design refine r in
     print_string (report_of design r);
+    write_metrics design r metrics_out;
     Option.iter
       (fun path ->
         Io.write_placement ~path r.Runner.placement;
@@ -202,11 +255,11 @@ let legalize_cmd =
     (Cmd.info "legalize" ~doc:"Legalize a design file.")
     Term.(
       const run $ in_arg $ alg_arg $ out_arg $ svg_arg $ lambda_arg $ eps_arg
-      $ refine_arg)
+      $ refine_arg $ metrics_out_arg)
 
 let run_cmd =
   let run bench scale seed single_height blockages tall fences alg svg lambda
-      eps refine =
+      eps refine metrics_out =
     match Spec.find bench with
     | exception Not_found ->
       Printf.eprintf "unknown benchmark %S\n" bench;
@@ -216,9 +269,12 @@ let run_cmd =
         generate_instance bench scale seed single_height blockages tall fences
       in
       let design = inst.Generate.design in
-      let r = Runner.run ~config:(config_of lambda eps) alg design in
+      let r =
+        Runner.run ~config:(config_of ~metrics_out lambda eps) alg design
+      in
       let r = maybe_refine design refine r in
       print_string (report_of design r);
+      write_metrics design r metrics_out;
       Option.iter
         (fun path ->
           Svg.write_file ~path design r.Runner.placement;
@@ -231,7 +287,7 @@ let run_cmd =
     Term.(
       const run $ bench_arg $ scale_arg $ seed_arg $ single_height_arg
       $ blockage_arg $ tall_arg $ fences_arg $ alg_arg $ svg_arg $ lambda_arg
-      $ eps_arg $ refine_arg)
+      $ eps_arg $ refine_arg $ metrics_out_arg)
 
 let check_cmd =
   let design_arg =

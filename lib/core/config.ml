@@ -10,6 +10,7 @@ type t = {
   warm_start : bool;
   num_domains : int;
   decompose : bool;
+  metrics : bool;
 }
 
 (* eps is measured in site widths; final positions snap to integer sites,
@@ -27,7 +28,8 @@ let default =
     verify_bound = false;
     warm_start = true;
     num_domains = Mclh_par.Pool.default_num_domains ();
-    decompose = true }
+    decompose = true;
+    metrics = Mclh_obs.Obs.enabled_from_env () }
 
 let validate t =
   if t.lambda <= 0.0 then Error "lambda must be positive"

@@ -37,6 +37,14 @@ type t = {
           single-component design falls back to the monolithic solve
           exactly. Results are bit-identical across [num_domains] values
           either way. *)
+  metrics : bool;
+      (** collect the {!Mclh_obs} run metrics (stage spans, convergence
+          traces, repair counters) and expose them as a JSON run report
+          ({!Runner.report}, [mclh ... --metrics-out]). Defaults to the
+          [MCLH_METRICS] environment gate; when off, the instrumentation
+          reduces to single branches and the solver's zero-allocation
+          steady state is preserved. Never affects results — only what is
+          recorded about them. *)
 }
 
 val default : t

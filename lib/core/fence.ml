@@ -1,9 +1,58 @@
 open Mclh_circuit
+module Obs = Mclh_obs.Obs
+
+type territory_stats = {
+  name : string;
+  cells : int;
+  iterations : int;
+  converged : bool;
+  delta_inf : float;
+  mismatch : float;
+  components : int;
+  illegal_before : int;
+  relocated : int;
+}
 
 type stats = {
   territories : int;
-  per_territory : (string * int * int) list;
+  per_territory : territory_stats list;
 }
+
+let territory_of_flow name cells (result : Flow.result) =
+  { name;
+    cells;
+    iterations = result.Flow.solver.Solver.iterations;
+    converged = result.Flow.solver.Solver.converged;
+    delta_inf = result.Flow.solver.Solver.delta_inf;
+    mismatch = result.Flow.solver.Solver.mismatch;
+    components = result.Flow.solver.Solver.components;
+    illegal_before = result.Flow.alloc.Tetris_alloc.illegal_before;
+    relocated = result.Flow.alloc.Tetris_alloc.relocated }
+
+(* ---- aggregation over territories (what a fenced run reports) ---- *)
+
+let max_iterations stats =
+  List.fold_left (fun acc t -> max acc t.iterations) 0 stats.per_territory
+
+let all_converged stats =
+  List.for_all (fun t -> t.converged) stats.per_territory
+
+let max_delta_inf stats =
+  List.fold_left
+    (fun acc t ->
+      (* a nan delta (divergence guard) must survive the max *)
+      if Float.is_nan t.delta_inf || Float.is_nan acc then Float.nan
+      else Float.max acc t.delta_inf)
+    0.0 stats.per_territory
+
+let max_mismatch stats =
+  List.fold_left (fun acc t -> Float.max acc t.mismatch) 0.0 stats.per_territory
+
+let total_illegal stats =
+  List.fold_left (fun acc t -> acc + t.illegal_before) 0 stats.per_territory
+
+let total_relocated stats =
+  List.fold_left (fun acc t -> acc + t.relocated) 0 stats.per_territory
 
 (* sub-design for one territory: the listed cells (renumbered, region
    membership erased — the territory's geometry is enforced by blockages)
@@ -34,15 +83,26 @@ let sub_design (design : Design.t) ~label ~cell_ids ~extra_blockages =
     ~nets:(Netlist.empty ~num_cells:(Array.length cells))
     ()
 
-let legalize ?(config = Config.default) (design : Design.t) =
+let record_aggregates obs stats =
+  Obs.add obs "fence/territories" stats.territories;
+  Obs.add obs "fence/illegal_before" (total_illegal stats);
+  Obs.add obs "fence/relocated" (total_relocated stats);
+  if not (all_converged stats) then Obs.incr obs "fence/nonconverged";
+  Obs.gauge obs "fence/max_mismatch" (max_mismatch stats)
+
+let legalize ?(config = Config.default) ?obs (design : Design.t) =
   let num_regions = Array.length design.Design.regions in
   if num_regions = 0 then begin
-    let result = Flow.run ~config design in
-    ( result.Flow.legal,
+    (* no fences: a single territory, recorded straight into [obs] *)
+    let result = Flow.run ~config ?obs design in
+    let stats =
       { territories = 1;
         per_territory =
-          [ (design.Design.name, Design.num_cells design,
-             result.Flow.solver.Solver.iterations) ] } )
+          [ territory_of_flow design.Design.name (Design.num_cells design)
+              result ] }
+    in
+    record_aggregates obs stats;
+    (result.Flow.legal, stats)
   end
   else begin
     let n = Design.num_cells design in
@@ -80,8 +140,14 @@ let legalize ?(config = Config.default) (design : Design.t) =
             |> List.concat_map Region.to_blockages )
       in
       let sub = sub_design design ~label ~cell_ids ~extra_blockages:extra in
-      let result = Flow.run ~config sub in
-      (label, cell_ids, result)
+      (* each pool job records into its own recorder; the orchestrating
+         thread attaches them as sub-reports after fan-in (recorders are
+         not thread-safe) *)
+      let territory_obs =
+        match obs with None -> None | Some _ -> Some (Obs.create ())
+      in
+      let result = Flow.run ~config ?obs:territory_obs sub in
+      (label, cell_ids, result, territory_obs)
     in
     let results =
       if config.Config.num_domains <= 1 then Array.map run_territory jobs
@@ -93,16 +159,21 @@ let legalize ?(config = Config.default) (design : Design.t) =
     let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
     let per_territory =
       Array.to_list results
-      |> List.map (fun (label, cell_ids, result) ->
+      |> List.map (fun (label, cell_ids, result, territory_obs) ->
              List.iteri
                (fun new_id old_id ->
                  xs.(old_id) <- result.Flow.legal.Placement.xs.(new_id);
                  ys.(old_id) <- result.Flow.legal.Placement.ys.(new_id))
                cell_ids;
-             ( label,
-               List.length cell_ids,
-               result.Flow.solver.Solver.iterations ))
+             (match territory_obs with
+             | Some t ->
+               Obs.sub obs
+                 ("territory/" ^ label)
+                 (Mclh_obs.Run_report.to_json t)
+             | None -> ());
+             territory_of_flow label (List.length cell_ids) result)
     in
-    ( Placement.make ~xs ~ys,
-      { territories = Array.length results; per_territory } )
+    let stats = { territories = Array.length results; per_territory } in
+    record_aggregates obs stats;
+    (Placement.make ~xs ~ys, stats)
   end

@@ -17,14 +17,47 @@
 
 open Mclh_circuit
 
-type stats = {
-  territories : int;  (** sub-problems solved (regions + default) *)
-  per_territory : (string * int * int) list;
-      (** (name, cells, mmsim iterations) per sub-problem *)
+type territory_stats = {
+  name : string;  (** region name, or ["default"] *)
+  cells : int;
+  iterations : int;  (** MMSIM iterations of the territory's solve *)
+  converged : bool;
+  delta_inf : float;  (** final iterate change *)
+  mismatch : float;  (** subcell mismatch after the solve *)
+  components : int;  (** independent LCP components *)
+  illegal_before : int;  (** cells the Tetris stage had to fix *)
+  relocated : int;
 }
 
-val legalize : ?config:Config.t -> Design.t -> Placement.t * stats
+type stats = {
+  territories : int;  (** sub-problems solved (regions + default) *)
+  per_territory : territory_stats list;
+}
+
+(** {1 Aggregation} — what a fenced run reports as its solver summary *)
+
+val max_iterations : stats -> int
+(** Territories solve concurrently, so the slowest one bounds the solve —
+    the same convention as the decomposed solver's iteration count. *)
+
+val all_converged : stats -> bool
+
+val max_delta_inf : stats -> float
+(** NaN if any territory hit the divergence guard. *)
+
+val max_mismatch : stats -> float
+
+val total_illegal : stats -> int
+
+val total_relocated : stats -> int
+
+val legalize :
+  ?config:Config.t -> ?obs:Mclh_obs.Obs.t -> Design.t -> Placement.t * stats
 (** Decomposed legalization. For a design without regions this is exactly
-    one {!Flow} run.
+    one {!Flow} run (recording straight into [obs]). With regions, each
+    territory's pool job records into its own recorder, attached after
+    fan-in as a [territory/<name>] sub-report; the parent recorder gets
+    the [fence/{territories,illegal_before,relocated,nonconverged}]
+    counters and the [fence/max_mismatch] gauge.
     @raise Failure if a territory cannot host its cells (region too small
       for its members). *)

@@ -24,44 +24,51 @@ type result = {
    stages and under-counts anything that blocks *)
 let timed = Mclh_par.Clock.timed
 
-let run ?(config = Config.default) design =
+module Obs = Mclh_obs.Obs
+
+let run ?(config = Config.default) ?obs design =
   let start = Mclh_par.Clock.now () in
   let assignment, assign_s = timed (fun () -> Row_assign.assign design) in
+  Obs.record_span obs "flow/assign" assign_s;
   Log.debug (fun m ->
       m "%s: rows assigned, y displacement %.1f sites (%.3fs)"
         design.Design.name assignment.Row_assign.y_displacement assign_s);
   let model, model_s = timed (fun () -> Model.build design assignment) in
+  Obs.record_span obs "flow/model" model_s;
   Log.debug (fun m ->
       m "model: %d vars, %d constraints, %d chains (%.3fs)" model.Model.nvars
         (Model.num_constraints model)
         (Mclh_linalg.Blocks.num_chains model.Model.blocks)
         model_s);
-  let solver, solve_s = timed (fun () -> Solver.solve ~config model) in
+  let solver, solve_s = timed (fun () -> Solver.solve ~config ?obs model) in
+  Obs.record_span obs "flow/solve" solve_s;
   Log.debug (fun m ->
       m "mmsim: %d iterations, converged %b, mismatch %.2e, %d components \
          (largest %d) (%.3fs)"
         solver.Solver.iterations solver.Solver.converged solver.Solver.mismatch
         solver.Solver.components solver.Solver.largest_dim solve_s);
-  if not solver.Solver.converged then
+  if not solver.Solver.converged then begin
+    Obs.incr obs "flow/nonconverged";
     Log.warn (fun m ->
         m "%s: MMSIM hit max_iter %d (delta %.2e); the Tetris stage will \
            repair residual overlaps"
-          design.Design.name config.Config.max_iter solver.Solver.delta_inf);
+          design.Design.name config.Config.max_iter solver.Solver.delta_inf)
+  end;
   let relaxed = Model.placement_of model solver.Solver.x in
-  let alloc, alloc_s = timed (fun () -> Tetris_alloc.run design relaxed) in
+  let alloc, alloc_s =
+    timed (fun () -> Tetris_alloc.run ?obs design relaxed)
+  in
+  Obs.record_span obs "flow/alloc" alloc_s;
   Log.debug (fun m ->
       m "tetris: %d illegal, %d relocated (%.3fs)"
         alloc.Tetris_alloc.illegal_before alloc.Tetris_alloc.relocated alloc_s);
+  let total_s = Mclh_par.Clock.now () -. start in
+  Obs.record_span obs "flow/total" total_s;
   { legal = alloc.Tetris_alloc.placement;
     model;
     solver;
     alloc;
-    timings =
-      { assign_s;
-        model_s;
-        solve_s;
-        alloc_s;
-        total_s = Mclh_par.Clock.now () -. start } }
+    timings = { assign_s; model_s; solve_s; alloc_s; total_s } }
 
 let legalize ?config design = (run ?config design).legal
 

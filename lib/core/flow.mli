@@ -22,10 +22,14 @@ type result = {
   timings : timings;
 }
 
-val run : ?config:Config.t -> Design.t -> result
+val run : ?config:Config.t -> ?obs:Mclh_obs.Obs.t -> Design.t -> result
 (** Executes the full pipeline. The output placement is legal for every
     design whose cells fit the chip (checked by the test suite with
-    {!Mclh_circuit.Legality}). *)
+    {!Mclh_circuit.Legality}).
+
+    [obs] records the [flow/{assign,model,solve,alloc,total}] stage spans,
+    a [flow/nonconverged] counter when MMSIM hits [max_iter], and is
+    threaded into {!Solver.solve} and {!Tetris_alloc.run}. *)
 
 val legalize : ?config:Config.t -> Design.t -> Placement.t
 (** [run] returning only the legal placement. *)

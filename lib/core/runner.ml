@@ -1,4 +1,5 @@
 open Mclh_circuit
+module Obs = Mclh_obs.Obs
 
 type algorithm =
   | Mmsim
@@ -27,44 +28,55 @@ type report = {
   delta_hpwl : float;
   runtime_s : float;
   mmsim : Flow.result option;
+  fence : Fence.stats option;
+  obs : Obs.t option;
 }
 
 let snap design placement = (Tetris_alloc.run design placement).Tetris_alloc.placement
 
-let run ?config algorithm design =
+let run ?(config = Config.default) algorithm design =
+  let obs = if config.Config.metrics then Some (Obs.create ()) else None in
   let t0 = Mclh_par.Clock.now () in
-  let placement, mmsim =
+  let placement, mmsim, fence =
     match algorithm with
     | Mmsim ->
       if Array.length design.Design.regions > 0 then begin
-        (* fenced designs decompose into territories; per-territory solver
-           details are not surfaced in the report *)
-        let legal, _stats = Fence.legalize ?config design in
-        (legal, None)
+        let legal, stats = Fence.legalize ~config ?obs design in
+        (legal, None, Some stats)
       end
       else begin
-        let result = Flow.run ?config design in
-        (result.Flow.legal, Some result)
+        let result = Flow.run ~config ?obs design in
+        (result.Flow.legal, Some result, None)
       end
     | Greedy_dac16 ->
-      (Greedy_cpy.legalize ~options:Greedy_cpy.default design, None)
+      (Greedy_cpy.legalize ~options:Greedy_cpy.default design, None, None)
     | Greedy_dac16_improved ->
-      (Greedy_cpy.legalize ~options:Greedy_cpy.improved design, None)
-    | Abacus_multirow -> (snap design (Abacus_mr.legalize design), None)
-    | Tetris -> (Tetris_legal.legalize design, None)
+      (Greedy_cpy.legalize ~options:Greedy_cpy.improved design, None, None)
+    | Abacus_multirow -> (snap design (Abacus_mr.legalize design), None, None)
+    | Tetris -> (Tetris_legal.legalize design, None, None)
   in
   let runtime_s = Mclh_par.Clock.now () -. t0 in
+  let legal = Legality.is_legal design placement in
+  let displacement =
+    Metrics.displacement ~row_height:design.Design.chip.Chip.row_height
+      ~before:design.Design.global placement
+  in
+  let delta_hpwl =
+    Hpwl.delta ~row_height:design.Design.chip.Chip.row_height
+      design.Design.nets ~before:design.Design.global placement
+  in
+  Obs.record_span obs "runner/total" runtime_s;
+  Obs.add obs "runner/legal" (if legal then 1 else 0);
+  Obs.gauge obs "runner/delta_hpwl" delta_hpwl;
   { algorithm;
     placement;
-    legal = Legality.is_legal design placement;
-    displacement =
-      Metrics.displacement ~row_height:design.Design.chip.Chip.row_height
-        ~before:design.Design.global placement;
-    delta_hpwl =
-      Hpwl.delta ~row_height:design.Design.chip.Chip.row_height
-        design.Design.nets ~before:design.Design.global placement;
+    legal;
+    displacement;
+    delta_hpwl;
     runtime_s;
-    mmsim }
+    mmsim;
+    fence;
+    obs }
 
 let run_all ?config ?(algorithms = all) designs =
   let num_domains =

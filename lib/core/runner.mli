@@ -28,6 +28,14 @@ type report = {
   mmsim : Flow.result option;
       (** present for {!Mmsim} on designs without fence regions (fenced
           designs run the {!Fence} decomposition instead) *)
+  fence : Fence.stats option;
+      (** present for {!Mmsim} on fenced designs: the per-territory solver
+          stats ({!Fence.territory_stats}), ready to aggregate with the
+          {!Fence} helpers *)
+  obs : Mclh_obs.Obs.t option;
+      (** the run's metrics recorder, present when [config.metrics] is set
+          (default: the [MCLH_METRICS] gate) — serialize it with
+          {!Mclh_obs.Run_report} *)
 }
 
 val run : ?config:Config.t -> algorithm -> Design.t -> report

@@ -229,9 +229,16 @@ let check_bound (model : Model.t) (config : Config.t) =
     { mu_max; theta_limit; theta_ok = config.Config.theta < theta_limit }
   end
 
+module Obs = Mclh_obs.Obs
+module Trace = Mclh_obs.Trace
+
+(* convergence traces keep the tail of the iteration history; enough to
+   see the terminal behaviour without unbounded memory on long runs *)
+let trace_capacity = 512
+
 (* one MMSIM solve of [model] as a single LCP; the core shared by the
    monolithic path and every decomposition shard *)
-let solve_raw (config : Config.t) (model : Model.t) =
+let solve_raw ?on_iter (config : Config.t) (model : Model.t) =
   let n = model.nvars and m = Model.num_constraints model in
   let ops = operators_inplace model config in
   let q = rhs_q model in
@@ -247,13 +254,13 @@ let solve_raw (config : Config.t) (model : Model.t) =
       Vec.init (n + m) (fun i ->
           if i < n then config.gamma /. 2.0 *. -.model.p.(i) else 0.0)
   in
-  let out = Mclh_lcp.Mmsim.solve_inplace ~options ~s0 ops ~q in
+  let out = Mclh_lcp.Mmsim.solve_inplace ~options ?on_iter ~s0 ops ~q in
   let x = Array.sub out.Mclh_lcp.Mmsim.z 0 n in
   let r = Array.sub out.Mclh_lcp.Mmsim.z n m in
   (x, r, out.Mclh_lcp.Mmsim.iterations, out.Mclh_lcp.Mmsim.converged,
    out.Mclh_lcp.Mmsim.delta_inf)
 
-let solve ?(config = Config.default) (model : Model.t) =
+let solve ?(config = Config.default) ?obs (model : Model.t) =
   (match Config.validate config with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("Solver.solve: " ^ msg));
@@ -282,7 +289,17 @@ let solve ?(config = Config.default) (model : Model.t) =
         order;
       let solve_shard i =
         let shard = shards.(i) in
-        (shard, solve_raw config (Decompose.extract model shard))
+        (* each pool job records into its own trace; the orchestrating
+           thread attaches them after fan-in (recorders are not
+           thread-safe, see {!Mclh_obs.Obs}) *)
+        let tr, on_iter =
+          match obs with
+          | None -> (None, None)
+          | Some _ ->
+            let tr = Trace.create ~capacity:trace_capacity in
+            (Some tr, Some (fun _k d -> Trace.record tr d))
+        in
+        (i, shard, solve_raw ?on_iter config (Decompose.extract model shard), tr)
       in
       let results =
         (* on an oversubscribed pool (more domains than cores) fan-out
@@ -293,9 +310,16 @@ let solve ?(config = Config.default) (model : Model.t) =
       let x = Vec.zeros n and r = Vec.zeros m in
       let iterations = ref 0 and converged = ref true and delta = ref 0.0 in
       Array.iter
-        (fun (shard, (sx, sr, it, conv, dinf)) ->
+        (fun (i, shard, (sx, sr, it, conv, dinf), tr) ->
           Decompose.scatter_vars shard sx x;
           Decompose.scatter_cons shard sr r;
+          (match tr with
+          | None -> ()
+          | Some tr ->
+            let name = Printf.sprintf "solver/comp%03d" i in
+            Obs.attach_trace obs (name ^ "/delta_inf") tr;
+            Obs.add obs (name ^ "/iterations") it;
+            Obs.add obs (name ^ "/dim") (Decompose.shard_dim shard));
           if it > !iterations then iterations := it;
           if not conv then converged := false;
           (* a nan delta (divergence guard) must survive the max *)
@@ -306,22 +330,37 @@ let solve ?(config = Config.default) (model : Model.t) =
     | Some _ | None ->
       (* single component (or decomposition off): the monolithic solve is
          the exact reference path *)
-      solve_raw config model
+      let on_iter =
+        match Obs.new_trace obs "solver/delta_inf" ~capacity:trace_capacity with
+        | None -> None
+        | Some tr -> Some (fun _k d -> Trace.record tr d)
+      in
+      solve_raw ?on_iter config model
   in
   let bound =
     if config.verify_bound then Some (check_bound model config) else None
   in
+  let components =
+    match deco with Some d -> Decompose.num_components d | None -> 1
+  and largest_dim =
+    match deco with Some d -> Decompose.largest_dim d | None -> n + m
+  in
+  let mismatch = Model.subcell_mismatch model x in
+  Obs.add obs "solver/iterations" iterations;
+  Obs.add obs "solver/components" components;
+  Obs.add obs "solver/largest_dim" largest_dim;
+  if not converged then Obs.incr obs "solver/nonconverged";
+  Obs.gauge obs "solver/delta_inf" delta_inf;
+  Obs.gauge obs "solver/mismatch" mismatch;
   { x;
     r;
     iterations;
     converged;
     delta_inf;
-    mismatch = Model.subcell_mismatch model x;
+    mismatch;
     bound;
-    components =
-      (match deco with Some d -> Decompose.num_components d | None -> 1);
-    largest_dim =
-      (match deco with Some d -> Decompose.largest_dim d | None -> n + m) }
+    components;
+    largest_dim }
 
 let lcp_problem (model : Model.t) ~lambda =
   Mclh_qp.Kkt.to_lcp (Model.to_qp model ~lambda)

@@ -57,14 +57,23 @@ val operators_inplace : Model.t -> Config.t -> Mclh_lcp.Mmsim.operators_inplace
 val rhs_q : Model.t -> Vec.t
 (** The LCP right-hand side [q = (p; -b)]. *)
 
-val solve : ?config:Config.t -> Model.t -> result
+val solve : ?config:Config.t -> ?obs:Mclh_obs.Obs.t -> Model.t -> result
 (** Runs Algorithm 1. When [config.decompose] is set (the default) the
     LCP is first split into its independent connected components
     ({!Decompose}); multi-shard decompositions solve every sub-LCP on the
     domain pool and scatter the solutions back, while single-component
     designs take the monolithic path exactly. Decomposed results agree
     with the monolithic solve up to the iteration tolerance and are
-    bit-identical across [num_domains] values. *)
+    bit-identical across [num_domains] values.
+
+    [obs] records [solver/iterations], [solver/components],
+    [solver/largest_dim] and [solver/nonconverged] counters, the
+    [solver/delta_inf] / [solver/mismatch] gauges, and per-iteration
+    convergence traces: [solver/delta_inf] for the monolithic path,
+    [solver/compNNN/{delta_inf,iterations,dim}] per shard when
+    decomposed. Traces are ring buffers keeping the last 512 iterations;
+    pool jobs record into job-local traces attached after fan-in, so
+    instrumentation never perturbs the bit-identical parallel results. *)
 
 val check_bound : Model.t -> Config.t -> bound_check
 (** The Theorem 2 convergence check on its own. *)

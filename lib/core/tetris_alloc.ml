@@ -1,13 +1,21 @@
 open Mclh_circuit
+module Obs = Mclh_obs.Obs
 
 type result = {
   placement : Placement.t;
   illegal_before : int;
   relocated : int;
   relocation_cost : float;
+  repack_fallback : bool;
 }
 
-let run (design : Design.t) (input : Placement.t) =
+(* the one clamp both repair passes share: a relocation search never starts
+   left of the chip or so far right the cell cannot fit. For a cell wider
+   than the chip the clamp floors at 0 and the search fails cleanly instead
+   of receiving a negative start. *)
+let clamp_x0 ~num_sites (c : Cell.t) x = max 0 (min x (num_sites - c.Cell.width))
+
+let run ?obs (design : Design.t) (input : Placement.t) =
   let chip = design.chip in
   let n = Design.num_cells design in
   let num_sites = chip.Chip.num_sites in
@@ -62,7 +70,7 @@ let run (design : Design.t) (input : Placement.t) =
   let place_illegal i =
     let c = design.cells.(i) in
     let x0, row0 = snap.(i) in
-    let x0 = min x0 (num_sites - c.Cell.width) in
+    let x0 = clamp_x0 ~num_sites c x0 in
     match Occupancy.find_spot occ c ~row0 ~x0 with
     | Some (row, x, cost) ->
       Occupancy.occupy occ ~row ~height:c.Cell.height ~x ~width:c.Cell.width;
@@ -73,11 +81,18 @@ let run (design : Design.t) (input : Placement.t) =
       true
     | None -> false
   in
-  if List.for_all place_illegal illegal then
+  let finish repack_fallback =
+    Obs.add obs "tetris/illegal_before" illegal_before;
+    Obs.add obs "tetris/relocated" !relocated;
+    if repack_fallback then Obs.incr obs "tetris/repack_fallback";
+    Obs.gauge obs "tetris/relocation_cost" !relocation_cost;
     { placement = Placement.make ~xs ~ys;
       illegal_before;
       relocated = !relocated;
-      relocation_cost = !relocation_cost }
+      relocation_cost = !relocation_cost;
+      repack_fallback }
+  in
+  if List.for_all place_illegal illegal then finish false
   else begin
     (* fragmentation at very high density: a multi-row cell found no free
        span after the singles grabbed theirs. Redo the whole allocation
@@ -103,7 +118,7 @@ let run (design : Design.t) (input : Placement.t) =
       (fun i ->
         let c = design.cells.(i) in
         let x0, row0 = snap.(i) in
-        let x0 = max 0 (min x0 (num_sites - c.Cell.width)) in
+        let x0 = clamp_x0 ~num_sites c x0 in
         match Occupancy.find_spot occ c ~row0 ~x0 with
         | Some (row, x, cost) ->
           Occupancy.occupy occ ~row ~height:c.Cell.height ~x ~width:c.Cell.width;
@@ -118,8 +133,5 @@ let run (design : Design.t) (input : Placement.t) =
                 area-ordered repack (design beyond capacity?)"
                i))
       order2;
-    { placement = Placement.make ~xs ~ys;
-      illegal_before;
-      relocated = !relocated;
-      relocation_cost = !relocation_cost }
+    finish true
   end

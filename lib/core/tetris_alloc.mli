@@ -15,11 +15,21 @@ type result = {
   relocated : int;  (** cells actually moved to a new free span *)
   relocation_cost : float;  (** total Manhattan distance of relocations,
                                 relative to the input positions *)
+  repack_fallback : bool;
+      (** the first repair pass fragmented the free space and the whole
+          allocation was redone tallest/largest-first *)
 }
 
-val run : Design.t -> Placement.t -> result
+val clamp_x0 : num_sites:int -> Cell.t -> int -> int
+(** Clamp a relocation-search start column into [[0, num_sites - width]]
+    (the single clamp both repair passes share). *)
+
+val run : ?obs:Mclh_obs.Obs.t -> Design.t -> Placement.t -> result
 (** Input: a placement whose ys are integral rows admitting each cell
     (as produced by {!Model.placement_of}); xs may be fractional, off the
-    chip to the right, or overlapping.
+    chip to the right, or overlapping. [obs] records the
+    [tetris/illegal_before], [tetris/relocated] and
+    [tetris/repack_fallback] counters and the [tetris/relocation_cost]
+    gauge.
     @raise Failure if some illegal cell cannot be placed anywhere (the
       design exceeds chip capacity). *)

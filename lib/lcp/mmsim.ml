@@ -25,7 +25,7 @@ let z_of_s gamma s = Vec.map (fun v -> (Float.abs v +. v) /. gamma) s
 let w_of_s options ops s =
   Vec.mapi (fun i v -> ops.omega_diag.(i) /. options.gamma *. (Float.abs v -. v)) s
 
-let solve ?(options = default_options) ?s0 ops ~q =
+let solve ?(options = default_options) ?on_iter ?s0 ops ~q =
   let { gamma; eps; max_iter } = options in
   if gamma <= 0.0 then invalid_arg "Mmsim.solve: gamma must be positive";
   if eps <= 0.0 then invalid_arg "Mmsim.solve: eps must be positive";
@@ -63,6 +63,7 @@ let solve ?(options = default_options) ?s0 ops ~q =
     let delta_s = Vec.dist_inf s_next s in
     let s_scale = Float.max 1.0 (Vec.norm_inf s_next) in
     z_prev := z;
+    (match on_iter with None -> () | Some f -> f (k + 1) delta);
     (* nan detection must not rely on comparisons (nan > x is false);
        summing propagates nan reliably *)
     if Float.is_nan delta || Float.is_nan (Vec.sum z) then
@@ -85,7 +86,7 @@ type operators_inplace = {
   omega_diag_ip : Vec.t;
 }
 
-let solve_inplace ?(options = default_options) ?s0 ops ~q =
+let solve_inplace ?(options = default_options) ?on_iter ?s0 ops ~q =
   let { gamma; eps; max_iter } = options in
   if gamma <= 0.0 then invalid_arg "Mmsim.solve_inplace: gamma must be positive";
   if eps <= 0.0 then invalid_arg "Mmsim.solve_inplace: eps must be positive";
@@ -134,6 +135,11 @@ let solve_inplace ?(options = default_options) ?s0 ops ~q =
       if a > !s_scale then s_scale := a
     done;
     Vec.blit ~src:z ~dst:z_prev;
+    (* the observer branch is allocation-free when [on_iter] is [None],
+       preserving the zero-allocation steady state *)
+    (match on_iter with
+    | None -> ()
+    | Some f -> f (k + 1) (if !nan_seen then Float.nan else !delta));
     if !nan_seen then
       { z = Vec.copy z; s = Vec.copy s_next; iterations = k + 1;
         converged = false; delta_inf = Float.nan }

@@ -47,8 +47,14 @@ type outcome = {
   delta_inf : float;  (** final [||z_k - z_{k-1}||_inf] *)
 }
 
-val solve : ?options:options -> ?s0:Vec.t -> operators -> q:Vec.t -> outcome
-(** Runs Algorithm 1. [s0] defaults to the zero vector.
+val solve :
+  ?options:options -> ?on_iter:(int -> float -> unit) -> ?s0:Vec.t ->
+  operators -> q:Vec.t -> outcome
+(** Runs Algorithm 1. [s0] defaults to the zero vector. [on_iter k delta]
+    is called after every iteration with the 1-based iteration number and
+    the iterate change [||z_k - z_{k-1}||_inf] (NaN when the divergence
+    guard fires) — the hook the observability layer uses for convergence
+    traces.
     @raise Invalid_argument on dimension mismatches or non-positive
       [gamma]/[eps]/[max_iter]. *)
 
@@ -66,11 +72,15 @@ type operators_inplace = {
 }
 
 val solve_inplace :
-  ?options:options -> ?s0:Vec.t -> operators_inplace -> q:Vec.t -> outcome
+  ?options:options -> ?on_iter:(int -> float -> unit) -> ?s0:Vec.t ->
+  operators_inplace -> q:Vec.t -> outcome
 (** Allocation-free variant of {!solve} for hot paths: all iteration state
     lives in preallocated buffers and the operators write into
     caller-visible destinations. Produces the same iterates as {!solve}
-    given equivalent operators (tested). *)
+    given equivalent operators (tested). Without [on_iter] the steady
+    state allocates zero minor-heap words per iteration; the [on_iter]
+    check itself is a single branch, so the guarantee survives
+    instrumented-but-disabled call sites. *)
 
 val gauss_seidel_operators : ?omega:Vec.t -> Csr.t -> operators
 (** The textbook modulus-based Gauss-Seidel splitting [M = D + L],

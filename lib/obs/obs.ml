@@ -1,0 +1,103 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  spans : (string, float ref) Hashtbl.t;
+  mutable traces : (string * Trace.t) list;
+  mutable subs : (string * Mclh_report.Json.t) list;
+}
+
+let create () =
+  { counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    spans = Hashtbl.create 16;
+    traces = [];
+    subs = [] }
+
+let enabled_from_env () =
+  match Sys.getenv_opt "MCLH_METRICS" with
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | Some _ | None -> false
+
+(* Every recording helper takes a [t option]: the [None] path is a single
+   branch with no allocation, which is what lets instrumented code keep
+   its zero-overhead guarantee when metrics are off. *)
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.counters name r;
+    r
+
+let incr obs name =
+  match obs with
+  | None -> ()
+  | Some t ->
+    let r = counter_ref t name in
+    r := !r + 1
+
+let add obs name n =
+  match obs with
+  | None -> ()
+  | Some t ->
+    let r = counter_ref t name in
+    r := !r + n
+
+let gauge obs name v =
+  match obs with
+  | None -> ()
+  | Some t -> (
+    match Hashtbl.find_opt t.gauges name with
+    | Some r -> r := v
+    | None -> Hashtbl.add t.gauges name (ref v))
+
+let record_span obs name seconds =
+  match obs with
+  | None -> ()
+  | Some t -> (
+    match Hashtbl.find_opt t.spans name with
+    | Some r -> r := !r +. seconds
+    | None -> Hashtbl.add t.spans name (ref seconds))
+
+let span obs name f =
+  match obs with
+  | None -> f ()
+  | Some _ ->
+    let v, s = Mclh_par.Clock.timed f in
+    record_span obs name s;
+    v
+
+let new_trace obs name ~capacity =
+  match obs with
+  | None -> None
+  | Some t ->
+    let tr = Trace.create ~capacity in
+    t.traces <- (name, tr) :: t.traces;
+    Some tr
+
+let attach_trace obs name tr =
+  match obs with None -> () | Some t -> t.traces <- (name, tr) :: t.traces
+
+let sub obs name json =
+  match obs with None -> () | Some t -> t.subs <- (name, json) :: t.subs
+
+(* ---- read-back (tests, report assembly) ---- *)
+
+let sorted_assoc tbl =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t = sorted_assoc t.counters
+let gauges t = sorted_assoc t.gauges
+let spans t = sorted_assoc t.spans
+
+let traces t =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) t.traces
+
+let subs t = List.sort (fun (a, _) (b, _) -> String.compare a b) t.subs
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let find_trace t name = List.assoc_opt name t.traces

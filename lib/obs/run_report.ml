@@ -1,0 +1,42 @@
+open Mclh_report
+
+let schema = "mclh-run-report"
+let version = 1
+
+let trace_json tr =
+  Json.Obj
+    [ ("capacity", Json.Int (Trace.capacity tr));
+      ("recorded", Json.Int (Trace.recorded tr));
+      ("values",
+       Json.List
+         (Array.to_list (Array.map (fun v -> Json.Float v) (Trace.to_array tr))))
+    ]
+
+let to_json ?(meta = []) obs =
+  Json.Obj
+    [ ("schema", Json.String schema);
+      ("version", Json.Int version);
+      ("meta", Json.Obj meta);
+      ("counters",
+       Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (Obs.counters obs)));
+      ("gauges",
+       Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (Obs.gauges obs)));
+      ("spans_s",
+       Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) (Obs.spans obs)));
+      ("traces",
+       Json.Obj
+         (List.map (fun (k, tr) -> (k, trace_json tr)) (Obs.traces obs)));
+      ("sub_reports", Json.Obj (Obs.subs obs)) ]
+
+let write ~path json = Json.to_file ~path json
+
+let validate json =
+  match json with
+  | Json.Obj _ -> (
+    match (Json.member "schema" json, Json.member "version" json) with
+    | Some (Json.String s), Some (Json.Int v) when s = schema ->
+      if v = version then Ok ()
+      else Error (Printf.sprintf "unsupported version %d (expected %d)" v version)
+    | _ -> Error "missing or malformed schema/version fields"
+  )
+  | _ -> Error "run report must be a JSON object"

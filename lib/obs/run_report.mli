@@ -1,0 +1,33 @@
+(** The versioned JSON run-report artifact.
+
+    Serializes an {!Obs} recorder into a stable, machine-readable document:
+
+    {v
+    { "schema": "mclh-run-report",
+      "version": 1,
+      "meta":        { ...caller-supplied run identity... },
+      "counters":    { "<name>": int, ... },
+      "gauges":      { "<name>": float, ... },
+      "spans_s":     { "<name>": float, ... },
+      "traces":      { "<name>": { "capacity": int, "recorded": int,
+                                   "values": [float...] }, ... },
+      "sub_reports": { "<name>": <nested report or fragment>, ... } }
+    v}
+
+    Section entries are name-sorted, so two runs with the same recordings
+    produce byte-identical documents (golden-tested). Consumers must check
+    [schema]/[version] ({!validate}) before interpreting the rest. *)
+
+open Mclh_report
+
+val schema : string
+val version : int
+
+val to_json : ?meta:(string * Json.t) list -> Obs.t -> Json.t
+(** Assemble the report; [meta] lands verbatim under the ["meta"] field
+    (design name, algorithm, outcome — whatever identifies the run). *)
+
+val write : path:string -> Json.t -> unit
+
+val validate : Json.t -> (unit, string) result
+(** Checks the [schema]/[version] envelope. *)

@@ -170,12 +170,17 @@ let rec permutations = function
         List.map (fun p -> x :: p) (permutations rest))
       l
 
+(* exhaustive window reorder enumerates [length!] permutations; above
+   this cap (720 candidates) the move stops paying for itself *)
+let max_reorder_window = 6
+
 (* re-sequence a window of consecutive single-height cells in one row:
    candidates are packed left-to-right from the window start, which keeps
    them inside the original span *)
 let try_reorder st ids =
   match ids with
   | [] | [ _ ] -> false
+  | _ when List.length ids > max_reorder_window -> false
   | _ ->
     (* earlier moves in the same pass may have re-sequenced these cells, so
        order by the *current* positions and pack from the current left
@@ -186,6 +191,19 @@ let try_reorder st ids =
         ids
     in
     let first = List.hd ids in
+    (* the contiguous repacking below is only sound for cells homed in one
+       shared row: a cell from another row would be dragged out of it, and
+       a taller cell's other rows would not be repacked *)
+    let home = int_of_float st.pl.Placement.ys.(first) in
+    List.iter
+      (fun i ->
+        if
+          int_of_float st.pl.Placement.ys.(i) <> home
+          || st.design.Design.cells.(i).Cell.height <> 1
+        then
+          invalid_arg
+            "Refine.try_reorder: window must be same-row single-height cells")
+      ids;
     let nets =
       List.fold_left
         (fun acc i -> union_nets acc st.nets_of.(i))

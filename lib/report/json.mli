@@ -1,0 +1,35 @@
+(** Minimal JSON values: emission and parsing, no external dependency.
+
+    Used for the machine-readable artifacts the harness and the
+    observability layer ({!Mclh_obs}) produce — run reports, perf
+    snapshots. The emitter writes canonical, human-diffable output
+    (two-space indent, fields in caller order); the parser accepts any
+    RFC-8259 document, which makes the emitted artifacts round-trippable
+    in tests and validations without a third-party JSON library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Serializes the value; [indent] (default [true]) pretty-prints with
+    two-space indentation and a trailing newline. Non-finite floats are
+    emitted as [null] (JSON has no NaN/Infinity), so the output always
+    parses. *)
+
+val of_string : string -> (t, string) result
+(** Parses one JSON document. Numbers without a fraction or exponent
+    become {!Int} (falling back to {!Float} on overflow); the whole input
+    must be consumed. *)
+
+val member : string -> t -> t option
+(** [member key v] looks up a field of an {!Obj}; [None] for missing keys
+    and non-object values. *)
+
+val to_file : path:string -> t -> unit
+(** Writes [to_string v] to [path]. *)

@@ -119,7 +119,12 @@ let test_fence_bit_identity () =
         seq_stats.Fence.territories par_stats.Fence.territories;
       Alcotest.(check (list (triple string int int)))
         (Printf.sprintf "per-territory stats nd=%d" nd)
-        seq_stats.Fence.per_territory par_stats.Fence.per_territory)
+        (List.map
+           (fun t -> (t.Fence.name, t.Fence.cells, t.Fence.iterations))
+           seq_stats.Fence.per_territory)
+        (List.map
+           (fun t -> (t.Fence.name, t.Fence.cells, t.Fence.iterations))
+           par_stats.Fence.per_territory))
     [ 2; 4 ];
   Alcotest.(check bool) "legal" true (Legality.is_legal d seq)
 

@@ -7,7 +7,8 @@
      run        generate + legalize in one step (no files)
      check      verify a placement file against a design file
      stats      density/utilization analysis of a design (+ placement)
-     convert    translate between the native format and Bookshelf *)
+     convert    translate between the native format and Bookshelf
+     eco        apply ECO edit batches through the incremental engine *)
 
 open Cmdliner
 open Mclh_circuit
@@ -384,6 +385,132 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Density and utilization analysis.")
     Term.(const run $ design_arg $ placement_arg $ svg_arg)
 
+let eco_cmd =
+  let in_arg =
+    let doc = "Input design file." in
+    Arg.(required & opt (some string) None & info [ "i"; "in" ] ~docv:"FILE" ~doc)
+  in
+  let edits_arg =
+    let doc = "Edits file (see the mclh-edits format in Mclh_incr.Edit)." in
+    Arg.(
+      required & opt (some string) None & info [ "e"; "edits" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Output placement file (state after the last batch)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let out_design_arg =
+    let doc =
+      "Also write the post-edit design (inserts/deletes renumber cells, so \
+       the output placement only checks against this design, not the \
+       input)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "out-design" ] ~docv:"FILE" ~doc)
+  in
+  let verify_arg =
+    let doc =
+      "After the last batch, re-legalize the final design from cold and \
+       report the maximum position difference and the MMSIM iterations the \
+       incremental engine saved."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let run input edits_path output out_design lambda eps verify metrics_out =
+    let design = Io.read_design ~path:input in
+    let batches = Mclh_incr.Edit.read_file ~path:edits_path in
+    if batches = [] then begin
+      Printf.eprintf "no batches in %s\n" edits_path;
+      exit 1
+    end;
+    let config = config_of ~metrics_out lambda eps in
+    let obs =
+      if config.Config.metrics then Some (Mclh_obs.Obs.create ()) else None
+    in
+    let t0 = Mclh_par.Clock.now () in
+    let session = Mclh_incr.Incr.create ~config ?obs design in
+    let initial_s = Mclh_par.Clock.now () -. t0 in
+    Printf.printf "initial legalize : %d cells in %.3f s\n"
+      (Design.num_cells design) initial_s;
+    Printf.printf "%5s %6s %7s %12s %5s %6s %11s %5s\n" "batch" "edits"
+      "touched" "dirty/shards" "hits" "iters" "latency(ms)" "conv";
+    let total_iters = ref 0 and total_latency = ref 0.0 in
+    List.iteri
+      (fun i batch ->
+        let st = Mclh_incr.Incr.apply session batch in
+        total_iters := !total_iters + st.Mclh_incr.Incr.solve_iterations;
+        total_latency := !total_latency +. st.Mclh_incr.Incr.latency_s;
+        Printf.printf "%5d %6d %7d %6d/%-5d %5d %6d %11.2f %5b\n" (i + 1)
+          st.Mclh_incr.Incr.edits st.Mclh_incr.Incr.touched_cells
+          st.Mclh_incr.Incr.dirty_shards st.Mclh_incr.Incr.shards
+          st.Mclh_incr.Incr.cache_hits st.Mclh_incr.Incr.solve_iterations
+          (1000.0 *. st.Mclh_incr.Incr.latency_s)
+          st.Mclh_incr.Incr.converged)
+      batches;
+    Printf.printf "batches          : %d in %.3f s (%d solve iterations)\n"
+      (List.length batches) !total_latency !total_iters;
+    Printf.printf "cache            : %d entries\n"
+      (Mclh_incr.Incr.cache_entries session);
+    let design' = Mclh_incr.Incr.design session in
+    let incr_legal = Mclh_incr.Incr.legal session in
+    let legal = Legality.is_legal design' incr_legal in
+    Printf.printf "legal            : %b\n" legal;
+    if verify then begin
+      let t1 = Mclh_par.Clock.now () in
+      let cold = Flow.run ~config design' in
+      let cold_s = Mclh_par.Clock.now () -. t1 in
+      let open Mclh_linalg in
+      let dx =
+        Vec.dist_inf cold.Flow.legal.Placement.xs incr_legal.Placement.xs
+      and dy =
+        Vec.dist_inf cold.Flow.legal.Placement.ys incr_legal.Placement.ys
+      in
+      let cold_iters = cold.Flow.solver.Solver.iterations_total in
+      Printf.printf "verify           : max |dx| %.2e sites, max |dy| %.2e rows\n"
+        dx dy;
+      Printf.printf "iterations saved : %d of %d cold (%.1f%%)\n"
+        (cold_iters - !total_iters)
+        cold_iters
+        (if cold_iters = 0 then 0.0
+         else
+           100.0
+           *. float_of_int (cold_iters - !total_iters)
+           /. float_of_int cold_iters);
+      Printf.printf "cold re-run      : %.3f s (incremental total %.3f s)\n"
+        cold_s !total_latency
+    end;
+    (match (metrics_out, obs) with
+    | Some path, Some obs ->
+      let open Mclh_report in
+      let meta =
+        [ ("design", Json.String design'.Design.name);
+          ("cells", Json.Int (Design.num_cells design'));
+          ("batches", Json.Int (Mclh_incr.Incr.num_batches session));
+          ("legal", Json.Bool legal) ]
+      in
+      Mclh_obs.Run_report.write ~path (Mclh_obs.Run_report.to_json ~meta obs);
+      Printf.printf "metrics          : %s\n" path
+    | _ -> ());
+    Option.iter
+      (fun path ->
+        Io.write_placement ~path incr_legal;
+        Printf.printf "placement        : %s\n" path)
+      output;
+    Option.iter
+      (fun path ->
+        Io.write_design ~path design';
+        Printf.printf "design           : %s\n" path)
+      out_design;
+    if not legal then exit 2
+  in
+  Cmd.v
+    (Cmd.info "eco"
+       ~doc:
+         "Apply ECO edit batches with the incremental re-legalization engine.")
+    Term.(
+      const run $ in_arg $ edits_arg $ out_arg $ out_design_arg $ lambda_arg
+      $ eps_arg $ verify_arg $ metrics_out_arg)
+
 let convert_cmd =
   let in_arg =
     let doc = "Input design: native file or Bookshelf .aux." in
@@ -423,4 +550,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; gen_cmd; legalize_cmd; run_cmd; check_cmd; stats_cmd;
-            convert_cmd ]))
+            convert_cmd; eco_cmd ]))

@@ -69,6 +69,24 @@ let constraint_bases (model : Model.t) =
     model.row_vars;
   bases
 
+(* constraint id -> (left, right) global variable pair, in build order:
+   group g emits the adjacent pairs (vars.(k), vars.(k+1)) consecutively
+   starting at bases.(g). The pair is the constraint's identity across
+   model rebuilds — incremental callers key old-to-new constraint maps on
+   it. *)
+let constraint_pairs (model : Model.t) =
+  let m = Model.num_constraints model in
+  let pairs = Array.make m (0, 0) in
+  let acc = ref 0 in
+  Array.iter
+    (fun vars ->
+      for k = 0 to Array.length vars - 2 do
+        pairs.(!acc) <- (vars.(k), vars.(k + 1));
+        incr acc
+      done)
+    model.row_vars;
+  pairs
+
 let components (model : Model.t) =
   let n = model.nvars in
   let parent = Array.init n Fun.id and rank = Array.make n 0 in

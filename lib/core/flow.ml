@@ -26,7 +26,7 @@ let timed = Mclh_par.Clock.timed
 
 module Obs = Mclh_obs.Obs
 
-let run ?(config = Config.default) ?obs design =
+let run ?(config = Config.default) ?obs ?s0 design =
   let start = Mclh_par.Clock.now () in
   let assignment, assign_s = timed (fun () -> Row_assign.assign design) in
   Obs.record_span obs "flow/assign" assign_s;
@@ -40,7 +40,9 @@ let run ?(config = Config.default) ?obs design =
         (Model.num_constraints model)
         (Mclh_linalg.Blocks.num_chains model.Model.blocks)
         model_s);
-  let solver, solve_s = timed (fun () -> Solver.solve ~config ?obs model) in
+  let solver, solve_s =
+    timed (fun () -> Solver.solve ~config ?obs ?s0 model)
+  in
   Obs.record_span obs "flow/solve" solve_s;
   Log.debug (fun m ->
       m "mmsim: %d iterations, converged %b, mismatch %.2e, %d components \

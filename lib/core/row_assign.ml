@@ -2,22 +2,27 @@ open Mclh_circuit
 
 type t = { rows : int array; y_displacement : float }
 
-let assign (design : Design.t) =
-  let n = Design.num_cells design in
-  let rows = Array.make n 0 in
+let assign_cell (design : Design.t) i =
+  let cell = design.cells.(i) in
+  let y = design.global.Placement.ys.(i) in
+  match Chip.nearest_admitting_row design.chip cell y with
+  | Some row -> row
+  | None ->
+    failwith
+      (Printf.sprintf "Row_assign.assign: no admissible row for cell %d" i)
+
+let y_displacement (design : Design.t) rows =
   let total = ref 0.0 in
-  for i = 0 to n - 1 do
-    let cell = design.cells.(i) in
-    let y = design.global.Placement.ys.(i) in
-    match Chip.nearest_admitting_row design.chip cell y with
-    | Some row ->
-      rows.(i) <- row;
+  Array.iteri
+    (fun i row ->
       total :=
         !total
         +. (design.chip.Mclh_circuit.Chip.row_height
-            *. Float.abs (float_of_int row -. y))
-    | None ->
-      failwith
-        (Printf.sprintf "Row_assign.assign: no admissible row for cell %d" i)
-  done;
-  { rows; y_displacement = !total }
+            *. Float.abs (float_of_int row -. design.global.Placement.ys.(i))))
+    rows;
+  !total
+
+let assign (design : Design.t) =
+  let n = Design.num_cells design in
+  let rows = Array.init n (assign_cell design) in
+  { rows; y_displacement = y_displacement design rows }

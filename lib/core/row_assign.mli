@@ -18,3 +18,14 @@ val assign : Design.t -> t
 (** @raise Failure if some cell admits no row at all (chip shorter than the
     cell or missing rail parity) — impossible for chips from the
     generator. *)
+
+val assign_cell : Design.t -> int -> int
+(** The row {!assign} gives cell [i]. Assignment is per-cell independent,
+    so an incremental caller ({!Mclh_incr}) re-assigns only the cells an
+    edit touched and keeps the rest of a previous assignment verbatim.
+    @raise Failure as {!assign}. *)
+
+val y_displacement : Design.t -> int array -> float
+(** The y-displacement aggregate of an assignment (the [y_displacement]
+    field {!assign} computes), for callers that assemble [rows]
+    incrementally. *)

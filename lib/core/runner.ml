@@ -34,8 +34,12 @@ type report = {
 
 let snap design placement = (Tetris_alloc.run design placement).Tetris_alloc.placement
 
-let run ?(config = Config.default) algorithm design =
-  let obs = if config.Config.metrics then Some (Obs.create ()) else None in
+let run ?(config = Config.default) ?obs algorithm design =
+  let obs =
+    match obs with
+    | Some _ as o -> o
+    | None -> if config.Config.metrics then Some (Obs.create ()) else None
+  in
   let t0 = Mclh_par.Clock.now () in
   let placement, mmsim, fence =
     match algorithm with

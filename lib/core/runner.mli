@@ -38,7 +38,12 @@ type report = {
           {!Mclh_obs.Run_report} *)
 }
 
-val run : ?config:Config.t -> algorithm -> Design.t -> report
+val run :
+  ?config:Config.t -> ?obs:Mclh_obs.Obs.t -> algorithm -> Design.t -> report
+(** [obs] shares a caller-owned metrics recorder with the run (the eco
+    session uses one recorder across the initial legalization and every
+    later batch); when omitted, a fresh recorder is created iff
+    [config.metrics] is set. *)
 
 val run_all :
   ?config:Config.t -> ?algorithms:algorithm list -> Design.t list ->

@@ -3,7 +3,9 @@ open Mclh_linalg
 type result = {
   x : Vec.t;
   r : Vec.t;
+  modulus : Vec.t;
   iterations : int;
+  iterations_total : int;
   converged : bool;
   delta_inf : float;
   mismatch : float;
@@ -237,8 +239,10 @@ module Trace = Mclh_obs.Trace
 let trace_capacity = 512
 
 (* one MMSIM solve of [model] as a single LCP; the core shared by the
-   monolithic path and every decomposition shard *)
-let solve_raw ?on_iter (config : Config.t) (model : Model.t) =
+   monolithic path and every decomposition shard. A caller-supplied [s0]
+   (incremental warm restart) overrides the config's start-vector
+   policy. *)
+let solve_raw ?on_iter ?s0 (config : Config.t) (model : Model.t) =
   let n = model.nvars and m = Model.num_constraints model in
   let ops = operators_inplace model config in
   let q = rhs_q model in
@@ -248,25 +252,34 @@ let solve_raw ?on_iter (config : Config.t) (model : Model.t) =
       max_iter = config.max_iter }
   in
   let s0 =
-    if config.warm_start then Warm_start.modulus_vector model config ops
-    else
-      (* the paper's plain start: z_0 at the global-placement positions *)
-      Vec.init (n + m) (fun i ->
-          if i < n then config.gamma /. 2.0 *. -.model.p.(i) else 0.0)
+    match s0 with
+    | Some s0 -> s0
+    | None ->
+      if config.warm_start then Warm_start.modulus_vector model config ops
+      else
+        (* the paper's plain start: z_0 at the global-placement positions *)
+        Vec.init (n + m) (fun i ->
+            if i < n then config.gamma /. 2.0 *. -.model.p.(i) else 0.0)
   in
   let out = Mclh_lcp.Mmsim.solve_inplace ~options ?on_iter ~s0 ops ~q in
   let x = Array.sub out.Mclh_lcp.Mmsim.z 0 n in
   let r = Array.sub out.Mclh_lcp.Mmsim.z n m in
-  (x, r, out.Mclh_lcp.Mmsim.iterations, out.Mclh_lcp.Mmsim.converged,
-   out.Mclh_lcp.Mmsim.delta_inf)
+  (x, r, out.Mclh_lcp.Mmsim.s, out.Mclh_lcp.Mmsim.iterations,
+   out.Mclh_lcp.Mmsim.converged, out.Mclh_lcp.Mmsim.delta_inf)
 
-let solve ?(config = Config.default) ?obs (model : Model.t) =
+let solve ?(config = Config.default) ?obs ?s0 (model : Model.t) =
   (match Config.validate config with
   | Ok _ -> ()
   | Error msg -> invalid_arg ("Solver.solve: " ^ msg));
   let n = model.nvars and m = Model.num_constraints model in
+  (match s0 with
+  | Some s0 when Vec.dim s0 <> n + m ->
+    invalid_arg
+      (Printf.sprintf "Solver.solve: s0 has dimension %d, expected n + m = %d"
+         (Vec.dim s0) (n + m))
+  | Some _ | None -> ());
   let deco = if config.decompose then Some (Decompose.analyze model) else None in
-  let x, r, iterations, converged, delta_inf =
+  let x, r, modulus, iterations, iterations_total, converged, delta_inf =
     match deco with
     | Some d when Array.length d.Decompose.shards > 1 ->
       (* independent sub-LCPs fan out over the domain pool; each job
@@ -287,6 +300,19 @@ let solve ?(config = Config.default) ?obs (model : Model.t) =
           and dj = Decompose.shard_dim shards.(j) in
           if di <> dj then Int.compare dj di else Int.compare i j)
         order;
+      let shard_s0 shard =
+        (* restrict a caller-supplied global start vector to the shard's
+           own (vars; cons) numbering *)
+        match s0 with
+        | None -> None
+        | Some s0 ->
+          let sn = Array.length shard.Decompose.vars in
+          let sm = Array.length shard.Decompose.cons in
+          Some
+            (Vec.init (sn + sm) (fun i ->
+                 if i < sn then s0.(shard.Decompose.vars.(i))
+                 else s0.(n + shard.Decompose.cons.(i - sn))))
+      in
       let solve_shard i =
         let shard = shards.(i) in
         (* each pool job records into its own trace; the orchestrating
@@ -299,7 +325,11 @@ let solve ?(config = Config.default) ?obs (model : Model.t) =
             let tr = Trace.create ~capacity:trace_capacity in
             (Some tr, Some (fun _k d -> Trace.record tr d))
         in
-        (i, shard, solve_raw ?on_iter config (Decompose.extract model shard), tr)
+        ( i,
+          shard,
+          solve_raw ?on_iter ?s0:(shard_s0 shard) config
+            (Decompose.extract model shard),
+          tr )
       in
       let results =
         (* on an oversubscribed pool (more domains than cores) fan-out
@@ -308,11 +338,21 @@ let solve ?(config = Config.default) ?obs (model : Model.t) =
         else Mclh_par.Pool.parallel_map pool solve_shard order
       in
       let x = Vec.zeros n and r = Vec.zeros m in
-      let iterations = ref 0 and converged = ref true and delta = ref 0.0 in
+      let s_final = Vec.zeros (n + m) in
+      let iterations = ref 0
+      and iterations_total = ref 0
+      and converged = ref true
+      and delta = ref 0.0 in
       Array.iter
-        (fun (i, shard, (sx, sr, it, conv, dinf), tr) ->
+        (fun (i, shard, (sx, sr, ss, it, conv, dinf), tr) ->
           Decompose.scatter_vars shard sx x;
           Decompose.scatter_cons shard sr r;
+          (* the shard's final modulus slices scatter to (vars; n + cons) *)
+          let sn = Array.length shard.Decompose.vars in
+          Array.iteri (fun k v -> s_final.(v) <- ss.(k)) shard.Decompose.vars;
+          Array.iteri
+            (fun k c -> s_final.(n + c) <- ss.(sn + k))
+            shard.Decompose.cons;
           (match tr with
           | None -> ()
           | Some tr ->
@@ -321,12 +361,13 @@ let solve ?(config = Config.default) ?obs (model : Model.t) =
             Obs.add obs (name ^ "/iterations") it;
             Obs.add obs (name ^ "/dim") (Decompose.shard_dim shard));
           if it > !iterations then iterations := it;
+          iterations_total := !iterations_total + it;
           if not conv then converged := false;
           (* a nan delta (divergence guard) must survive the max *)
           if Float.is_nan dinf then delta := dinf
           else if (not (Float.is_nan !delta)) && dinf > !delta then delta := dinf)
         results;
-      (x, r, !iterations, !converged, !delta)
+      (x, r, s_final, !iterations, !iterations_total, !converged, !delta)
     | Some _ | None ->
       (* single component (or decomposition off): the monolithic solve is
          the exact reference path *)
@@ -335,10 +376,30 @@ let solve ?(config = Config.default) ?obs (model : Model.t) =
         | None -> None
         | Some tr -> Some (fun _k d -> Trace.record tr d)
       in
-      solve_raw ?on_iter config model
+      let x, r, s, it, conv, dinf = solve_raw ?on_iter ?s0 config model in
+      (x, r, s, it, it, conv, dinf)
   in
   let bound =
-    if config.verify_bound then Some (check_bound model config) else None
+    if config.verify_bound then begin
+      (* Theorem 2 is checked on the model actually handed to MMSIM: the
+         full model on the monolithic path, the largest (worst-case) shard's
+         sub-model when the solve was decomposed *)
+      let bound_model =
+        match deco with
+        | Some d when Array.length d.Decompose.shards > 1 ->
+          let shards = d.Decompose.shards in
+          let best = ref 0 in
+          Array.iteri
+            (fun i s ->
+              if Decompose.shard_dim s > Decompose.shard_dim shards.(!best)
+              then best := i)
+            shards;
+          Decompose.extract model shards.(!best)
+        | Some _ | None -> model
+      in
+      Some (check_bound bound_model config)
+    end
+    else None
   in
   let components =
     match deco with Some d -> Decompose.num_components d | None -> 1
@@ -354,7 +415,9 @@ let solve ?(config = Config.default) ?obs (model : Model.t) =
   Obs.gauge obs "solver/mismatch" mismatch;
   { x;
     r;
+    modulus;
     iterations;
+    iterations_total;
     converged;
     delta_inf;
     mismatch;

@@ -16,11 +16,27 @@ open Mclh_linalg
 type result = {
   x : Vec.t;  (** subcell positions (length [Model.nvars]) *)
   r : Vec.t;  (** ordering-constraint multipliers (length m) *)
-  iterations : int;
+  modulus : Vec.t;
+      (** the final MMSIM modulus vector [s] in global numbering (length
+          [n + m]: variables first, then constraints). Feeding it back as
+          [?s0] warm-restarts a later solve of the same (or a slightly
+          perturbed) model — the incremental engine ({!Mclh_incr}) relies
+          on this. When the solve was decomposed, per-shard final [s]
+          slices are scattered back just like [x] and [r]. *)
+  iterations : int;  (** max over shards when decomposed *)
+  iterations_total : int;
+      (** sum of iterations over all shards (equals [iterations] on the
+          monolithic path); the honest total-work count that incremental
+          re-legalization reports savings against *)
   converged : bool;
   delta_inf : float;  (** final iterate change *)
   mismatch : float;  (** subcell mismatch after the solve *)
-  bound : bound_check option;  (** present when the config asks for it *)
+  bound : bound_check option;
+      (** present when the config asks for it. Refers to the model MMSIM
+          actually iterated on: the full model on the monolithic path;
+          the largest (worst-case) shard's sub-model when the solve was
+          decomposed — smaller shards can be checked individually with
+          {!check_bound} on {!Decompose.extract}ed sub-models. *)
   components : int;
       (** independent LCP components found by {!Decompose} (1 when
           [config.decompose] is off) *)
@@ -57,7 +73,8 @@ val operators_inplace : Model.t -> Config.t -> Mclh_lcp.Mmsim.operators_inplace
 val rhs_q : Model.t -> Vec.t
 (** The LCP right-hand side [q = (p; -b)]. *)
 
-val solve : ?config:Config.t -> ?obs:Mclh_obs.Obs.t -> Model.t -> result
+val solve :
+  ?config:Config.t -> ?obs:Mclh_obs.Obs.t -> ?s0:Vec.t -> Model.t -> result
 (** Runs Algorithm 1. When [config.decompose] is set (the default) the
     LCP is first split into its independent connected components
     ({!Decompose}); multi-shard decompositions solve every sub-LCP on the
@@ -65,6 +82,15 @@ val solve : ?config:Config.t -> ?obs:Mclh_obs.Obs.t -> Model.t -> result
     designs take the monolithic path exactly. Decomposed results agree
     with the monolithic solve up to the iteration tolerance and are
     bit-identical across [num_domains] values.
+
+    [s0] is an explicit MMSIM start vector in global numbering (length
+    [n + m]); it overrides both the PlaceRow warm start and the paper's
+    plain start. On the decomposed path each shard receives its own
+    restriction of [s0]. The LCP fixed point is unique (Q~ SPD, B full
+    row rank), so any [s0] converges to the same solution within the
+    tolerance; a good [s0] — e.g. [result.modulus] from a previous solve
+    of a nearby model — just gets there in fewer iterations.
+    @raise Invalid_argument when [s0] has the wrong dimension.
 
     [obs] records [solver/iterations], [solver/components],
     [solver/largest_dim] and [solver/nonconverged] counters, the

@@ -1,0 +1,108 @@
+type t =
+  | Move of { cell : int; x : float; y : float }
+  | Resize of { cell : int; width : int }
+  | Insert of { width : int; height : int; x : float; y : float }
+  | Delete of { cell : int }
+
+let to_line = function
+  | Move { cell; x; y } -> Printf.sprintf "move %d %.17g %.17g" cell x y
+  | Resize { cell; width } -> Printf.sprintf "resize %d %d" cell width
+  | Insert { width; height; x; y } ->
+    Printf.sprintf "insert %d %d %.17g %.17g" width height x y
+  | Delete { cell } -> Printf.sprintf "delete %d" cell
+
+let header = "mclh-edits 1"
+
+let parse_batches text =
+  let lines = String.split_on_char '\n' text in
+  let tokens line =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  in
+  let exception Bad of string in
+  let int_tok what lineno s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> raise (Bad (Printf.sprintf "line %d: bad %s %S" lineno what s))
+  in
+  let float_tok what lineno s =
+    match float_of_string_opt s with
+    | Some v when Float.is_finite v -> v
+    | Some _ | None ->
+      raise (Bad (Printf.sprintf "line %d: bad %s %S" lineno what s))
+  in
+  try
+    let seen_header = ref false in
+    let batches = ref [] and current = ref [] in
+    let close_batch () =
+      if !current <> [] then batches := List.rev !current :: !batches;
+      current := []
+    in
+    List.iteri
+      (fun i line ->
+        let lineno = i + 1 in
+        match tokens line with
+        | [] -> ()
+        | tok :: _ when String.length tok > 0 && tok.[0] = '#' -> ()
+        | toks when not !seen_header ->
+          if String.trim line = header then seen_header := true
+          else
+            raise
+              (Bad
+                 (Printf.sprintf "line %d: expected header %S, got %S" lineno
+                    header (String.concat " " toks)))
+        | [ "batch" ] -> close_batch ()
+        | [ "move"; c; x; y ] ->
+          current :=
+            Move
+              { cell = int_tok "cell id" lineno c;
+                x = float_tok "x" lineno x;
+                y = float_tok "y" lineno y }
+            :: !current
+        | [ "resize"; c; w ] ->
+          current :=
+            Resize
+              { cell = int_tok "cell id" lineno c;
+                width = int_tok "width" lineno w }
+            :: !current
+        | [ "insert"; w; h; x; y ] ->
+          current :=
+            Insert
+              { width = int_tok "width" lineno w;
+                height = int_tok "height" lineno h;
+                x = float_tok "x" lineno x;
+                y = float_tok "y" lineno y }
+            :: !current
+        | [ "delete"; c ] ->
+          current := Delete { cell = int_tok "cell id" lineno c } :: !current
+        | (("move" | "resize" | "insert" | "delete" | "batch") as op) :: _ ->
+          raise
+            (Bad
+               (Printf.sprintf "line %d: wrong number of arguments for %S"
+                  lineno op))
+        | tok :: _ ->
+          raise (Bad (Printf.sprintf "line %d: unknown edit %S" lineno tok)))
+      lines;
+    if not !seen_header then raise (Bad ("missing header " ^ header));
+    close_batch ();
+    Ok (List.rev !batches)
+  with Bad msg -> Error msg
+
+let read_file ~path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  match parse_batches text with
+  | Ok batches -> batches
+  | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+
+let write_file ~path batches =
+  let oc = open_out path in
+  output_string oc (header ^ "\n");
+  List.iteri
+    (fun i batch ->
+      if i > 0 then output_string oc "batch\n";
+      List.iter (fun e -> output_string oc (to_line e ^ "\n")) batch)
+    batches;
+  close_out oc

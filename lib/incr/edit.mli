@@ -1,0 +1,58 @@
+(** ECO edits: the change vocabulary of the incremental engine.
+
+    An engineering change order arrives as batches of small edits against
+    the current design — move a cell's global position, resize its width,
+    insert a fresh cell, delete one. Batches are the unit of
+    re-legalization: {!Incr.apply} consumes one batch and produces one
+    updated legal placement.
+
+    {2 Edits file format}
+
+    A plain text format mirroring the native design/placement files:
+
+    {v
+    mclh-edits 1
+    # move <cell> <x> <y>      new global position (sites, rows)
+    move 12 103.5 7.25
+    # resize <cell> <width>    new width in sites
+    resize 3 9
+    # insert <width> <height> <x> <y>
+    insert 6 2 40 3.25
+    # delete <cell>
+    delete 44
+    batch
+    move 2 10 1
+    v}
+
+    [#]-comments and blank lines are ignored; a [batch] line closes the
+    current batch and starts the next (empty batches are dropped). Cell
+    ids refer to the design {e as of the start of the batch}: every edit
+    in a batch addresses the same pre-batch numbering, and renumbering
+    from inserts/deletes only takes effect between batches (see
+    {!Incr.apply}). *)
+
+type t =
+  | Move of { cell : int; x : float; y : float }
+      (** re-place cell [cell]'s global position at ([x], [y]) (site /
+          row units, fractional allowed) *)
+  | Resize of { cell : int; width : int }  (** new width in sites *)
+  | Insert of { width : int; height : int; x : float; y : float }
+      (** a new cell of the given footprint at global position ([x],
+          [y]); appended after all surviving cells, in edit order *)
+  | Delete of { cell : int }
+      (** remove cell [cell]; later cells shift down one id *)
+
+val to_line : t -> string
+(** The edit as one line of the edits file format. *)
+
+val parse_batches : string -> (t list list, string) result
+(** Parses a whole edits file ([Error] carries a message with the
+    offending line number). *)
+
+val read_file : path:string -> t list list
+(** {!parse_batches} on a file's contents.
+    @raise Failure with the path and parse error on malformed input. *)
+
+val write_file : path:string -> t list list -> unit
+(** Writes batches in the file format (inverse of {!read_file} up to
+    comments and empty batches). *)

@@ -1,0 +1,555 @@
+open Mclh_circuit
+open Mclh_core
+open Mclh_linalg
+module Obs = Mclh_obs.Obs
+module Clock = Mclh_par.Clock
+
+type stats = {
+  edits : int;
+  touched_cells : int;
+  dirty_components : int;
+  components : int;
+  dirty_shards : int;
+  shards : int;
+  cache_hits : int;
+  solve_iterations : int;
+  max_iterations : int;
+  converged : bool;
+  mismatch : float;
+  latency_s : float;
+}
+
+(* a cached shard solution: the sub-LCP's positions, multipliers and
+   final modulus in the shard's local numbering *)
+type entry = { ex : Vec.t; er : Vec.t; es : Vec.t }
+
+type t = {
+  config : Config.t;
+  obs : Obs.t option;
+  min_shard_vars : int;
+  cache : (Int64.t * Int64.t * int * int, entry) Hashtbl.t;
+  mutable design : Design.t;
+  mutable assignment : Row_assign.t;
+  mutable model : Model.t;
+  mutable s : Vec.t;  (* previous global modulus vector, length n + m *)
+  mutable legal : Placement.t;
+  mutable batches : int;
+  mutable solves : int;  (* session-global re-solve counter (trace names) *)
+  mutable last : stats option;
+}
+
+(* one shard per component: a session wants the finest exact granularity
+   so edits dirty as little as possible (the cold solver packs small
+   components together instead, to amortize its per-job overhead — here
+   clean shards cost only a fingerprint, so packing would hurt) *)
+let default_min_shard_vars = 1
+
+(* the cache never evicts individual entries (old solutions keep paying
+   off when edits are reverted); past this size the whole table is reset
+   and reseeded with the live generation, bounding memory on very long
+   sessions *)
+let max_cache_entries = 8192
+
+(* ------------------------------------------------------------------ *)
+(* shard fingerprint                                                   *)
+
+(* Two independent 64-bit rolling hashes over the shard's pure LCP
+   content: dimensions, local group/chain structure, [p] and [b_rhs].
+   Deliberately excluded: global/cell ids (so insert/delete renumbering
+   cannot poison the cache) and [shift] (placement bookkeeping, not part
+   of the LCP). Equal sub-LCPs have equal unique solutions, so a 128-bit
+   key match makes reuse mathematically sound up to hash collisions. *)
+let fnv_prime = 0x100000001b3L
+
+let shard_key (model : Model.t) (shard : Decompose.shard) =
+  let h1 = ref 0xcbf29ce484222325L and h2 = ref 0x9e3779b97f4a7c15L in
+  let mix v =
+    h1 := Int64.mul (Int64.logxor !h1 v) fnv_prime;
+    h2 := Int64.logxor (Int64.mul !h2 0x2545f4914f6cdd1dL) v
+  in
+  let mix_int i = mix (Int64.of_int i) in
+  let mix_float f = mix (Int64.bits_of_float f) in
+  let sn = Array.length shard.Decompose.vars in
+  let sm = Array.length shard.Decompose.cons in
+  mix_int sn;
+  mix_int sm;
+  mix_int (Array.length shard.Decompose.groups);
+  Array.iter
+    (fun g ->
+      mix_int (Array.length g);
+      Array.iter mix_int g)
+    shard.Decompose.groups;
+  mix_int (Array.length shard.Decompose.chains);
+  Array.iter
+    (fun ch ->
+      mix_int (Array.length ch);
+      Array.iter mix_int ch)
+    shard.Decompose.chains;
+  Array.iter (fun v -> mix_float model.Model.p.(v)) shard.Decompose.vars;
+  Array.iter (fun c -> mix_float model.Model.b_rhs.(c)) shard.Decompose.cons;
+  (!h1, !h2, sn, sm)
+
+(* the decomposition's [[||]] fallback means "solve monolithically"; the
+   session still needs a shard to fingerprint, so synthesize the identity
+   shard covering the whole model *)
+let effective_shards (model : Model.t) (deco : Decompose.t) =
+  if Array.length deco.Decompose.shards > 0 then deco.Decompose.shards
+  else
+    [| { Decompose.vars = Array.init model.Model.nvars Fun.id;
+         cons = Array.init (Model.num_constraints model) Fun.id;
+         groups = model.Model.row_vars;
+         chains =
+           Array.init
+             (Blocks.num_chains model.Model.blocks)
+             (Blocks.chain_vars model.Model.blocks) } |]
+
+let gather_entry (model : Model.t) ~x ~r ~s (shard : Decompose.shard) =
+  let n = model.Model.nvars in
+  let sn = Array.length shard.Decompose.vars in
+  let sm = Array.length shard.Decompose.cons in
+  { ex = Array.map (fun v -> x.(v)) shard.Decompose.vars;
+    er = Array.map (fun c -> r.(c)) shard.Decompose.cons;
+    es =
+      Vec.init (sn + sm) (fun i ->
+          if i < sn then s.(shard.Decompose.vars.(i))
+          else s.(n + shard.Decompose.cons.(i - sn))) }
+
+(* ------------------------------------------------------------------ *)
+(* edit application                                                    *)
+
+let insert_cell ~id ~width ~height ~y (chip : Chip.t) =
+  let bottom_rail =
+    if height mod 2 = 1 then None
+    else begin
+      (* even-height cells need a designed rail: adopt the rail of the
+         nearest in-range row, so the insertion point admits the cell *)
+      let max_row = chip.Chip.num_rows - height in
+      if max_row < 0 then
+        invalid_arg "Incr.apply: inserted cell is taller than the chip";
+      let r = int_of_float (Float.round y) in
+      let r = if r < 0 then 0 else if r > max_row then max_row else r in
+      Some (Chip.bottom_rail chip r)
+    end
+  in
+  Cell.make ~id ~width ~height ?bottom_rail ()
+
+(* One batch of edits against [design]. All cell ids refer to the
+   pre-batch numbering; modifications apply first, then deletions compact
+   ids and insertions append after the survivors. Returns the new design,
+   [old_of_new] (new cell id -> pre-batch id, -1 for inserts) and the
+   touched flags (moved / resized / inserted) in new numbering. *)
+let apply_edits (design : Design.t) edits =
+  let n = Design.num_cells design in
+  let deleted = Array.make n false in
+  let touched = Array.make n false in
+  let widths = Array.init n (fun i -> design.Design.cells.(i).Cell.width) in
+  let gx = Array.copy design.Design.global.Placement.xs in
+  let gy = Array.copy design.Design.global.Placement.ys in
+  let inserts = ref [] and num_inserts = ref 0 in
+  let check op c =
+    if c < 0 || c >= n then
+      invalid_arg
+        (Printf.sprintf "Incr.apply: %s references cell %d (design has %d cells)"
+           op c n);
+    if deleted.(c) then
+      invalid_arg
+        (Printf.sprintf
+           "Incr.apply: %s targets cell %d, already deleted in this batch" op c)
+  in
+  List.iter
+    (function
+      | Edit.Move { cell; x; y } ->
+        check "move" cell;
+        gx.(cell) <- x;
+        gy.(cell) <- y;
+        touched.(cell) <- true
+      | Edit.Resize { cell; width } ->
+        check "resize" cell;
+        if width < 1 then invalid_arg "Incr.apply: resize width must be >= 1";
+        widths.(cell) <- width;
+        touched.(cell) <- true
+      | Edit.Delete { cell } ->
+        check "delete" cell;
+        deleted.(cell) <- true
+      | Edit.Insert { width; height; x; y } ->
+        if width < 1 || height < 1 then
+          invalid_arg "Incr.apply: insert dimensions must be >= 1";
+        inserts := (width, height, x, y) :: !inserts;
+        incr num_inserts)
+    edits;
+  let inserts = Array.of_list (List.rev !inserts) in
+  let new_of_old = Array.make n (-1) in
+  let survivors = ref 0 in
+  for i = 0 to n - 1 do
+    if not deleted.(i) then begin
+      new_of_old.(i) <- !survivors;
+      incr survivors
+    end
+  done;
+  let survivors = !survivors in
+  let n' = survivors + !num_inserts in
+  if n' = 0 then invalid_arg "Incr.apply: the batch deletes every cell";
+  let old_of_new = Array.make n' (-1) in
+  for i = 0 to n - 1 do
+    if new_of_old.(i) >= 0 then old_of_new.(new_of_old.(i)) <- i
+  done;
+  let cells' =
+    Array.init n' (fun id ->
+        let oc = old_of_new.(id) in
+        if oc >= 0 then
+          let c = design.Design.cells.(oc) in
+          Cell.make ~id ~name:c.Cell.name ~width:widths.(oc)
+            ~height:c.Cell.height ?bottom_rail:c.Cell.bottom_rail
+            ?region:c.Cell.region ()
+        else
+          let w, h, _, y = inserts.(id - survivors) in
+          insert_cell ~id ~width:w ~height:h ~y design.Design.chip)
+  in
+  let coord proj =
+    Array.init n' (fun id ->
+        let oc = old_of_new.(id) in
+        if oc >= 0 then (fst proj).(oc)
+        else (snd proj) inserts.(id - survivors))
+  in
+  let xs = coord (gx, fun (_, _, x, _) -> x) in
+  let ys = coord (gy, fun (_, _, _, y) -> y) in
+  let touched' =
+    Array.init n' (fun id ->
+        let oc = old_of_new.(id) in
+        if oc >= 0 then touched.(oc) else true)
+  in
+  let nets = ref [] in
+  Netlist.iter design.Design.nets (fun _ pins ->
+      let kept =
+        Array.to_list pins
+        |> List.filter_map (fun (p : Netlist.pin) ->
+               let nc = new_of_old.(p.Netlist.cell) in
+               if nc < 0 then None else Some { p with Netlist.cell = nc })
+      in
+      if kept <> [] then nets := Array.of_list kept :: !nets);
+  let nets' = Netlist.make ~num_cells:n' (List.rev !nets) in
+  let design' =
+    Design.make ~blockages:design.Design.blockages ~name:design.Design.name
+      ~chip:design.Design.chip ~cells:cells'
+      ~global:(Placement.make ~xs ~ys)
+      ~nets:nets' ()
+  in
+  (design', old_of_new, touched')
+
+(* ------------------------------------------------------------------ *)
+(* warm start across a model rebuild                                   *)
+
+(* Carry the previous modulus vector to the new model's numbering.
+   Variables map by (pre-batch cell id, row) identity; constraints by
+   their (left, right) variable-identity pair. Touched cells take the
+   paper's plain start at their *new* target (their old modulus reflects
+   the old position); unmapped constraints start at 0. *)
+let warm_s0 (old_model : Model.t) old_s (model' : Model.t) ~old_of_new
+    ~touched (config : Config.t) =
+  let n_old = old_model.Model.nvars in
+  let n' = model'.Model.nvars and m' = Model.num_constraints model' in
+  let old_var = Hashtbl.create (2 * n_old) in
+  for v = 0 to n_old - 1 do
+    Hashtbl.replace old_var
+      (old_model.Model.var_cell.(v), old_model.Model.var_row.(v))
+      v
+  done;
+  let old_con = Hashtbl.create 256 in
+  Array.iteri
+    (fun i (u, v) ->
+      Hashtbl.replace old_con
+        ( (old_model.Model.var_cell.(u), old_model.Model.var_row.(u)),
+          (old_model.Model.var_cell.(v), old_model.Model.var_row.(v)) )
+        i)
+    (Decompose.constraint_pairs old_model);
+  (* identity of a new variable in pre-batch terms; None for inserted or
+     touched cells *)
+  let ident v' =
+    let c = model'.Model.var_cell.(v') in
+    if touched.(c) then None
+    else
+      let oc = old_of_new.(c) in
+      if oc < 0 then None else Some (oc, model'.Model.var_row.(v'))
+  in
+  let s0 = Vec.zeros (n' + m') in
+  for v' = 0 to n' - 1 do
+    let mapped =
+      match ident v' with
+      | None -> None
+      | Some key -> Hashtbl.find_opt old_var key
+    in
+    s0.(v') <-
+      (match mapped with
+      | Some ov -> old_s.(ov)
+      | None -> config.Config.gamma /. 2.0 *. -.model'.Model.p.(v'))
+  done;
+  Array.iteri
+    (fun i (u', v') ->
+      match (ident u', ident v') with
+      | Some ku, Some kv -> (
+        match Hashtbl.find_opt old_con (ku, kv) with
+        | Some oc -> s0.(n' + i) <- old_s.(n_old + oc)
+        | None -> ())
+      | _ -> ())
+    (Decompose.constraint_pairs model');
+  s0
+
+(* ------------------------------------------------------------------ *)
+(* dirty-shard re-solve                                                *)
+
+type resolve_out = {
+  rx : Vec.t;
+  rr : Vec.t;
+  rs : Vec.t;
+  r_hits : int;
+  r_misses : int;
+  r_iter_sum : int;
+  r_iter_max : int;
+  r_converged : bool;
+}
+
+let resolve t (model' : Model.t) shards s0 =
+  let n' = model'.Model.nvars and m' = Model.num_constraints model' in
+  let nsh = Array.length shards in
+  let keys = Array.map (shard_key model') shards in
+  let found = Array.map (Hashtbl.find_opt t.cache) keys in
+  let miss_idx =
+    Array.of_list
+      (List.filter
+         (fun i -> found.(i) = None)
+         (List.init nsh Fun.id))
+  in
+  let sub_config =
+    { t.config with Config.decompose = false; verify_bound = false }
+  in
+  let job i =
+    let shard = shards.(i) in
+    let sn = Array.length shard.Decompose.vars in
+    let sm = Array.length shard.Decompose.cons in
+    let s0_loc =
+      Vec.init (sn + sm) (fun k ->
+          if k < sn then s0.(shard.Decompose.vars.(k))
+          else s0.(n' + shard.Decompose.cons.(k - sn)))
+    in
+    (* pool jobs record into job-local recorders; traces are attached to
+       the session recorder after fan-in (recorders are not thread-safe) *)
+    let job_obs = match t.obs with None -> None | Some _ -> Some (Obs.create ()) in
+    let res =
+      Solver.solve ~config:sub_config ?obs:job_obs ~s0:s0_loc
+        (Decompose.extract model' shard)
+    in
+    (i, res, job_obs)
+  in
+  let results =
+    if Array.length miss_idx <= 1 || t.config.Config.num_domains <= 1 then
+      Array.map job miss_idx
+    else begin
+      let pool = Mclh_par.Pool.get ~num_domains:t.config.Config.num_domains in
+      if Mclh_par.Pool.oversubscribed pool then Array.map job miss_idx
+      else Mclh_par.Pool.parallel_map pool job miss_idx
+    end
+  in
+  let entries = Array.map (fun e -> e) found in
+  let iter_sum = ref 0 and iter_max = ref 0 and converged = ref true in
+  Array.iter
+    (fun (i, (res : Solver.result), job_obs) ->
+      (match (t.obs, job_obs) with
+      | Some _, Some jo ->
+        let name = Printf.sprintf "incr/solve%04d" t.solves in
+        (match Obs.find_trace jo "solver/delta_inf" with
+        | Some tr -> Obs.attach_trace t.obs (name ^ "/delta_inf") tr
+        | None -> ());
+        Obs.add t.obs (name ^ "/iterations") res.Solver.iterations;
+        Obs.add t.obs (name ^ "/dim") (Decompose.shard_dim shards.(i))
+      | _ -> ());
+      t.solves <- t.solves + 1;
+      iter_sum := !iter_sum + res.Solver.iterations_total;
+      if res.Solver.iterations > !iter_max then
+        iter_max := res.Solver.iterations;
+      if not res.Solver.converged then converged := false;
+      entries.(i) <-
+        Some
+          { ex = res.Solver.x; er = res.Solver.r; es = res.Solver.modulus })
+    results;
+  (* scatter every shard (hit or fresh) into the global solution *)
+  let rx = Vec.zeros n' and rr = Vec.zeros m' in
+  let rs = Vec.zeros (n' + m') in
+  Array.iteri
+    (fun i shard ->
+      let e = match entries.(i) with Some e -> e | None -> assert false in
+      Decompose.scatter_vars shard e.ex rx;
+      Decompose.scatter_cons shard e.er rr;
+      let sn = Array.length shard.Decompose.vars in
+      Array.iteri (fun k v -> rs.(v) <- e.es.(k)) shard.Decompose.vars;
+      Array.iteri
+        (fun k c -> rs.(n' + c) <- e.es.(sn + k))
+        shard.Decompose.cons)
+    shards;
+  (* refresh the cache with the live generation; reset first if the table
+     outgrew its cap *)
+  if Hashtbl.length t.cache > max_cache_entries then Hashtbl.reset t.cache;
+  Array.iteri
+    (fun i key ->
+      match entries.(i) with
+      | Some e -> Hashtbl.replace t.cache key e
+      | None -> ())
+    keys;
+  { rx;
+    rr;
+    rs;
+    r_hits = nsh - Array.length miss_idx;
+    r_misses = Array.length miss_idx;
+    r_iter_sum = !iter_sum;
+    r_iter_max = !iter_max;
+    r_converged = !converged }
+
+(* ------------------------------------------------------------------ *)
+(* session                                                             *)
+
+let of_flow ?(config = Config.default) ?obs
+    ?(min_shard_vars = default_min_shard_vars) (flow : Flow.result) =
+  (match Config.validate config with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Incr.of_flow: " ^ msg));
+  if min_shard_vars < 1 then
+    invalid_arg "Incr.of_flow: min_shard_vars must be >= 1";
+  let model = flow.Flow.model in
+  let design = model.Model.design in
+  if Array.length design.Design.regions > 0 then
+    invalid_arg
+      "Incr: fenced designs are not supported; create one session per \
+       territory";
+  let t =
+    { config;
+      obs;
+      min_shard_vars;
+      cache = Hashtbl.create 256;
+      design;
+      assignment = model.Model.assignment;
+      model;
+      s = flow.Flow.solver.Solver.modulus;
+      legal = flow.Flow.legal;
+      batches = 0;
+      solves = 0;
+      last = None }
+  in
+  (* seed the cache with every current shard's slice of the initial
+     solution, so the first batch already hits on clean shards *)
+  let deco = Decompose.analyze ~min_shard_vars model in
+  let shards = effective_shards model deco in
+  let x = flow.Flow.solver.Solver.x and r = flow.Flow.solver.Solver.r in
+  Array.iter
+    (fun shard ->
+      Hashtbl.replace t.cache (shard_key model shard)
+        (gather_entry model ~x ~r ~s:t.s shard))
+    shards;
+  t
+
+let create ?(config = Config.default) ?obs ?min_shard_vars design =
+  if Array.length design.Design.regions > 0 then
+    invalid_arg
+      "Incr.create: fenced designs are not supported; create one session \
+       per territory";
+  let flow = Flow.run ~config ?obs design in
+  of_flow ~config ?obs ?min_shard_vars flow
+
+let design t = t.design
+let legal t = Placement.copy t.legal
+let num_batches t = t.batches
+let cache_entries t = Hashtbl.length t.cache
+let last_stats t = t.last
+
+let apply t edits =
+  let start = Clock.now () in
+  let obs = t.obs in
+  Obs.incr obs "incr/batches";
+  Obs.add obs "incr/edits" (List.length edits);
+  let (design', old_of_new, touched, assignment'), assign_s =
+    Clock.timed (fun () ->
+        let design', old_of_new, touched = apply_edits t.design edits in
+        (* touched cells re-assign; everything else keeps its row (the
+           assignment is per-cell independent, so this equals a cold
+           [Row_assign.assign] of the new design exactly) *)
+        let n' = Design.num_cells design' in
+        let rows = Array.make n' 0 in
+        for c = 0 to n' - 1 do
+          let oc = old_of_new.(c) in
+          if oc >= 0 && not touched.(c) then
+            rows.(c) <- t.assignment.Row_assign.rows.(oc)
+          else rows.(c) <- Row_assign.assign_cell design' c
+        done;
+        let assignment' =
+          { Row_assign.rows;
+            y_displacement = Row_assign.y_displacement design' rows }
+        in
+        (design', old_of_new, touched, assignment'))
+  in
+  Obs.record_span obs "incr/assign" assign_s;
+  let model', model_s = Clock.timed (fun () -> Model.build design' assignment') in
+  let (deco', shards'), decomp_s =
+    Clock.timed (fun () ->
+        let deco' = Decompose.analyze ~min_shard_vars:t.min_shard_vars model' in
+        (deco', effective_shards model' deco'))
+  in
+  Obs.record_span obs "incr/model" (model_s +. decomp_s);
+  let touched_cells =
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 touched
+  in
+  let dirty_components =
+    let seen = Array.make deco'.Decompose.num_components false in
+    let count = ref 0 in
+    for v = 0 to model'.Model.nvars - 1 do
+      if touched.(model'.Model.var_cell.(v)) then begin
+        let c = deco'.Decompose.comp_of_var.(v) in
+        if not seen.(c) then begin
+          seen.(c) <- true;
+          incr count
+        end
+      end
+    done;
+    !count
+  in
+  let out, solve_s =
+    Clock.timed (fun () ->
+        let s0 =
+          warm_s0 t.model t.s model' ~old_of_new ~touched t.config
+        in
+        resolve t model' shards' s0)
+  in
+  Obs.record_span obs "incr/solve" solve_s;
+  let mismatch = Model.subcell_mismatch model' out.rx in
+  let alloc, alloc_s =
+    Clock.timed (fun () ->
+        Tetris_alloc.run ?obs design' (Model.placement_of model' out.rx))
+  in
+  Obs.record_span obs "incr/alloc" alloc_s;
+  t.design <- design';
+  t.assignment <- assignment';
+  t.model <- model';
+  t.s <- out.rs;
+  t.legal <- alloc.Tetris_alloc.placement;
+  t.batches <- t.batches + 1;
+  let latency_s = Clock.now () -. start in
+  Obs.record_span obs "incr/total" latency_s;
+  Obs.add obs "incr/touched_cells" touched_cells;
+  Obs.add obs "incr/dirty_components" dirty_components;
+  Obs.add obs "incr/dirty_shards" out.r_misses;
+  Obs.add obs "incr/cache_hits" out.r_hits;
+  Obs.add obs "incr/solve_iterations" out.r_iter_sum;
+  Obs.gauge obs "incr/mismatch" mismatch;
+  let stats =
+    { edits = List.length edits;
+      touched_cells;
+      dirty_components;
+      components = deco'.Decompose.num_components;
+      dirty_shards = out.r_misses;
+      shards = Array.length shards';
+      cache_hits = out.r_hits;
+      solve_iterations = out.r_iter_sum;
+      max_iterations = out.r_iter_max;
+      converged = out.r_converged;
+      mismatch;
+      latency_s }
+  in
+  t.last <- Some stats;
+  stats

@@ -1,0 +1,116 @@
+(** Incremental ECO re-legalization.
+
+    A session holds a legalized design plus the solver state that produced
+    it — the x-LCP model, its component decomposition and the final MMSIM
+    modulus vector — and re-legalizes {!Edit} batches at a fraction of the
+    full-flow cost. Three mechanisms stack:
+
+    - {b dirty components}: the LCP splits into exact independent
+      components ({!Mclh_core.Decompose}), so an edit can only change the
+      solution of the components it touches. Touched cells map through
+      [comp_of_var] to a dirty set; components whose constraint structure
+      changed indirectly (a neighbour moved in or out of the segment) are
+      caught by the fingerprint test below.
+    - {b solution cache}: each shard's sub-LCP is fingerprinted over its
+      pure LCP content — dimensions, local group/chain structure, [p] and
+      [b_rhs] — deliberately excluding cell ids, so insert/delete
+      renumbering cannot poison it and moving a cell back re-hits the old
+      entry. Equal LCPs have equal (unique) solutions, so a hit skips the
+      solve entirely.
+    - {b warm start}: cache misses re-solve with [?s0] built from the
+      previous modulus vector, carried across the rebuild by cell identity
+      (variables) and adjacent-pair identity (constraints); unmapped
+      entries fall back to the paper's plain start.
+
+    The fixed point of each sub-LCP is unique, so a session's placement
+    matches a cold full re-legalization of the same design to within the
+    iteration tolerance regardless of cache and warm-start history
+    (equivalence is asserted by the test suite and [bench/eco.ml]).
+
+    Sessions are single-threaded on the outside (one [apply] at a time);
+    dirty-shard solves fan out over the domain pool internally exactly
+    like the cold solver. Fence regions are not supported — create a
+    session per territory instead. *)
+
+open Mclh_circuit
+open Mclh_core
+
+type stats = {
+  edits : int;  (** edits in the batch *)
+  touched_cells : int;  (** cells moved, resized or inserted *)
+  dirty_components : int;
+      (** components containing a touched cell's variables *)
+  components : int;  (** total components after the batch *)
+  dirty_shards : int;  (** shards re-solved (fingerprint misses) *)
+  shards : int;  (** total shards after the batch *)
+  cache_hits : int;  (** shards reused from the solution cache *)
+  solve_iterations : int;  (** MMSIM iterations summed over re-solves *)
+  max_iterations : int;  (** largest single re-solve iteration count *)
+  converged : bool;  (** every re-solve converged *)
+  mismatch : float;  (** subcell mismatch of the assembled solution *)
+  latency_s : float;  (** wall-clock time of the whole [apply] *)
+}
+
+type t
+
+val default_min_shard_vars : int
+(** Shard granularity of a session's decomposition: [1], i.e. one shard
+    per component. The cold solver packs tiny components together
+    ({!Decompose.default_min_shard_vars}) to amortize fan-out overhead;
+    a session wants the opposite — the finest exact granularity — so the
+    dirty set and the cache keys stay minimal. *)
+
+val create :
+  ?config:Config.t ->
+  ?obs:Mclh_obs.Obs.t ->
+  ?min_shard_vars:int ->
+  Design.t ->
+  t
+(** Runs the full flow once ({!Flow.run}) and wraps the result in a
+    session. The config is fixed for the session's lifetime. [obs] is
+    shared across the initial legalization and every later {!apply}.
+    @raise Invalid_argument on fenced designs or an invalid config. *)
+
+val of_flow :
+  ?config:Config.t ->
+  ?obs:Mclh_obs.Obs.t ->
+  ?min_shard_vars:int ->
+  Flow.result ->
+  t
+(** Wraps an existing flow result (same config that produced it!) without
+    re-running anything; the cache is seeded with every shard's slice of
+    the flow's solution. *)
+
+val design : t -> Design.t
+(** The current design (reflects all applied batches). *)
+
+val legal : t -> Placement.t
+(** The current legal placement. *)
+
+val num_batches : t -> int
+
+val cache_entries : t -> int
+(** Live solution-cache entries (the cache is capped; see [incr.ml]). *)
+
+val last_stats : t -> stats option
+(** Stats of the most recent {!apply} ([None] before the first). *)
+
+val apply : t -> Edit.t list -> stats
+(** Applies one edit batch and re-legalizes. All cell ids in the batch
+    refer to the design as of the start of the batch; deletions compact
+    ids (later cells shift down one) and insertions append after the
+    survivors, in edit order, taking effect together when [apply]
+    returns.
+
+    [obs] (from {!create}) records per-batch counters
+    [incr/{batches,edits,touched_cells,dirty_components,dirty_shards,
+    cache_hits,solve_iterations}], the [incr/{assign,model,solve,alloc,
+    total}] spans, an [incr/mismatch] gauge and one
+    [incr/solveNNNN/delta_inf] warm-start convergence trace per re-solved
+    shard (NNNN is a session-global solve counter).
+
+    @raise Invalid_argument on an edit referencing an out-of-range or
+      already-deleted cell, a non-positive resize/insert dimension, or a
+      batch that deletes every cell.
+    @raise Failure if an edit leaves a cell no admissible row or the
+      Tetris stage cannot place a cell (design over capacity). *)

@@ -50,11 +50,18 @@ type outcome = {
 val solve :
   ?options:options -> ?on_iter:(int -> float -> unit) -> ?s0:Vec.t ->
   operators -> q:Vec.t -> outcome
-(** Runs Algorithm 1. [s0] defaults to the zero vector. [on_iter k delta]
-    is called after every iteration with the 1-based iteration number and
-    the iterate change [||z_k - z_{k-1}||_inf] (NaN when the divergence
-    guard fires) — the hook the observability layer uses for convergence
-    traces.
+(** Runs Algorithm 1. [s0] defaults to the zero vector. Because the
+    iteration's fixed point is unique for the splittings this repository
+    uses (SPD system matrix), [s0] only affects how many iterations
+    convergence takes, never which solution is reached — so a caller may
+    warm-restart from any previous modulus vector (the incremental ECO
+    engine does; property-tested with adversarial starts in
+    [test_lcp.ml]). [s0] is copied up front, and the warm-started path
+    remains allocation-free per iteration in {!solve_inplace}.
+    [on_iter k delta] is called after every iteration with the 1-based
+    iteration number and the iterate change [||z_k - z_{k-1}||_inf] (NaN
+    when the divergence guard fires) — the hook the observability layer
+    uses for convergence traces.
     @raise Invalid_argument on dimension mismatches or non-positive
       [gamma]/[eps]/[max_iter]. *)
 

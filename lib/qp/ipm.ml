@@ -116,12 +116,27 @@ let solve ?(options = default_options) (qp : Qp.t) =
         match Lu.solve_system a rhs with
         | dx -> dx
         | exception Lu.Singular _ ->
-          (* regularize and retry once *)
-          let a = normal_matrix qp ~s ~lam in
+          (* near-degenerate iterates (lam/s ratios blowing up as the
+             barrier vanishes) can make the normal matrix numerically
+             singular. Escalate a diagonal shift scaled to the matrix
+             magnitude until the factorization succeeds: an inexact
+             Newton step only slows the IPM down, it cannot change the
+             limit point. *)
+          let scale = ref 1.0 in
           for j = 0 to n - 1 do
-            Dense.set a j j (Dense.get a j j +. 1e-10)
+            scale := Float.max !scale (Float.abs (Dense.get a j j))
           done;
-          Lu.solve_system a rhs
+          let rec attempt reg =
+            let a = normal_matrix qp ~s ~lam in
+            for j = 0 to n - 1 do
+              Dense.set a j j (Dense.get a j j +. (reg *. !scale))
+            done;
+            match Lu.solve_system a rhs with
+            | dx -> dx
+            | exception Lu.Singular _ when reg < 1e-2 ->
+              attempt (reg *. 100.0)
+          in
+          attempt 1e-14
       in
       let g_dx = apply_g qp dx in
       let ds = Array.make k 0.0 and dlam = Array.make k 0.0 in

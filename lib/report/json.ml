@@ -197,7 +197,15 @@ let parse_number c =
       | Some f -> Float f
       | None -> fail c "malformed number")
 
-let rec parse_value c =
+(* The parser recurses once per nesting level, so a nesting bomb like
+   100k opening brackets would otherwise run the OCaml stack out (a
+   Stack_overflow, not a clean parse error). A fixed depth cap makes the
+   recursion depth — and therefore the stack use — bounded and turns the
+   bomb into an ordinary [Error]. 512 levels is far beyond any artifact
+   this repository emits (run reports nest a handful of levels). *)
+let max_depth = 512
+
+let rec parse_value ~depth c =
   skip_ws c;
   match peek c with
   | None -> fail c "unexpected end of input"
@@ -206,6 +214,8 @@ let rec parse_value c =
   | Some 'f' -> literal c "false" (Bool false)
   | Some '"' -> String (parse_string c)
   | Some '[' ->
+    if depth >= max_depth then
+      fail c (Printf.sprintf "nesting deeper than %d levels" max_depth);
     c.pos <- c.pos + 1;
     skip_ws c;
     if peek c = Some ']' then begin
@@ -214,7 +224,7 @@ let rec parse_value c =
     end
     else begin
       let rec items acc =
-        let v = parse_value c in
+        let v = parse_value ~depth:(depth + 1) c in
         skip_ws c;
         match peek c with
         | Some ',' ->
@@ -228,6 +238,8 @@ let rec parse_value c =
       List (items [])
     end
   | Some '{' ->
+    if depth >= max_depth then
+      fail c (Printf.sprintf "nesting deeper than %d levels" max_depth);
     c.pos <- c.pos + 1;
     skip_ws c;
     if peek c = Some '}' then begin
@@ -240,7 +252,7 @@ let rec parse_value c =
         let k = parse_string c in
         skip_ws c;
         expect c ':';
-        let v = parse_value c in
+        let v = parse_value ~depth:(depth + 1) c in
         skip_ws c;
         match peek c with
         | Some ',' ->
@@ -257,7 +269,7 @@ let rec parse_value c =
 
 let of_string s =
   let c = { src = s; pos = 0 } in
-  match parse_value c with
+  match parse_value ~depth:0 c with
   | v ->
     skip_ws c;
     if c.pos <> String.length s then

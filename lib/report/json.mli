@@ -25,7 +25,9 @@ val to_string : ?indent:bool -> t -> string
 val of_string : string -> (t, string) result
 (** Parses one JSON document. Numbers without a fraction or exponent
     become {!Int} (falling back to {!Float} on overflow); the whole input
-    must be consumed. *)
+    must be consumed. Nesting is capped at 512 levels: deeper documents
+    (nesting bombs) return a clear [Error] instead of overflowing the
+    OCaml stack, and the cap bounds the parser's stack use. *)
 
 val member : string -> t -> t option
 (** [member key v] looks up a field of an {!Obj}; [None] for missing keys

@@ -145,7 +145,12 @@ let test_matches_monolithic_property =
           tall_cell_fraction = float_of_int tall_pct /. 100.0 }
       in
       let _, model = model_of ~options ~scale:0.01 "fft_2" in
-      check_against_monolithic "property" model;
+      (* looser than the fixed-design check: the eps = 1e-10 stop bounds
+         the iterate change, not the distance to the fixed point, and a
+         random blockage/tall draw can produce slowly-contracting chains
+         where the two stopping points sit several 1e-9 apart (observed
+         6.1e-9 at QCheck seed 908397212 — pre-dates the warm-start work) *)
+      check_against_monolithic ~tol:1e-8 "property" model;
       true)
 
 (* ---------- bit-identity across domain counts ---------- *)
@@ -201,20 +206,31 @@ let test_zero_alloc_per_iteration () =
   let config = { Config.default with num_domains = 1 } in
   let ops = Solver.operators_inplace model config in
   let q = Solver.rhs_q model in
-  let words iters =
+  let words ?s0 iters =
     let options =
       (* eps below any representable progress: the loop never converges
          early, so the two runs differ by exactly [iters] iterations *)
       { Mclh_lcp.Mmsim.default_options with eps = 1e-300; max_iter = iters }
     in
     let before = Gc.minor_words () in
-    ignore (Mclh_lcp.Mmsim.solve_inplace ~options ops ~q);
+    ignore (Mclh_lcp.Mmsim.solve_inplace ~options ?s0 ops ~q);
     Gc.minor_words () -. before
   in
   ignore (words 3) (* warm up: first entry may trigger lazy init *);
   let lo = words 10 and hi = words 110 in
   Alcotest.(check (float 0.0))
-    "minor words per 100 steady-state iterations" 0.0 (hi -. lo)
+    "minor words per 100 steady-state iterations" 0.0 (hi -. lo);
+  (* the warm-start path (explicit s0, as the incremental engine passes)
+     copies s0 once up front and must stay allocation-free per iteration *)
+  let s0 =
+    Mclh_linalg.Vec.init
+      (model.Model.nvars + Model.num_constraints model)
+      (fun i -> 0.25 *. float_of_int (i mod 7))
+  in
+  ignore (words ~s0 3);
+  let lo = words ~s0 10 and hi = words ~s0 110 in
+  Alcotest.(check (float 0.0))
+    "warm-start minor words per 100 steady-state iterations" 0.0 (hi -. lo)
 
 let () =
   Alcotest.run "decompose"

@@ -1,0 +1,255 @@
+(* Tests for the incremental ECO re-legalization engine: edit-file
+   round-trips, per-cell row re-assignment, end-state equivalence with a
+   cold full run at tight tolerance, cache behaviour (empty batch, A/B/A
+   revert, insert/delete round-trip), dirty-set locality, observability
+   counters, and the Solver ?s0 warm-restart path. *)
+
+open Mclh_core
+open Mclh_circuit
+module Edit = Mclh_incr.Edit
+module Incr = Mclh_incr.Incr
+
+let instance ?(options = Mclh_benchgen.Generate.default_options) ~scale name =
+  Mclh_benchgen.Generate.generate ~options
+    (Mclh_benchgen.Spec.scaled scale (Mclh_benchgen.Spec.find name))
+
+(* blockage cuts keep components small, the regime the engine targets *)
+let eco_options =
+  { Mclh_benchgen.Generate.default_options with
+    blockage_fraction = 0.15;
+    blockage_count = 24 }
+
+let eco_design ~scale =
+  (instance ~options:eco_options ~scale "fft_2").Mclh_benchgen.Generate.design
+
+(* tight tolerance so incremental-vs-cold agreement is meaningful *)
+let tight = { Config.default with eps = 1e-10 }
+
+let max_position_diff (a : Placement.t) (b : Placement.t) =
+  let n = Placement.num_cells a in
+  Alcotest.(check int) "same cell count" n (Placement.num_cells b);
+  let worst = ref 0.0 in
+  for i = 0 to n - 1 do
+    let xa, ya = Placement.get a i and xb, yb = Placement.get b i in
+    worst := Float.max !worst (Float.abs (xa -. xb));
+    worst := Float.max !worst (Float.abs (ya -. yb))
+  done;
+  !worst
+
+(* ---------- edit file format ---------- *)
+
+let test_edit_roundtrip () =
+  let batches =
+    [ [ Edit.Move { cell = 3; x = 10.5; y = 2.0 };
+        Edit.Resize { cell = 1; width = 7 };
+        Edit.Insert { width = 4; height = 2; x = 20.0; y = 1.5 } ];
+      [ Edit.Delete { cell = 0 } ] ]
+  in
+  let path = Filename.temp_file "mclh_edits" ".mclh" in
+  Edit.write_file ~path batches;
+  let back = Edit.read_file ~path in
+  Sys.remove path;
+  Alcotest.(check bool) "round-trip" true (batches = back)
+
+let test_edit_parse_errors () =
+  let fails text =
+    match Edit.parse_batches text with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" text
+    | Error msg -> Alcotest.(check bool) "message nonempty" true (msg <> "")
+  in
+  fails "move 1 2 3\n";
+  (* no header *)
+  fails "mclh-edits 1\nmove 1 two 3\n";
+  fails "mclh-edits 1\nteleport 1 2 3\n";
+  fails "mclh-edits 1\nmove 1 2\n";
+  (match Edit.parse_batches "mclh-edits 1\n# comment\n\nmove 1 2 3\nbatch\n" with
+  | Ok [ [ Edit.Move _ ] ] -> ()
+  | Ok _ -> Alcotest.fail "wrong parse"
+  | Error msg -> Alcotest.fail msg)
+
+(* ---------- per-cell row assignment ---------- *)
+
+let test_assign_cell_matches_assign () =
+  let d = eco_design ~scale:0.01 in
+  let full = Row_assign.assign d in
+  for i = 0 to Design.num_cells d - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "cell %d row" i)
+      full.Row_assign.rows.(i) (Row_assign.assign_cell d i)
+  done;
+  Alcotest.(check (float 1e-9)) "y_displacement"
+    full.Row_assign.y_displacement
+    (Row_assign.y_displacement d full.Row_assign.rows)
+
+(* ---------- session behaviour ---------- *)
+
+let test_empty_batch_all_hits () =
+  let t = Incr.create ~config:tight (eco_design ~scale:0.01) in
+  let before = Incr.legal t in
+  let st = Incr.apply t [] in
+  Alcotest.(check int) "no dirty shards" 0 st.Incr.dirty_shards;
+  Alcotest.(check int) "all hits" st.Incr.shards st.Incr.cache_hits;
+  Alcotest.(check int) "no touched cells" 0 st.Incr.touched_cells;
+  Alcotest.(check (float 0.0)) "placement unchanged" 0.0
+    (max_position_diff before (Incr.legal t))
+
+let mixed_batch (d : Design.t) seed =
+  let rng = Mclh_benchgen.Rng.create seed in
+  let n = Design.num_cells d in
+  let chip = d.Design.chip in
+  let move _ =
+    let c = Mclh_benchgen.Rng.int rng n in
+    let x = Mclh_benchgen.Rng.float rng (float_of_int chip.Chip.num_sites) in
+    let y = Mclh_benchgen.Rng.float rng (float_of_int chip.Chip.num_rows) in
+    Edit.Move { cell = c; x; y }
+  in
+  List.init 5 move
+  @ [ Edit.Resize
+        { cell = Mclh_benchgen.Rng.int rng n;
+          width = 1 + Mclh_benchgen.Rng.int rng 8 };
+      Edit.Insert
+        { width = 3;
+          height = 1;
+          x = Mclh_benchgen.Rng.float rng (float_of_int chip.Chip.num_sites);
+          y = Mclh_benchgen.Rng.float rng (float_of_int chip.Chip.num_rows) };
+      Edit.Delete { cell = Mclh_benchgen.Rng.int rng n } ]
+
+let test_equivalence_with_cold_run () =
+  let t = Incr.create ~config:tight (eco_design ~scale:0.01) in
+  for batch = 1 to 3 do
+    let st = Incr.apply t (mixed_batch (Incr.design t) (100 + batch)) in
+    Alcotest.(check bool) "converged" true st.Incr.converged;
+    let d' = Incr.design t in
+    let cold = Flow.run ~config:tight d' in
+    let diff = max_position_diff (Incr.legal t) cold.Flow.legal in
+    if diff > 1e-9 then
+      Alcotest.failf "batch %d: incremental differs from cold run by %g"
+        batch diff;
+    Alcotest.(check bool)
+      (Printf.sprintf "batch %d legal" batch)
+      true
+      (Legality.is_legal d' (Incr.legal t))
+  done
+
+let test_dirty_set_is_local () =
+  let t = Incr.create ~config:tight (eco_design ~scale:0.01) in
+  let d = Incr.design t in
+  let x0, y0 = Placement.get d.Design.global 0 in
+  let st = Incr.apply t [ Edit.Move { cell = 0; x = x0 +. 3.0; y = y0 } ] in
+  Alcotest.(check bool) "many shards" true (st.Incr.shards > 8);
+  Alcotest.(check bool) "at least one dirty" true (st.Incr.dirty_shards >= 1);
+  Alcotest.(check bool) "dirty set is a small fraction" true
+    (st.Incr.dirty_shards * 4 <= st.Incr.shards);
+  Alcotest.(check int) "hits + dirty = shards" st.Incr.shards
+    (st.Incr.cache_hits + st.Incr.dirty_shards);
+  Alcotest.(check bool) "dirty components counted" true
+    (st.Incr.dirty_components >= 1)
+
+let test_revert_rehits_cache () =
+  let t = Incr.create ~config:tight (eco_design ~scale:0.01) in
+  let initial = Incr.legal t in
+  let d = Incr.design t in
+  let x0, y0 = Placement.get d.Design.global 5 in
+  let st1 = Incr.apply t [ Edit.Move { cell = 5; x = x0 +. 10.0; y = y0 } ] in
+  Alcotest.(check bool) "first move re-solves" true (st1.Incr.dirty_shards >= 1);
+  (* moving the cell back restores the exact original sub-LCPs, whose
+     solutions are still cached: the revert batch must be solve-free *)
+  let st2 = Incr.apply t [ Edit.Move { cell = 5; x = x0; y = y0 } ] in
+  Alcotest.(check int) "revert is all cache hits" 0 st2.Incr.dirty_shards;
+  Alcotest.(check (float 0.0)) "revert restores the placement" 0.0
+    (max_position_diff initial (Incr.legal t))
+
+let test_insert_delete_roundtrip () =
+  let t = Incr.create ~config:tight (eco_design ~scale:0.01) in
+  let initial = Incr.legal t in
+  let n = Design.num_cells (Incr.design t) in
+  let _ =
+    Incr.apply t [ Edit.Insert { width = 5; height = 1; x = 30.0; y = 2.2 } ]
+  in
+  Alcotest.(check int) "inserted at the end" (n + 1)
+    (Design.num_cells (Incr.design t));
+  let _ = Incr.apply t [ Edit.Delete { cell = n } ] in
+  Alcotest.(check int) "back to original count" n
+    (Design.num_cells (Incr.design t));
+  Alcotest.(check (float 0.0)) "round-trip restores the placement" 0.0
+    (max_position_diff initial (Incr.legal t))
+
+let test_bad_edits_raise () =
+  let t = Incr.create ~config:tight (eco_design ~scale:0.01) in
+  let n = Design.num_cells (Incr.design t) in
+  let raises name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  raises "out of range" (fun () ->
+      Incr.apply t [ Edit.Move { cell = n; x = 1.0; y = 1.0 } ]);
+  raises "negative id" (fun () -> Incr.apply t [ Edit.Delete { cell = -1 } ]);
+  raises "edit after delete" (fun () ->
+      Incr.apply t
+        [ Edit.Delete { cell = 0 }; Edit.Move { cell = 0; x = 1.0; y = 1.0 } ]);
+  raises "zero width" (fun () ->
+      Incr.apply t [ Edit.Resize { cell = 0; width = 0 } ])
+
+let test_obs_counters () =
+  let obs = Mclh_obs.Obs.create () in
+  let t = Incr.create ~config:tight ~obs (eco_design ~scale:0.01) in
+  let d = Incr.design t in
+  let x0, y0 = Placement.get d.Design.global 1 in
+  let st = Incr.apply t [ Edit.Move { cell = 1; x = x0 +. 5.0; y = y0 } ] in
+  let c name = Mclh_obs.Obs.counter_value obs name in
+  Alcotest.(check int) "batches" 1 (c "incr/batches");
+  Alcotest.(check int) "edits" 1 (c "incr/edits");
+  Alcotest.(check int) "cache hits" st.Incr.cache_hits (c "incr/cache_hits");
+  Alcotest.(check int) "dirty shards" st.Incr.dirty_shards
+    (c "incr/dirty_shards");
+  Alcotest.(check int) "dirty components" st.Incr.dirty_components
+    (c "incr/dirty_components");
+  Alcotest.(check bool) "a warm-start trace was attached" true
+    (List.exists
+       (fun (name, _) ->
+         String.length name >= 10 && String.sub name 0 10 = "incr/solve")
+       (Mclh_obs.Obs.traces obs))
+
+(* ---------- Solver ?s0 restart ---------- *)
+
+let test_solver_s0_restart () =
+  let d = eco_design ~scale:0.01 in
+  let model = Model.build d (Row_assign.assign d) in
+  let first = Solver.solve ~config:tight model in
+  let again = Solver.solve ~config:tight ~s0:first.Solver.modulus model in
+  Alcotest.(check bool) "restart nearly free" true
+    (again.Solver.iterations <= 3);
+  let n = model.Model.nvars in
+  let worst = ref 0.0 in
+  for v = 0 to n - 1 do
+    worst := Float.max !worst (Float.abs (first.Solver.x.(v) -. again.Solver.x.(v)))
+  done;
+  Alcotest.(check bool) "same solution" true (!worst <= 1e-8);
+  match Solver.solve ~config:tight ~s0:(Mclh_linalg.Vec.zeros 3) model with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong s0 dimension must raise"
+
+let () =
+  Alcotest.run "incr"
+    [ ( "edits",
+        [ Alcotest.test_case "file round-trip" `Quick test_edit_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_edit_parse_errors ] );
+      ( "row_assign",
+        [ Alcotest.test_case "assign_cell matches assign" `Quick
+            test_assign_cell_matches_assign ] );
+      ( "session",
+        [ Alcotest.test_case "empty batch all hits" `Quick
+            test_empty_batch_all_hits;
+          Alcotest.test_case "equivalence with cold run" `Slow
+            test_equivalence_with_cold_run;
+          Alcotest.test_case "dirty set is local" `Quick
+            test_dirty_set_is_local;
+          Alcotest.test_case "revert re-hits cache" `Quick
+            test_revert_rehits_cache;
+          Alcotest.test_case "insert/delete round-trip" `Quick
+            test_insert_delete_roundtrip;
+          Alcotest.test_case "bad edits raise" `Quick test_bad_edits_raise;
+          Alcotest.test_case "obs counters" `Quick test_obs_counters ] );
+      ( "solver",
+        [ Alcotest.test_case "?s0 restart" `Quick test_solver_s0_restart ] ) ]

@@ -235,6 +235,57 @@ let qc_mmsim_random_spd =
       let out = Mmsim.solve ~options ops ~q:p.Lcp.q in
       Lcp.residual_inf p out.Mmsim.z < 1e-5)
 
+let qc_mmsim_adversarial_s0_same_fixed_point =
+  (* the modulus fixed point is unique for SPD splittings, so *any* start
+     vector — including large adversarial ones — must land on the same
+     solution as the cold (zero) start *)
+  QCheck.Test.make ~count:60
+    ~name:"mmsim: adversarial s0 reaches the cold fixed point"
+    QCheck.(triple (int_range 1 12) (int_range 0 10_000) (float_range (-1000.0) 1000.0))
+    (fun (n, seed, magnitude) ->
+      let rand = mk_rand (seed + 11) in
+      let p = random_spd_lcp rand n in
+      let ops = Mmsim.gauss_seidel_operators p.Lcp.a in
+      let options = { Mmsim.default_options with max_iter = 500_000 } in
+      let cold = Mmsim.solve ~options ops ~q:p.Lcp.q in
+      let s0 =
+        Vec.init n (fun _ -> magnitude *. ((rand () *. 2.0) -. 1.0))
+      in
+      let warm = Mmsim.solve ~options ~s0 ops ~q:p.Lcp.q in
+      warm.Mmsim.converged
+      && Lcp.residual_inf p warm.Mmsim.z < 1e-5
+      && Vec.equal ~eps:1e-4 cold.Mmsim.z warm.Mmsim.z)
+
+let qc_mmsim_warm_start_reduces_iterations =
+  (* s0 = the previous solve's final modulus on a slightly perturbed
+     problem must not iterate more than the cold start — and strictly
+     less whenever the cold solve does real work *)
+  QCheck.Test.make ~count:40
+    ~name:"mmsim: previous-s warm start reduces iterations on a perturbed LCP"
+    QCheck.(pair (int_range 2 12) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rand = mk_rand (seed + 13) in
+      let p = random_spd_lcp rand n in
+      let ops = Mmsim.gauss_seidel_operators p.Lcp.a in
+      let options = { Mmsim.default_options with max_iter = 500_000 } in
+      let first = Mmsim.solve ~options ops ~q:p.Lcp.q in
+      (* perturb the linear term by ~0.1% of its magnitude *)
+      let q' =
+        Vec.init n (fun i ->
+            p.Lcp.q.(i) +. (1e-3 *. ((rand () *. 2.0) -. 1.0)))
+      in
+      let cold = Mmsim.solve ~options ops ~q:q' in
+      let warm = Mmsim.solve ~options ~s0:first.Mmsim.s ops ~q:q' in
+      warm.Mmsim.converged
+      && Vec.equal ~eps:1e-4 cold.Mmsim.z warm.Mmsim.z
+      &&
+      (* tiny instances can converge in a step or two either way; the
+         strict reduction is required once the cold start does real
+         work *)
+      if cold.Mmsim.iterations <= 3 then
+        warm.Mmsim.iterations <= cold.Mmsim.iterations
+      else warm.Mmsim.iterations < cold.Mmsim.iterations)
+
 let qc_pgs_random_spd =
   QCheck.Test.make ~count:60 ~name:"pgs: random SPD LCPs solved"
     QCheck.(pair (int_range 1 15) (int_range 0 10_000))
@@ -248,7 +299,11 @@ let qc_pgs_random_spd =
 let () =
   let qsuite =
     List.map QCheck_alcotest.to_alcotest
-      [ qc_mmsim_random_spd; qc_pgs_random_spd; qc_lemke_random_spd ]
+      [ qc_mmsim_random_spd;
+        qc_mmsim_adversarial_s0_same_fixed_point;
+        qc_mmsim_warm_start_reduces_iterations;
+        qc_pgs_random_spd;
+        qc_lemke_random_spd ]
   in
   Alcotest.run "lcp"
     [ ( "residuals",

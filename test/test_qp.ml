@@ -211,6 +211,19 @@ let test_ipm_infeasible_start_ok () =
   Alcotest.(check bool) "same optimum" true
     (Vec.equal ~eps:1e-5 ipm.Ipm.x asq.Active_set.x)
 
+let test_ipm_degenerate_chain () =
+  (* regression: this instance (k = 8, QCheck seed 7411) drives the IPM
+     to a numerically singular normal matrix late in the solve; the
+     escalating diagonal regularization must carry it to the optimum
+     instead of raising Lu.Singular *)
+  let rand = mk_rand (7411 + 13) in
+  let qp, x0 = chain_qp rand 8 in
+  let ipm = Ipm.solve qp in
+  Alcotest.(check bool) "converged" true ipm.Ipm.converged;
+  let asq = Active_set.solve ~x0 qp in
+  Alcotest.(check bool) "matches active set" true
+    (Vec.dist_inf ipm.Ipm.x asq.Active_set.x < 1e-5)
+
 let qc_ipm_random_chains =
   QCheck.Test.make ~count:40 ~name:"ipm: random chain QPs match active set"
     QCheck.(pair (int_range 2 9) (int_range 0 10_000))
@@ -274,7 +287,9 @@ let () =
       ( "ipm",
         [ Alcotest.test_case "matches active set" `Quick test_ipm_matches_active_set;
           Alcotest.test_case "KKT residual" `Quick test_ipm_kkt_residual;
-          Alcotest.test_case "infeasible start" `Quick test_ipm_infeasible_start_ok ] );
+          Alcotest.test_case "infeasible start" `Quick test_ipm_infeasible_start_ok;
+          Alcotest.test_case "degenerate chain regression" `Quick
+            test_ipm_degenerate_chain ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ qc_active_set_beats_random_feasible; qc_ipm_random_chains ] ) ]

@@ -102,6 +102,33 @@ let test_cli_roundtrip () =
     Sys.remove placed
   end
 
+(* ---------- Json parser robustness ---------- *)
+
+let test_json_nesting_bomb () =
+  (* a deeply nested document must come back as a clean parse error, not a
+     Stack_overflow crash *)
+  let bombs =
+    [ String.make 100_000 '[';
+      String.concat "" (List.init 100_000 (fun _ -> "{\"a\":"));
+      String.make 50_000 '[' ^ "1" ^ String.make 50_000 ']' ]
+  in
+  List.iter
+    (fun bomb ->
+      match Json.of_string bomb with
+      | Ok _ -> Alcotest.fail "nesting bomb parsed"
+      | Error msg ->
+        Alcotest.(check bool) "error names the depth cap" true
+          (contains msg "nesting"))
+    bombs;
+  (* nesting below the cap still parses *)
+  let deep n = String.make n '[' ^ "7" ^ String.make n ']' in
+  (match Json.of_string (deep 400) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "depth 400 should parse: %s" msg);
+  match Json.of_string (deep 513) with
+  | Ok _ -> Alcotest.fail "depth 513 should hit the cap"
+  | Error _ -> ()
+
 let test_cli_rejects_unknown () =
   if not (Sys.file_exists cli) then Alcotest.skip ()
   else begin
@@ -121,6 +148,8 @@ let () =
       ( "csv",
         [ Alcotest.test_case "escaping" `Quick test_csv_escaping;
           Alcotest.test_case "file" `Quick test_csv_file ] );
+      ( "json",
+        [ Alcotest.test_case "nesting bomb" `Quick test_json_nesting_bomb ] );
       ( "cli",
         [ Alcotest.test_case "list" `Quick test_cli_available;
           Alcotest.test_case "gen/legalize/check" `Slow test_cli_roundtrip;

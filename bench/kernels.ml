@@ -137,6 +137,86 @@ let write_obs_json () =
     Mclh_obs.Run_report.write ~path (Mclh_obs.Run_report.to_json ~meta obs));
   Printf.printf "obs snapshot written to %s\n%!" path
 
+(* backend-chooser snapshot: plain MMSIM (budget raised until it actually
+   converges) vs the Auto chooser on the two slow-contracting benchmarks
+   of the PR-6 acceptance bar, at scale 0.04. Records per-backend shard
+   counts (chooser-hit rates), fallbacks, iteration totals, the >= 3x
+   iteration speedup, and the position agreement both raw (iterate-change
+   stopping leaves each run within its own tolerance of the common fixed
+   point) and after the snapping stage (bit-identical placements). *)
+let write_backend_json () =
+  let bench name =
+    let d =
+      (Mclh_benchgen.Generate.generate
+         (Mclh_benchgen.Spec.scaled 0.04 (Mclh_benchgen.Spec.find name)))
+        .Mclh_benchgen.Generate.design
+    in
+    let model = Model.build d (Row_assign.assign d) in
+    let plain, t_plain =
+      Mclh_par.Clock.timed (fun () ->
+          Solver.solve
+            ~config:
+              { Config.default with
+                backend = Config.Plain;
+                max_iter = 2_000_000 }
+            model)
+    in
+    let auto, t_auto = Mclh_par.Clock.timed (fun () -> Solver.solve model) in
+    let xs (r : Solver.result) =
+      (Model.placement_of model r.Solver.x).Mclh_circuit.Placement.xs
+    in
+    let snap_xs (r : Solver.result) =
+      (Tetris_alloc.run d (Model.placement_of model r.Solver.x))
+        .Tetris_alloc.placement
+        .Mclh_circuit.Placement.xs
+    in
+    let bs = auto.Solver.backends in
+    let shard_solves =
+      bs.Solver.chain_free + bs.Solver.lemke + bs.Solver.active_set
+      + bs.Solver.accel + bs.Solver.plain
+    in
+    let rate c =
+      if shard_solves = 0 then 0.0 else float_of_int c /. float_of_int shard_solves
+    in
+    Printf.sprintf
+      "    {\n\
+      \      \"design\": \"%s\",\n\
+      \      \"cells\": %d,\n\
+      \      \"plain\": { \"iterations_total\": %d, \"converged\": %b, \
+       \"max_iter\": 2000000, \"time_s\": %.4f },\n\
+      \      \"auto\": {\n\
+      \        \"iterations_total\": %d, \"converged\": %b, \"time_s\": %.4f,\n\
+      \        \"shard_solves\": %d, \"fallbacks\": %d,\n\
+      \        \"backends\": { \"chain_free\": %d, \"lemke\": %d, \
+       \"active_set\": %d, \"accel\": %d, \"plain\": %d },\n\
+      \        \"backend_rates\": { \"chain_free\": %.3f, \"lemke\": %.3f, \
+       \"active_set\": %.3f, \"accel\": %.3f, \"plain\": %.3f }\n\
+      \      },\n\
+      \      \"iteration_speedup\": %.2f,\n\
+      \      \"max_position_diff_sites\": %.3e,\n\
+      \      \"max_position_diff_post_snap\": %.3e\n\
+      \    }"
+      name
+      (Mclh_circuit.Design.num_cells d)
+      plain.Solver.iterations_total plain.Solver.converged t_plain
+      auto.Solver.iterations_total auto.Solver.converged t_auto shard_solves
+      bs.Solver.fallbacks bs.Solver.chain_free bs.Solver.lemke
+      bs.Solver.active_set bs.Solver.accel bs.Solver.plain
+      (rate bs.Solver.chain_free) (rate bs.Solver.lemke)
+      (rate bs.Solver.active_set) (rate bs.Solver.accel) (rate bs.Solver.plain)
+      (float_of_int plain.Solver.iterations_total
+      /. float_of_int (max 1 auto.Solver.iterations_total))
+      (Mclh_linalg.Vec.dist_inf (xs plain) (xs auto))
+      (Mclh_linalg.Vec.dist_inf (snap_xs plain) (snap_xs auto))
+  in
+  Util.ensure_out_dir ();
+  let path = Filename.concat Util.out_dir "BENCH_pr6.json" in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"scale\": 0.04,\n  \"designs\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map bench [ "des_perf_1"; "matrix_mult_1" ]));
+  close_out oc;
+  Printf.printf "backend snapshot written to %s\n%!" path
+
 let run () =
   Util.section "Bechamel kernels (one per table/figure)";
   let ols =
@@ -164,4 +244,5 @@ let run () =
     (List.sort compare !rows);
   print_newline ();
   write_perf_json ();
-  write_obs_json ()
+  write_obs_json ();
+  write_backend_json ()

@@ -21,6 +21,9 @@ let report_of design (r : Runner.report) =
   Printf.bprintf b "algorithm        : %s\n" (Runner.name r.Runner.algorithm);
   Printf.bprintf b "cells            : %d\n" n;
   Printf.bprintf b "legal            : %b\n" r.Runner.legal;
+  (match Runner.converged r with
+  | Some c -> Printf.bprintf b "converged        : %b\n" c
+  | None -> ());
   Printf.bprintf b "total disp       : %.1f sites (avg %.3f/cell, max %.1f)\n"
     r.Runner.displacement.Metrics.total_manhattan
     (Metrics.avg_manhattan r.Runner.displacement n)
@@ -29,8 +32,15 @@ let report_of design (r : Runner.report) =
   Printf.bprintf b "runtime          : %.3f s\n" r.Runner.runtime_s;
   (match r.Runner.mmsim with
   | Some f ->
-    Printf.bprintf b "mmsim iterations : %d (converged %b)\n"
-      f.Flow.solver.Solver.iterations f.Flow.solver.Solver.converged;
+    Printf.bprintf b "mmsim iterations : %d (total %d, converged %b)\n"
+      f.Flow.solver.Solver.iterations f.Flow.solver.Solver.iterations_total
+      f.Flow.solver.Solver.converged;
+    let bs = f.Flow.solver.Solver.backends in
+    Printf.bprintf b
+      "backends         : chain_free %d, lemke %d, active_set %d, accel %d, \
+       plain %d (fallbacks %d)\n"
+      bs.Solver.chain_free bs.Solver.lemke bs.Solver.active_set bs.Solver.accel
+      bs.Solver.plain bs.Solver.fallbacks;
     Printf.bprintf b "subcell mismatch : %.2e sites\n" f.Flow.solver.Solver.mismatch;
     Printf.bprintf b "illegal pre-fix  : %d\n" (Flow.illegal_after_mmsim f);
     Printf.bprintf b "order preserved  : %.4f\n"
@@ -101,6 +111,22 @@ let eps_arg =
   let doc = "MMSIM stopping tolerance (site widths)." in
   Arg.(value & opt float Config.default.Config.eps & info [ "eps" ] ~doc)
 
+let max_iter_arg =
+  let doc = "MMSIM iteration budget per solve." in
+  Arg.(
+    value
+    & opt int Config.default.Config.max_iter
+    & info [ "max-iter" ] ~docv:"N" ~doc)
+
+let strict_arg =
+  let doc =
+    "Exit with status 3 when the solver fails to converge within its \
+     iteration budget. Without this flag a placement is still produced \
+     (the repair stage fixes whatever the solver reached) and \
+     non-convergence only prints a warning on stderr."
+  in
+  Arg.(value & flag & info [ "strict-convergence" ] ~doc)
+
 let metrics_out_arg =
   let doc =
     "Write the run's metrics (stage spans, convergence traces, repair \
@@ -113,11 +139,28 @@ let metrics_out_arg =
     & opt (some string) None
     & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
-let config_of ?(metrics_out = None) lambda eps =
+let config_of ?(metrics_out = None) lambda eps max_iter =
   { Config.default with
     lambda;
     eps;
+    max_iter;
     metrics = Config.default.Config.metrics || metrics_out <> None }
+
+(* A non-converged solve used to look exactly like success (the repair
+   stage hides it); make it loud, and fatal under --strict-convergence. *)
+let warn_nonconvergence ~strict (r : Runner.report) =
+  match Runner.converged r with
+  | Some false ->
+    let delta_inf =
+      match (r.Runner.mmsim, r.Runner.fence) with
+      | Some f, _ -> f.Flow.solver.Solver.delta_inf
+      | None, Some s -> Fence.max_delta_inf s
+      | None, None -> Float.nan
+    in
+    Printf.eprintf "WARNING: solver did not converge (delta_inf=%.3e)\n%!"
+      delta_inf;
+    strict
+  | Some true | None -> false
 
 let write_metrics design (r : Runner.report) = function
   | None -> ()
@@ -132,6 +175,10 @@ let write_metrics design (r : Runner.report) = function
           ("algorithm", Json.String (Runner.name r.Runner.algorithm));
           ("legal", Json.Bool r.Runner.legal);
           ("runtime_s", Json.Float r.Runner.runtime_s) ]
+        @
+        match Runner.converged r with
+        | Some c -> [ ("converged", Json.Bool c) ]
+        | None -> []
       in
       Mclh_obs.Run_report.write ~path (Mclh_obs.Run_report.to_json ~meta obs);
       Printf.printf "metrics          : %s\n" path)
@@ -234,11 +281,14 @@ let legalize_cmd =
     let doc = "Output placement file." in
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
   in
-  let run input alg output svg lambda eps refine metrics_out =
+  let run input alg output svg lambda eps max_iter strict refine metrics_out =
     let design = Io.read_design ~path:input in
-    let r = Runner.run ~config:(config_of ~metrics_out lambda eps) alg design in
+    let r =
+      Runner.run ~config:(config_of ~metrics_out lambda eps max_iter) alg design
+    in
     let r = maybe_refine design refine r in
     print_string (report_of design r);
+    let strict_fail = warn_nonconvergence ~strict r in
     write_metrics design r metrics_out;
     Option.iter
       (fun path ->
@@ -250,17 +300,18 @@ let legalize_cmd =
         Svg.write_file ~path design r.Runner.placement;
         Printf.printf "svg              : %s\n" path)
       svg;
-    if not r.Runner.legal then exit 2
+    if not r.Runner.legal then exit 2;
+    if strict_fail then exit 3
   in
   Cmd.v
     (Cmd.info "legalize" ~doc:"Legalize a design file.")
     Term.(
       const run $ in_arg $ alg_arg $ out_arg $ svg_arg $ lambda_arg $ eps_arg
-      $ refine_arg $ metrics_out_arg)
+      $ max_iter_arg $ strict_arg $ refine_arg $ metrics_out_arg)
 
 let run_cmd =
   let run bench scale seed single_height blockages tall fences alg svg lambda
-      eps refine metrics_out =
+      eps max_iter strict refine metrics_out =
     match Spec.find bench with
     | exception Not_found ->
       Printf.eprintf "unknown benchmark %S\n" bench;
@@ -271,24 +322,28 @@ let run_cmd =
       in
       let design = inst.Generate.design in
       let r =
-        Runner.run ~config:(config_of ~metrics_out lambda eps) alg design
+        Runner.run
+          ~config:(config_of ~metrics_out lambda eps max_iter)
+          alg design
       in
       let r = maybe_refine design refine r in
       print_string (report_of design r);
+      let strict_fail = warn_nonconvergence ~strict r in
       write_metrics design r metrics_out;
       Option.iter
         (fun path ->
           Svg.write_file ~path design r.Runner.placement;
           Printf.printf "svg              : %s\n" path)
         svg;
-      if not r.Runner.legal then exit 2
+      if not r.Runner.legal then exit 2;
+      if strict_fail then exit 3
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Generate and legalize in one step.")
     Term.(
       const run $ bench_arg $ scale_arg $ seed_arg $ single_height_arg
       $ blockage_arg $ tall_arg $ fences_arg $ alg_arg $ svg_arg $ lambda_arg
-      $ eps_arg $ refine_arg $ metrics_out_arg)
+      $ eps_arg $ max_iter_arg $ strict_arg $ refine_arg $ metrics_out_arg)
 
 let check_cmd =
   let design_arg =
@@ -416,14 +471,15 @@ let eco_cmd =
     in
     Arg.(value & flag & info [ "verify" ] ~doc)
   in
-  let run input edits_path output out_design lambda eps verify metrics_out =
+  let run input edits_path output out_design lambda eps max_iter strict verify
+      metrics_out =
     let design = Io.read_design ~path:input in
     let batches = Mclh_incr.Edit.read_file ~path:edits_path in
     if batches = [] then begin
       Printf.eprintf "no batches in %s\n" edits_path;
       exit 1
     end;
-    let config = config_of ~metrics_out lambda eps in
+    let config = config_of ~metrics_out lambda eps max_iter in
     let obs =
       if config.Config.metrics then Some (Mclh_obs.Obs.create ()) else None
     in
@@ -434,12 +490,15 @@ let eco_cmd =
       (Design.num_cells design) initial_s;
     Printf.printf "%5s %6s %7s %12s %5s %6s %11s %5s\n" "batch" "edits"
       "touched" "dirty/shards" "hits" "iters" "latency(ms)" "conv";
-    let total_iters = ref 0 and total_latency = ref 0.0 in
+    let total_iters = ref 0
+    and total_latency = ref 0.0
+    and nonconverged = ref 0 in
     List.iteri
       (fun i batch ->
         let st = Mclh_incr.Incr.apply session batch in
         total_iters := !total_iters + st.Mclh_incr.Incr.solve_iterations;
         total_latency := !total_latency +. st.Mclh_incr.Incr.latency_s;
+        if not st.Mclh_incr.Incr.converged then incr nonconverged;
         Printf.printf "%5d %6d %7d %6d/%-5d %5d %6d %11.2f %5b\n" (i + 1)
           st.Mclh_incr.Incr.edits st.Mclh_incr.Incr.touched_cells
           st.Mclh_incr.Incr.dirty_shards st.Mclh_incr.Incr.shards
@@ -454,7 +513,15 @@ let eco_cmd =
     let design' = Mclh_incr.Incr.design session in
     let incr_legal = Mclh_incr.Incr.legal session in
     let legal = Legality.is_legal design' incr_legal in
+    let all_converged = !nonconverged = 0 in
     Printf.printf "legal            : %b\n" legal;
+    Printf.printf "converged        : %b\n" all_converged;
+    if not all_converged then
+      Printf.eprintf
+        "WARNING: solver did not converge (%d of %d batches hit the \
+         iteration budget)\n\
+         %!"
+        !nonconverged (List.length batches);
     if verify then begin
       let t1 = Mclh_par.Clock.now () in
       let cold = Flow.run ~config design' in
@@ -486,7 +553,8 @@ let eco_cmd =
         [ ("design", Json.String design'.Design.name);
           ("cells", Json.Int (Design.num_cells design'));
           ("batches", Json.Int (Mclh_incr.Incr.num_batches session));
-          ("legal", Json.Bool legal) ]
+          ("legal", Json.Bool legal);
+          ("converged", Json.Bool all_converged) ]
       in
       Mclh_obs.Run_report.write ~path (Mclh_obs.Run_report.to_json ~meta obs);
       Printf.printf "metrics          : %s\n" path
@@ -501,7 +569,8 @@ let eco_cmd =
         Io.write_design ~path design';
         Printf.printf "design           : %s\n" path)
       out_design;
-    if not legal then exit 2
+    if not legal then exit 2;
+    if strict && not all_converged then exit 3
   in
   Cmd.v
     (Cmd.info "eco"
@@ -509,7 +578,7 @@ let eco_cmd =
          "Apply ECO edit batches with the incremental re-legalization engine.")
     Term.(
       const run $ in_arg $ edits_arg $ out_arg $ out_design_arg $ lambda_arg
-      $ eps_arg $ verify_arg $ metrics_out_arg)
+      $ eps_arg $ max_iter_arg $ strict_arg $ verify_arg $ metrics_out_arg)
 
 let convert_cmd =
   let in_arg =

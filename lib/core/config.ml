@@ -1,3 +1,5 @@
+type backend = Auto | Plain | Accel
+
 type t = {
   lambda : float;
   beta : float;
@@ -5,6 +7,11 @@ type t = {
   gamma : float;
   eps : float;
   max_iter : int;
+  backend : backend;
+  accel_depth : int;
+  direct_max_dim : int;
+  direct_max_iter : int;
+  direct_tol : float;
   use_sherman_morrison : bool;
   verify_bound : bool;
   warm_start : bool;
@@ -24,6 +31,11 @@ let default =
     gamma = 2.0;
     eps = 3e-3;
     max_iter = 10_000;
+    backend = Auto;
+    accel_depth = 8;
+    direct_max_dim = 48;
+    direct_max_iter = 10_000;
+    direct_tol = 1e-9;
     use_sherman_morrison = true;
     verify_bound = false;
     warm_start = true;
@@ -38,5 +50,9 @@ let validate t =
   else if t.gamma <= 0.0 then Error "gamma must be positive"
   else if t.eps <= 0.0 then Error "eps must be positive"
   else if t.max_iter <= 0 then Error "max_iter must be positive"
+  else if t.accel_depth < 0 then Error "accel_depth must be >= 0"
+  else if t.direct_max_dim < 0 then Error "direct_max_dim must be >= 0"
+  else if t.direct_max_iter <= 0 then Error "direct_max_iter must be positive"
+  else if t.direct_tol <= 0.0 then Error "direct_tol must be positive"
   else if t.num_domains < 1 then Error "num_domains must be >= 1"
   else Ok t

@@ -288,3 +288,55 @@ let scatter_vars shard local global =
 
 let scatter_cons shard local global =
   Array.iteri (fun i c -> global.(c) <- local.(i)) shard.cons
+
+(* the [[||]] fallback means "solve monolithically"; callers that need a
+   shard per solve regardless (the incremental cache, the solver's
+   backend chooser) synthesize the identity shard covering the model *)
+let identity_shard (model : Model.t) =
+  { vars = Array.init model.nvars Fun.id;
+    cons = Array.init (Model.num_constraints model) Fun.id;
+    groups = model.row_vars;
+    chains =
+      Array.init
+        (Blocks.num_chains model.blocks)
+        (Blocks.chain_vars model.blocks) }
+
+(* Two independent 64-bit rolling hashes over the shard's pure LCP
+   content: dimensions, local group/chain structure, [p] and [b_rhs].
+   Deliberately excluded: global/cell ids (so insert/delete renumbering
+   cannot poison a cache keyed on this) and [shift] (placement
+   bookkeeping, not part of the LCP). Equal sub-LCPs have equal unique
+   solutions, so a 128-bit key match makes solution reuse mathematically
+   sound up to hash collisions. The incremental engine keys its solution
+   cache on this; the solver's backend chooser reads the same structural
+   features (dimensions, chain count, separation signs) when routing a
+   shard. *)
+let fnv_prime = 0x100000001b3L
+
+let shard_key (model : Model.t) (shard : shard) =
+  let h1 = ref 0xcbf29ce484222325L and h2 = ref 0x9e3779b97f4a7c15L in
+  let mix v =
+    h1 := Int64.mul (Int64.logxor !h1 v) fnv_prime;
+    h2 := Int64.logxor (Int64.mul !h2 0x2545f4914f6cdd1dL) v
+  in
+  let mix_int i = mix (Int64.of_int i) in
+  let mix_float f = mix (Int64.bits_of_float f) in
+  let sn = Array.length shard.vars in
+  let sm = Array.length shard.cons in
+  mix_int sn;
+  mix_int sm;
+  mix_int (Array.length shard.groups);
+  Array.iter
+    (fun g ->
+      mix_int (Array.length g);
+      Array.iter mix_int g)
+    shard.groups;
+  mix_int (Array.length shard.chains);
+  Array.iter
+    (fun ch ->
+      mix_int (Array.length ch);
+      Array.iter mix_int ch)
+    shard.chains;
+  Array.iter (fun v -> mix_float model.Model.p.(v)) shard.vars;
+  Array.iter (fun c -> mix_float model.Model.b_rhs.(c)) shard.cons;
+  (!h1, !h2, sn, sm)

@@ -91,3 +91,20 @@ val scatter_vars : shard -> Mclh_linalg.Vec.t -> Mclh_linalg.Vec.t -> unit
     vector into the global one through the index map. *)
 
 val scatter_cons : shard -> Mclh_linalg.Vec.t -> Mclh_linalg.Vec.t -> unit
+
+val identity_shard : Model.t -> shard
+(** The trivial shard covering the whole model — what the [[||]]
+    (monolithic) fallback of {!analyze} means. Callers that key per-solve
+    state on shards regardless of how the decomposition went (the
+    incremental solution cache, the solver's backend chooser) fingerprint
+    this one. *)
+
+val shard_key : Model.t -> shard -> Int64.t * Int64.t * int * int
+(** A 128-bit fingerprint (two independent rolling hashes, plus the
+    dimensions in clear) of the shard's pure LCP content: dimensions,
+    local group/chain structure, [p] and [b_rhs]. Global ids and [shift]
+    are deliberately excluded, so insert/delete renumbering preserves the
+    key. Equal sub-LCPs have equal unique solutions, which makes a cache
+    keyed on this sound up to hash collisions — the incremental engine
+    ({!Mclh_incr}) relies on it, and the solver's backend chooser routes
+    shards off the same structural features. *)

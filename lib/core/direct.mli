@@ -1,0 +1,63 @@
+(** Direct (non-iterative / pivoting) backends for the per-shard solver
+    chooser ({!Solver}).
+
+    Each backend solves the same Problem (13) sub-QP a decomposition
+    shard represents and returns the MMSIM-equivalent unknowns: primal
+    positions [x], ordering multipliers [r], and a modulus vector [s]
+    reconstructed as [(gamma/2)(z - w)] — feeding it back as [?s0] lands
+    a later MMSIM warm restart exactly on the fixed point, so the
+    incremental solution cache never notices which backend produced an
+    entry.
+
+    Safety contract: every outcome carries its own KKT residual
+    ({!Mclh_qp.Kkt.kkt_residual}); the dispatcher accepts a direct solve
+    only when {!acceptable} holds and otherwise falls back to MMSIM, so a
+    backend misfire can cost time but never correctness. *)
+
+open Mclh_linalg
+
+type outcome = {
+  x : Vec.t;  (** subcell positions, length [Model.nvars] *)
+  r : Vec.t;  (** ordering-constraint multipliers, length m *)
+  modulus : Vec.t;
+      (** MMSIM-compatible modulus vector [(gamma/2)(z - w)], length
+          [n + m] *)
+  iterations : int;
+      (** backend-specific work count: 0 for the chain-free projection,
+          pivots for Lemke, active-set steps otherwise *)
+  residual : float;  (** KKT residual of (x, r), infinity norm *)
+}
+
+val chain_free_applicable : Model.t -> bool
+(** True when the model has no subcell-equality chains (so [Q~ = I]) and
+    every required separation is nonnegative — the preconditions of
+    {!chain_free}. *)
+
+val chain_free : Config.t -> Model.t -> outcome option
+(** Exact O(n + m) solve for chain-free shards: with [Q~ = I] the QP
+    decouples into one isotonic-regression-with-separations problem per
+    ordering group, solved by pool-adjacent-violators after a
+    prefix-shift change of variables (the feasible set becomes the
+    isotone-nonnegative cone, whose projection is clip-after-PAVA).
+    Multipliers are recovered by a right-to-left stationarity recurrence.
+    [None] if the model's constraint layout violates the group-major
+    build-order invariant (never expected); callers must still check
+    {!acceptable} — degenerate ties can make the recovered multipliers
+    inexact even though [x] is the projection. Only meaningful when
+    {!chain_free_applicable} holds. *)
+
+val lemke : Config.t -> Model.t -> outcome option
+(** Lemke pivoting on the explicit KKT LCP (dense, O(dim^2) per pivot —
+    tiny shards only; the chooser gates on [Config.direct_max_dim]).
+    [None] on ray termination or when [Config.direct_max_iter] pivots are
+    exhausted. *)
+
+val active_set : Config.t -> Model.t -> outcome option
+(** Dense primal active-set solve started from {!Model.packed_start}
+    (feasible by construction), with tolerance [Config.direct_tol] and
+    budget [Config.direct_max_iter]. [None] when it fails to converge.
+    Tiny shards only, like {!lemke}. *)
+
+val acceptable : Config.t -> outcome -> bool
+(** The dispatcher's acceptance test: the KKT residual is finite and at
+    most [Config.direct_tol * (1 + max(||x||_inf, ||r||_inf))]. *)

@@ -82,6 +82,12 @@ let run ?(config = Config.default) ?obs algorithm design =
     fence;
     obs }
 
+let converged report =
+  match (report.mmsim, report.fence) with
+  | Some flow, _ -> Some flow.Flow.solver.Solver.converged
+  | None, Some stats -> Some (Fence.all_converged stats)
+  | None, None -> None
+
 let run_all ?config ?(algorithms = all) designs =
   let num_domains =
     match config with

@@ -45,6 +45,13 @@ val run :
     later batch); when omitted, a fresh recorder is created iff
     [config.metrics] is set. *)
 
+val converged : report -> bool option
+(** Whether every solver invocation behind this report converged:
+    the MMSIM result's flag on plain designs, {!Fence.all_converged}
+    over the per-territory stats on fenced ones. [None] for the
+    non-iterative baseline algorithms, which have no notion of
+    convergence. The CLI's [--strict-convergence] gate keys on this. *)
+
 val run_all :
   ?config:Config.t -> ?algorithms:algorithm list -> Design.t list ->
   report list list

@@ -13,6 +13,31 @@
 
 open Mclh_linalg
 
+type backend_tag =
+  | Chain_free
+      (** exact isotonic-projection solve of a chain-free shard
+          ({!Direct.chain_free}) *)
+  | Lemke  (** direct Lemke pivoting on a tiny shard *)
+  | Active_set  (** dense active-set solve on a tiny shard *)
+  | Accel  (** Anderson-accelerated MMSIM *)
+  | Plain  (** plain MMSIM (Algorithm 1 exactly) *)
+
+type backend_stats = {
+  chain_free : int;
+  lemke : int;
+  active_set : int;
+  accel : int;
+  plain : int;
+      (** shards whose {e final} backend was each tag; the five counts
+          sum to the number of per-shard solves (1 on the monolithic
+          path) *)
+  fallbacks : int;
+      (** abandoned attempts across all shards: direct solves that
+          failed the KKT-residual acceptance and MMSIM rescue retries.
+          [0] means every shard was solved by its first-choice
+          backend. *)
+}
+
 type result = {
   x : Vec.t;  (** subcell positions (length [Model.nvars]) *)
   r : Vec.t;  (** ordering-constraint multipliers (length m) *)
@@ -43,6 +68,10 @@ type result = {
   largest_dim : int;
       (** variables + constraints of the largest component ([n + m] when
           [config.decompose] is off) *)
+  backends : backend_stats;
+      (** which backend solved each shard and how many attempts fell
+          back (see {!backend_stats}); under [Config.Plain] this is
+          always [plain = shards, fallbacks = 0] *)
 }
 
 and bound_check = {
@@ -75,13 +104,30 @@ val rhs_q : Model.t -> Vec.t
 
 val solve :
   ?config:Config.t -> ?obs:Mclh_obs.Obs.t -> ?s0:Vec.t -> Model.t -> result
-(** Runs Algorithm 1. When [config.decompose] is set (the default) the
-    LCP is first split into its independent connected components
-    ({!Decompose}); multi-shard decompositions solve every sub-LCP on the
-    domain pool and scatter the solutions back, while single-component
-    designs take the monolithic path exactly. Decomposed results agree
-    with the monolithic solve up to the iteration tolerance and are
-    bit-identical across [num_domains] values.
+(** Solves the x-direction LCP. When [config.decompose] is set (the
+    default) the LCP is first split into its independent connected
+    components ({!Decompose}); multi-shard decompositions solve every
+    sub-LCP on the domain pool and scatter the solutions back, while
+    single-component designs take the monolithic path exactly. Decomposed
+    results agree with the monolithic solve up to the iteration tolerance
+    and are bit-identical across [num_domains] values.
+
+    Each per-shard solve is routed by [config.backend]. [Plain] is
+    exactly the paper's Algorithm 1 (one plain MMSIM run, no rescue).
+    [Accel] forces Anderson-accelerated MMSIM. [Auto] (the default)
+    chooses per shard: chain-free shards solve exactly by isotonic
+    projection, shards with [dim <= config.direct_max_dim] pivot directly
+    (Lemke, then active set), the rest run accelerated MMSIM. Direct
+    solves are accepted only when their KKT residual passes
+    {!Direct.acceptable}; any miss falls through to MMSIM. A
+    non-converged accelerated run is rescued: retry plain, then — guided
+    by the retry's convergence-trace contraction estimate
+    ({!Mclh_obs.Trace.estimate_rate}) — once more with [theta] halved.
+    Iterations accumulate across attempts and every abandoned attempt
+    counts in [result.backends.fallbacks], so reported work and fallback
+    behaviour are never hidden. Routing and rescue decisions depend only
+    on shard content and config — never on timing, pool size, or whether
+    [obs] is attached — preserving bit-identical parallel results.
 
     [s0] is an explicit MMSIM start vector in global numbering (length
     [n + m]); it overrides both the PlaceRow warm start and the paper's
@@ -92,8 +138,10 @@ val solve :
     of a nearby model — just gets there in fewer iterations.
     @raise Invalid_argument when [s0] has the wrong dimension.
 
-    [obs] records [solver/iterations], [solver/components],
-    [solver/largest_dim] and [solver/nonconverged] counters, the
+    [obs] records [solver/iterations], [solver/iterations_total],
+    [solver/components], [solver/largest_dim] and [solver/nonconverged]
+    counters, the per-backend [solver/backend/*] shard counts and
+    [solver/fallbacks], the
     [solver/delta_inf] / [solver/mismatch] gauges, and per-iteration
     convergence traces: [solver/delta_inf] for the monolithic path,
     [solver/compNNN/{delta_inf,iterations,dim}] per shard when

@@ -53,55 +53,17 @@ let max_cache_entries = 8192
 (* ------------------------------------------------------------------ *)
 (* shard fingerprint                                                   *)
 
-(* Two independent 64-bit rolling hashes over the shard's pure LCP
-   content: dimensions, local group/chain structure, [p] and [b_rhs].
-   Deliberately excluded: global/cell ids (so insert/delete renumbering
-   cannot poison the cache) and [shift] (placement bookkeeping, not part
-   of the LCP). Equal sub-LCPs have equal unique solutions, so a 128-bit
-   key match makes reuse mathematically sound up to hash collisions. *)
-let fnv_prime = 0x100000001b3L
-
-let shard_key (model : Model.t) (shard : Decompose.shard) =
-  let h1 = ref 0xcbf29ce484222325L and h2 = ref 0x9e3779b97f4a7c15L in
-  let mix v =
-    h1 := Int64.mul (Int64.logxor !h1 v) fnv_prime;
-    h2 := Int64.logxor (Int64.mul !h2 0x2545f4914f6cdd1dL) v
-  in
-  let mix_int i = mix (Int64.of_int i) in
-  let mix_float f = mix (Int64.bits_of_float f) in
-  let sn = Array.length shard.Decompose.vars in
-  let sm = Array.length shard.Decompose.cons in
-  mix_int sn;
-  mix_int sm;
-  mix_int (Array.length shard.Decompose.groups);
-  Array.iter
-    (fun g ->
-      mix_int (Array.length g);
-      Array.iter mix_int g)
-    shard.Decompose.groups;
-  mix_int (Array.length shard.Decompose.chains);
-  Array.iter
-    (fun ch ->
-      mix_int (Array.length ch);
-      Array.iter mix_int ch)
-    shard.Decompose.chains;
-  Array.iter (fun v -> mix_float model.Model.p.(v)) shard.Decompose.vars;
-  Array.iter (fun c -> mix_float model.Model.b_rhs.(c)) shard.Decompose.cons;
-  (!h1, !h2, sn, sm)
+(* the 128-bit pure-LCP fingerprint lives in [Decompose.shard_key] (the
+   solver's backend chooser reads the same structural features); the
+   cache is keyed on it directly *)
+let shard_key = Decompose.shard_key
 
 (* the decomposition's [[||]] fallback means "solve monolithically"; the
    session still needs a shard to fingerprint, so synthesize the identity
    shard covering the whole model *)
 let effective_shards (model : Model.t) (deco : Decompose.t) =
   if Array.length deco.Decompose.shards > 0 then deco.Decompose.shards
-  else
-    [| { Decompose.vars = Array.init model.Model.nvars Fun.id;
-         cons = Array.init (Model.num_constraints model) Fun.id;
-         groups = model.Model.row_vars;
-         chains =
-           Array.init
-             (Blocks.num_chains model.Model.blocks)
-             (Blocks.chain_vars model.Model.blocks) } |]
+  else [| Decompose.identity_shard model |]
 
 let gather_entry (model : Model.t) ~x ~r ~s (shard : Decompose.shard) =
   let n = model.Model.nvars in

@@ -8,9 +8,9 @@ type operators = {
   omega_diag : Vec.t;
 }
 
-type options = { gamma : float; eps : float; max_iter : int }
+type options = { gamma : float; eps : float; max_iter : int; accel : int }
 
-let default_options = { gamma = 2.0; eps = 1e-9; max_iter = 10_000 }
+let default_options = { gamma = 2.0; eps = 1e-9; max_iter = 10_000; accel = 0 }
 
 type outcome = {
   z : Vec.t;
@@ -20,63 +20,14 @@ type outcome = {
   delta_inf : float;
 }
 
-let z_of_s gamma s = Vec.map (fun v -> (Float.abs v +. v) /. gamma) s
-
 let w_of_s options ops s =
   Vec.mapi (fun i v -> ops.omega_diag.(i) /. options.gamma *. (Float.abs v -. v)) s
 
-let solve ?(options = default_options) ?on_iter ?s0 ops ~q =
-  let { gamma; eps; max_iter } = options in
-  if gamma <= 0.0 then invalid_arg "Mmsim.solve: gamma must be positive";
-  if eps <= 0.0 then invalid_arg "Mmsim.solve: eps must be positive";
-  if max_iter <= 0 then invalid_arg "Mmsim.solve: max_iter must be positive";
-  if Vec.dim q <> ops.dim then invalid_arg "Mmsim.solve: q dimension mismatch";
-  if Vec.dim ops.omega_diag <> ops.dim then
-    invalid_arg "Mmsim.solve: omega dimension mismatch";
-  let s =
-    match s0 with
-    | None -> Vec.zeros ops.dim
-    | Some s0 ->
-      if Vec.dim s0 <> ops.dim then
-        invalid_arg "Mmsim.solve: s0 dimension mismatch";
-      Vec.copy s0
-  in
-  let abs_s = Vec.zeros ops.dim in
-  let z_prev = ref (z_of_s gamma s) in
-  let rec go s k =
-    Vec.abs_into s abs_s;
-    (* rhs = N s + Omega |s| - A |s| - gamma q *)
-    let rhs = ops.apply_n s in
-    let a_abs = ops.apply_a abs_s in
-    for i = 0 to ops.dim - 1 do
-      rhs.(i) <-
-        rhs.(i)
-        +. (ops.omega_diag.(i) *. abs_s.(i))
-        -. a_abs.(i)
-        -. (gamma *. q.(i))
-    done;
-    let s_next = ops.solve_m_omega rhs in
-    let z = z_of_s gamma s_next in
-    let delta = Vec.dist_inf z !z_prev in
-    (* z alone can stall at a bound while s still moves: require the
-       modulus vector to be stationary too (relative to its own scale) *)
-    let delta_s = Vec.dist_inf s_next s in
-    let s_scale = Float.max 1.0 (Vec.norm_inf s_next) in
-    z_prev := z;
-    (match on_iter with None -> () | Some f -> f (k + 1) delta);
-    (* nan detection must not rely on comparisons (nan > x is false);
-       summing propagates nan reliably *)
-    if Float.is_nan delta || Float.is_nan (Vec.sum z) then
-      (* divergence guard: the splitting parameters violate convergence *)
-      { z; s = s_next; iterations = k + 1; converged = false;
-        delta_inf = Float.nan }
-    else if delta < eps && delta_s < eps *. s_scale then
-      { z; s = s_next; iterations = k + 1; converged = true; delta_inf = delta }
-    else if k + 1 >= max_iter then
-      { z; s = s_next; iterations = k + 1; converged = false; delta_inf = delta }
-    else go s_next (k + 1)
-  in
-  go s 0
+let validate ~name { gamma; eps; max_iter; accel } =
+  if gamma <= 0.0 then invalid_arg (name ^ ": gamma must be positive");
+  if eps <= 0.0 then invalid_arg (name ^ ": eps must be positive");
+  if max_iter <= 0 then invalid_arg (name ^ ": max_iter must be positive");
+  if accel < 0 then invalid_arg (name ^ ": accel must be >= 0")
 
 type operators_inplace = {
   dim_ip : int;
@@ -86,13 +37,165 @@ type operators_inplace = {
   omega_diag_ip : Vec.t;
 }
 
+(* Anderson (type II) acceleration state over the modulus fixed point
+   s <- G(s). Keeps the last [depth] residual/step difference pairs
+   (f_k - f_{k-1}, g_k - g_{k-1}) with f = G(s) - s, and extrapolates
+   s_next = g - sum c_k dg_k where c minimizes ||f - DF c||_2. Everything
+   is preallocated: the steady state stays at zero minor words per
+   iteration, acceleration on or off. *)
+type accel_state = {
+  depth : int;
+  hist_df : Vec.t array;
+  hist_dg : Vec.t array;
+  f : Vec.t;
+  f_prev : Vec.t;
+  g_prev : Vec.t;
+  gram : float array array;
+  bvec : float array;
+  coef : float array;
+  mutable nhist : int;
+}
+
+let make_accel depth n =
+  { depth;
+    hist_df = Array.init depth (fun _ -> Vec.zeros n);
+    hist_dg = Array.init depth (fun _ -> Vec.zeros n);
+    f = Vec.zeros n;
+    f_prev = Vec.zeros n;
+    g_prev = Vec.zeros n;
+    gram = Array.make_matrix depth depth 0.0;
+    bvec = Array.make depth 0.0;
+    coef = Array.make depth 0.0;
+    nhist = 0 }
+
+(* solve the [mk x mk] ridge-regularized normal equations in place
+   (partial-pivot elimination); false when the pivot degenerates *)
+let solve_gram st mk =
+  let { gram; bvec; coef; _ } = st in
+  let ridge = 1e-12 *. (1.0 +. gram.(0).(0)) in
+  for a = 0 to mk - 1 do
+    gram.(a).(a) <- gram.(a).(a) +. ridge
+  done;
+  let ok = ref true in
+  for col = 0 to mk - 1 do
+    let piv = ref col in
+    for row = col + 1 to mk - 1 do
+      if Float.abs gram.(row).(col) > Float.abs gram.(!piv).(col) then piv := row
+    done;
+    if Float.abs gram.(!piv).(col) < 1e-300 then ok := false
+    else begin
+      if !piv <> col then begin
+        let tmp = gram.(col) in
+        gram.(col) <- gram.(!piv);
+        gram.(!piv) <- tmp;
+        let tb = bvec.(col) in
+        bvec.(col) <- bvec.(!piv);
+        bvec.(!piv) <- tb
+      end;
+      for row = col + 1 to mk - 1 do
+        let fct = gram.(row).(col) /. gram.(col).(col) in
+        for cc = col to mk - 1 do
+          gram.(row).(cc) <- gram.(row).(cc) -. (fct *. gram.(col).(cc))
+        done;
+        bvec.(row) <- bvec.(row) -. (fct *. bvec.(col))
+      done
+    end
+  done;
+  if !ok then
+    for row = mk - 1 downto 0 do
+      let acc = ref bvec.(row) in
+      for cc = row + 1 to mk - 1 do
+        acc := !acc -. (gram.(row).(cc) *. coef.(cc))
+      done;
+      coef.(row) <- !acc /. gram.(row).(row)
+    done;
+  !ok
+
+(* largest admissible coefficient mass: beyond this the least-squares
+   system is effectively singular and extrapolating from it stalls or
+   oscillates, so the step falls back to plain G and the history resets *)
+let coef_limit = 1e4
+
+(* advance the accelerated iteration: given the plain step [g] from the
+   point [s] (with iteration number [k], 1-based), write the next iterate
+   into [s]. Falls back to [s <- g] whenever the extrapolation is not
+   trustworthy. *)
+let accel_advance st ~k ~n s g =
+  let { depth; hist_df; hist_dg; f; f_prev; g_prev; gram; bvec; coef; _ } =
+    st
+  in
+  if k > 1 then begin
+    (* rotate: recycle the oldest pair's buffers for the newest *)
+    let last_df = hist_df.(depth - 1) and last_dg = hist_dg.(depth - 1) in
+    for j = depth - 1 downto 1 do
+      hist_df.(j) <- hist_df.(j - 1);
+      hist_dg.(j) <- hist_dg.(j - 1)
+    done;
+    hist_df.(0) <- last_df;
+    hist_dg.(0) <- last_dg;
+    for i = 0 to n - 1 do
+      let fi = g.(i) -. s.(i) in
+      f.(i) <- fi;
+      last_df.(i) <- fi -. f_prev.(i);
+      last_dg.(i) <- g.(i) -. g_prev.(i)
+    done;
+    if st.nhist < depth then st.nhist <- st.nhist + 1
+  end
+  else
+    for i = 0 to n - 1 do
+      f.(i) <- g.(i) -. s.(i)
+    done;
+  Vec.blit ~src:f ~dst:f_prev;
+  Vec.blit ~src:g ~dst:g_prev;
+  let mk = st.nhist in
+  if mk = 0 then Vec.blit ~src:g ~dst:s
+  else begin
+    for a = 0 to mk - 1 do
+      for b = a to mk - 1 do
+        let acc = ref 0.0 in
+        for i = 0 to n - 1 do
+          acc := !acc +. (hist_df.(a).(i) *. hist_df.(b).(i))
+        done;
+        gram.(a).(b) <- !acc;
+        gram.(b).(a) <- !acc
+      done;
+      let acc = ref 0.0 in
+      for i = 0 to n - 1 do
+        acc := !acc +. (hist_df.(a).(i) *. f.(i))
+      done;
+      bvec.(a) <- !acc
+    done;
+    if not (solve_gram st mk) then begin
+      st.nhist <- 0;
+      Vec.blit ~src:g ~dst:s
+    end
+    else begin
+      let cmag = ref 0.0 in
+      for j = 0 to mk - 1 do
+        cmag := !cmag +. Float.abs coef.(j)
+      done;
+      if Float.is_nan !cmag || !cmag > coef_limit then begin
+        st.nhist <- 0;
+        Vec.blit ~src:g ~dst:s
+      end
+      else
+        for i = 0 to n - 1 do
+          let acc = ref g.(i) in
+          for j = 0 to mk - 1 do
+            acc := !acc -. (coef.(j) *. hist_dg.(j).(i))
+          done;
+          s.(i) <- !acc
+        done
+    end
+  end
+
 let solve_inplace ?(options = default_options) ?on_iter ?s0 ops ~q =
-  let { gamma; eps; max_iter } = options in
-  if gamma <= 0.0 then invalid_arg "Mmsim.solve_inplace: gamma must be positive";
-  if eps <= 0.0 then invalid_arg "Mmsim.solve_inplace: eps must be positive";
-  if max_iter <= 0 then invalid_arg "Mmsim.solve_inplace: max_iter must be positive";
+  validate ~name:"Mmsim.solve_inplace" options;
+  let { gamma; eps; max_iter; accel } = options in
   let n = ops.dim_ip in
   if Vec.dim q <> n then invalid_arg "Mmsim.solve_inplace: q dimension mismatch";
+  if Vec.dim ops.omega_diag_ip <> n then
+    invalid_arg "Mmsim.solve_inplace: omega dimension mismatch";
   let s =
     match s0 with
     | None -> Vec.zeros n
@@ -103,13 +206,27 @@ let solve_inplace ?(options = default_options) ?on_iter ?s0 ops ~q =
   let abs_s = Vec.zeros n in
   let rhs = Vec.zeros n in
   let a_abs = Vec.zeros n in
-  let s_next = Vec.zeros n in
+  let g = Vec.zeros n in
   let z = Vec.zeros n in
   let z_prev = Vec.zeros n in
   for i = 0 to n - 1 do
     z_prev.(i) <- (Float.abs s.(i) +. s.(i)) /. gamma
   done;
-  let rec go s s_next k =
+  let acc_state = if accel > 0 then Some (make_accel accel n) else None in
+  (* the plain path advances by swapping the [cur]/[nxt] buffers; the
+     accelerated path writes its combination back into [cur] instead.
+     [last] always names the buffer holding the newest plain step, which
+     is what the outcome reports on every exit path. *)
+  let cur = ref s and nxt = ref g in
+  let last = ref g in
+  let iters = ref 0 in
+  let converged = ref false and diverged = ref false in
+  let delta_last = ref 0.0 in
+  while (not !converged) && (not !diverged) && !iters < max_iter do
+    incr iters;
+    let s = !cur and g = !nxt in
+    (* g := G(s), the plain modulus step:
+       (M + Omega) g = N s + (Omega - A) |s| - gamma q *)
     Vec.abs_into s abs_s;
     ops.apply_n_into s rhs;
     ops.apply_a_into abs_s a_abs;
@@ -120,38 +237,67 @@ let solve_inplace ?(options = default_options) ?on_iter ?s0 ops ~q =
         -. a_abs.(i)
         -. (gamma *. q.(i))
     done;
-    ops.solve_m_omega_into rhs s_next;
+    ops.solve_m_omega_into rhs g;
+    last := g;
+    (* the stopping test always judges the plain step: the z change plus
+       stationarity of the modulus vector relative to its own scale, so
+       acceleration changes how fast the fixed point is approached but
+       never what "converged" means *)
     let delta = ref 0.0 and nan_seen = ref false in
     let delta_s = ref 0.0 and s_scale = ref 1.0 in
     for i = 0 to n - 1 do
-      let zi = (Float.abs s_next.(i) +. s_next.(i)) /. gamma in
+      let zi = (Float.abs g.(i) +. g.(i)) /. gamma in
       z.(i) <- zi;
       let d = Float.abs (zi -. z_prev.(i)) in
       if Float.is_nan zi || Float.is_nan d then nan_seen := true
       else if d > !delta then delta := d;
-      let ds = Float.abs (s_next.(i) -. s.(i)) in
+      let ds = Float.abs (g.(i) -. s.(i)) in
       if ds > !delta_s then delta_s := ds;
-      let a = Float.abs s_next.(i) in
+      let a = Float.abs g.(i) in
       if a > !s_scale then s_scale := a
     done;
     Vec.blit ~src:z ~dst:z_prev;
+    delta_last := (if !nan_seen then Float.nan else !delta);
     (* the observer branch is allocation-free when [on_iter] is [None],
        preserving the zero-allocation steady state *)
-    (match on_iter with
-    | None -> ()
-    | Some f -> f (k + 1) (if !nan_seen then Float.nan else !delta));
-    if !nan_seen then
-      { z = Vec.copy z; s = Vec.copy s_next; iterations = k + 1;
-        converged = false; delta_inf = Float.nan }
-    else if !delta < eps && !delta_s < eps *. !s_scale then
-      { z = Vec.copy z; s = Vec.copy s_next; iterations = k + 1;
-        converged = true; delta_inf = !delta }
-    else if k + 1 >= max_iter then
-      { z = Vec.copy z; s = Vec.copy s_next; iterations = k + 1;
-        converged = false; delta_inf = !delta }
-    else go s_next s (k + 1)
-  in
-  go s s_next 0
+    (match on_iter with None -> () | Some fn -> fn !iters !delta_last);
+    if !nan_seen then diverged := true
+    else if !delta < eps && !delta_s < eps *. !s_scale then converged := true
+    else
+      match acc_state with
+      | None ->
+        cur := g;
+        nxt := s
+      | Some st -> accel_advance st ~k:!iters ~n s g
+  done;
+  { z = Vec.copy z;
+    s = Vec.copy !last;
+    iterations = !iters;
+    converged = !converged;
+    delta_inf = !delta_last }
+
+(* adapt allocating operators so [solve] and [solve_inplace] are the same
+   algorithm with the same stopping and divergence logic — by
+   construction, both return identical (iterations, converged, delta_inf)
+   on identical inputs (property-pinned in test_lcp.ml) *)
+let operators_as_inplace ops =
+  { dim_ip = ops.dim;
+    apply_a_into = (fun v dst -> Array.blit (ops.apply_a v) 0 dst 0 ops.dim);
+    apply_n_into = (fun v dst -> Array.blit (ops.apply_n v) 0 dst 0 ops.dim);
+    solve_m_omega_into =
+      (fun rhs dst -> Array.blit (ops.solve_m_omega rhs) 0 dst 0 ops.dim);
+    omega_diag_ip = ops.omega_diag }
+
+let solve ?(options = default_options) ?on_iter ?s0 ops ~q =
+  validate ~name:"Mmsim.solve" options;
+  if Vec.dim q <> ops.dim then invalid_arg "Mmsim.solve: q dimension mismatch";
+  if Vec.dim ops.omega_diag <> ops.dim then
+    invalid_arg "Mmsim.solve: omega dimension mismatch";
+  (match s0 with
+  | Some s0 when Vec.dim s0 <> ops.dim ->
+    invalid_arg "Mmsim.solve: s0 dimension mismatch"
+  | Some _ | None -> ());
+  solve_inplace ~options ?on_iter ?s0 (operators_as_inplace ops) ~q
 
 let gauss_seidel_operators ?omega a =
   let n = Csr.rows a in

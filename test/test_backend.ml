@@ -1,0 +1,187 @@
+(* Tests for the per-shard backend chooser: every backend (chain-free
+   projection, Lemke, active set, accelerated MMSIM) lands on the plain
+   run-to-convergence MMSIM solution; the des_perf_1 non-convergence fix
+   stays fixed; and --strict-convergence turns silent budget exhaustion
+   into a non-zero exit. *)
+
+open Mclh_core
+open Mclh_linalg
+
+let instance ?(options = Mclh_benchgen.Generate.default_options) ~scale name =
+  Mclh_benchgen.Generate.generate ~options
+    (Mclh_benchgen.Spec.scaled scale (Mclh_benchgen.Spec.find name))
+
+let model_of ?options ~scale name =
+  let d = (instance ?options ~scale name).Mclh_benchgen.Generate.design in
+  (d, Model.build d (Row_assign.assign d))
+
+let placement_xs model res =
+  (Model.placement_of model res.Solver.x).Mclh_circuit.Placement.xs
+
+(* run-to-convergence plain MMSIM: the semantic baseline every backend is
+   judged against. eps far below the production tolerance so the
+   iterate-change stop is within ~1e-10 of the true fixed point;
+   direct_tol tightened to match, since a KKT residual at the default
+   1e-9 certifies positions only to ~1e-9, the very bound under test. *)
+let tight =
+  { Config.default with
+    eps = 1e-12;
+    direct_tol = 1e-12;
+    max_iter = 400_000;
+    num_domains = 1 }
+
+(* ---------- direct backends vs plain MMSIM, shard by shard ---------- *)
+
+let test_direct_backends_agree () =
+  let options =
+    { Mclh_benchgen.Generate.default_options with
+      blockage_fraction = 0.2;
+      blockage_count = 24 }
+  in
+  let _, model = model_of ~options ~scale:0.02 "fft_2" in
+  (* min_shard_vars = 1 keeps raw connected components: plenty of tiny
+     sub-LCPs of every flavour (singletons, short chains) *)
+  let deco = Decompose.analyze ~min_shard_vars:1 model in
+  Alcotest.(check bool) "several shards" true
+    (Array.length deco.Decompose.shards > 4);
+  let cfg = { tight with backend = Config.Plain } in
+  let chain_free_hits = ref 0 and lemke_hits = ref 0 and as_hits = ref 0 in
+  Array.iter
+    (fun shard ->
+      let sub = Decompose.extract model shard in
+      let dim = sub.Model.nvars + Model.num_constraints sub in
+      if dim <= Config.default.Config.direct_max_dim then begin
+        let base = Solver.solve ~config:cfg sub in
+        let check name (out : Direct.outcome) =
+          Alcotest.(check bool) (name ^ " acceptable") true
+            (Direct.acceptable Config.default out);
+          let d = Vec.dist_inf out.Direct.x base.Solver.x in
+          if d > 1e-8 then
+            Alcotest.failf "%s disagrees with plain MMSIM by %g (dim %d)"
+              name d dim
+        in
+        if Direct.chain_free_applicable sub then begin
+          match Direct.chain_free Config.default sub with
+          | Some out ->
+            incr chain_free_hits;
+            check "chain_free" out
+          | None -> Alcotest.fail "chain_free returned None on applicable shard"
+        end;
+        (match Direct.lemke Config.default sub with
+        | Some out ->
+          incr lemke_hits;
+          check "lemke" out
+        | None -> Alcotest.fail "lemke failed on a tiny SPD shard");
+        match Direct.active_set Config.default sub with
+        | Some out ->
+          incr as_hits;
+          check "active_set" out
+        | None -> Alcotest.fail "active_set failed on a tiny shard"
+      end)
+    deco.Decompose.shards;
+  (* the test is vacuous unless every backend actually ran *)
+  Alcotest.(check bool) "chain-free exercised" true (!chain_free_hits > 0);
+  Alcotest.(check bool) "lemke exercised" true (!lemke_hits > 0);
+  Alcotest.(check bool) "active-set exercised" true (!as_hits > 0)
+
+(* ---------- end-to-end chooser equivalence ---------- *)
+
+let flavor_options = function
+  | 0 -> Mclh_benchgen.Generate.default_options
+  | 1 ->
+    { Mclh_benchgen.Generate.default_options with
+      blockage_fraction = 0.15;
+      blockage_count = 16 }
+  | _ -> { Mclh_benchgen.Generate.default_options with tall_cell_fraction = 0.3 }
+
+let qc_chooser_matches_plain_baseline =
+  (* Auto and Accel runs (tight tolerance) vs the plain run-to-convergence
+     baseline: positions within 1e-9 on random designs with blockages,
+     tall cells, and adversarial warm starts. The fixed point is unique,
+     so backend choice and s0 may change the path but not the answer. *)
+  QCheck.Test.make ~count:10 ~name:"backend chooser matches plain baseline"
+    QCheck.(triple (int_range 0 10_000) (int_range 0 2) bool)
+    (fun (seed, flavor, warm) ->
+      let options = { (flavor_options flavor) with seed } in
+      let _, model = model_of ~options ~scale:0.005 "fft_2" in
+      let base =
+        Solver.solve ~config:{ tight with backend = Config.Plain } model
+      in
+      (* a rare slow-contracting draw can exhaust even this budget; the
+         baseline is then not a fixed point and proves nothing — skip *)
+      QCheck.assume base.Solver.converged;
+      let xs_base = placement_xs model base in
+      let s0 =
+        if not warm then None
+        else
+          Some
+            (Vec.init
+               (model.Model.nvars + Model.num_constraints model)
+               (fun i -> (0.5 *. float_of_int (i mod 7)) -. 1.0))
+      in
+      let auto =
+        Solver.solve ~config:{ tight with backend = Config.Auto } ?s0 model
+      in
+      let accel =
+        Solver.solve ~config:{ tight with backend = Config.Accel } ?s0 model
+      in
+      auto.Solver.converged && accel.Solver.converged
+      && Vec.dist_inf (placement_xs model auto) xs_base <= 1e-9
+      && Vec.dist_inf (placement_xs model accel) xs_base <= 1e-9)
+
+(* ---------- des_perf_1 regression ---------- *)
+
+let test_des_perf_1_converges () =
+  (* the PR's headline bug: plain MMSIM exhausts its 10k budget on
+     des_perf_1 (the slowest-contracting benchmark) and used to report
+     success anyway. Auto must converge well inside the budget — pinned
+     at a third of it, the ISSUE's >= 3x iteration cut. *)
+  let _, model = model_of ~scale:0.04 "des_perf_1" in
+  let res = Solver.solve ~config:{ Config.default with num_domains = 1 } model in
+  Alcotest.(check bool) "converged" true res.Solver.converged;
+  Alcotest.(check bool)
+    (Printf.sprintf "iterations_total %d within a third of the budget"
+       res.Solver.iterations_total)
+    true
+    (res.Solver.iterations_total * 3 < Config.default.Config.max_iter)
+
+(* ---------- CLI --strict-convergence ---------- *)
+
+let cli =
+  (* dune runtest runs from _build/default/test; dune exec from the root *)
+  List.find_opt Sys.file_exists
+    [ "../bin/mclh_cli.exe"; "_build/default/bin/mclh_cli.exe" ]
+  |> Option.value ~default:"../bin/mclh_cli.exe"
+
+let run_cli args =
+  let cmd = Filename.quote_command cli args in
+  Sys.command (cmd ^ " > /dev/null 2>&1")
+
+let test_cli_strict_convergence () =
+  if not (Sys.file_exists cli) then Alcotest.skip ()
+  else begin
+    let starved = [ "run"; "-b"; "fft_2"; "-s"; "0.02"; "--max-iter"; "3" ] in
+    (* a starved budget cannot converge: warn-only without the flag... *)
+    Alcotest.(check int) "non-convergence alone still exits 0" 0
+      (run_cli starved);
+    (* ...and exit 3 (distinct from exit 2 = illegal placement) with it *)
+    Alcotest.(check int) "strict turns it into exit 3" 3
+      (run_cli (starved @ [ "--strict-convergence" ]));
+    Alcotest.(check int) "strict passes on a converging run" 0
+      (run_cli
+         [ "run"; "-b"; "fft_2"; "-s"; "0.02"; "--strict-convergence" ])
+  end
+
+let () =
+  Alcotest.run "backend"
+    [ ( "direct",
+        [ Alcotest.test_case "shard-level agreement" `Quick
+            test_direct_backends_agree ] );
+      ( "chooser",
+        [ QCheck_alcotest.to_alcotest qc_chooser_matches_plain_baseline ] );
+      ( "regression",
+        [ Alcotest.test_case "des_perf_1 converges in budget/3" `Quick
+            test_des_perf_1_converges ] );
+      ( "cli",
+        [ Alcotest.test_case "--strict-convergence" `Quick
+            test_cli_strict_convergence ] ) ]

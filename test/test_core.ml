@@ -434,7 +434,7 @@ let test_inplace_equals_generic () =
       let q = Solver.rhs_q m in
       let options =
         { Mclh_lcp.Mmsim.gamma = config.Config.gamma; eps = config.Config.eps;
-          max_iter = config.Config.max_iter }
+          max_iter = config.Config.max_iter; accel = 0 }
       in
       let boxed =
         Mclh_lcp.Mmsim.solve ~options (Solver.operators m config) ~q

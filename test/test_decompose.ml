@@ -103,7 +103,18 @@ let placement_xs model res =
   (Model.placement_of model res.Solver.x).Mclh_circuit.Placement.xs
 
 let check_against_monolithic ?(tol = 1e-9) name model =
-  let tight = { Config.default with eps = 1e-10; num_domains = 1 } in
+  (* backend pinned to Plain: this check isolates the decomposition
+     machinery (same iteration, sharded vs monolithic). Under Auto the
+     chooser may solve some shards exactly (direct backends) while the
+     monolithic run stops at the iterate-change tolerance, a legitimate
+     difference that test_backend.ml covers against a run-to-convergence
+     baseline instead. *)
+  let tight =
+    { Config.default with
+      eps = 1e-10;
+      num_domains = 1;
+      backend = Config.Plain }
+  in
   let mono = Solver.solve ~config:{ tight with decompose = false } model in
   let dec = Solver.solve ~config:tight model in
   let diff =
@@ -206,11 +217,14 @@ let test_zero_alloc_per_iteration () =
   let config = { Config.default with num_domains = 1 } in
   let ops = Solver.operators_inplace model config in
   let q = Solver.rhs_q model in
-  let words ?s0 iters =
+  let words ?s0 ?(accel = 0) iters =
     let options =
       (* eps below any representable progress: the loop never converges
          early, so the two runs differ by exactly [iters] iterations *)
-      { Mclh_lcp.Mmsim.default_options with eps = 1e-300; max_iter = iters }
+      { Mclh_lcp.Mmsim.default_options with
+        eps = 1e-300;
+        max_iter = iters;
+        accel }
     in
     let before = Gc.minor_words () in
     ignore (Mclh_lcp.Mmsim.solve_inplace ~options ?s0 ops ~q);
@@ -230,7 +244,13 @@ let test_zero_alloc_per_iteration () =
   ignore (words ~s0 3);
   let lo = words ~s0 10 and hi = words ~s0 110 in
   Alcotest.(check (float 0.0))
-    "warm-start minor words per 100 steady-state iterations" 0.0 (hi -. lo)
+    "warm-start minor words per 100 steady-state iterations" 0.0 (hi -. lo);
+  (* Anderson acceleration preallocates its history and Gram scratch, so
+     depth > 0 must preserve the zero-allocation steady state *)
+  ignore (words ~accel:8 12);
+  let lo = words ~accel:8 20 and hi = words ~accel:8 120 in
+  Alcotest.(check (float 0.0))
+    "accelerated minor words per 100 steady-state iterations" 0.0 (hi -. lo)
 
 let () =
   Alcotest.run "decompose"

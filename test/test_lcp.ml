@@ -286,6 +286,65 @@ let qc_mmsim_warm_start_reduces_iterations =
         warm.Mmsim.iterations <= cold.Mmsim.iterations
       else warm.Mmsim.iterations < cold.Mmsim.iterations)
 
+(* lockstep in-place adapter over allocating operators: the semantics the
+   mli promises ([solve] delegates to [solve_inplace]) checked from the
+   outside, through a *different* operator implementation *)
+let inplace_of (ops : Mmsim.operators) =
+  { Mmsim.dim_ip = ops.Mmsim.dim;
+    apply_a_into = (fun v dst -> Vec.blit ~src:(ops.Mmsim.apply_a v) ~dst);
+    apply_n_into = (fun v dst -> Vec.blit ~src:(ops.Mmsim.apply_n v) ~dst);
+    solve_m_omega_into =
+      (fun rhs dst -> Vec.blit ~src:(ops.Mmsim.solve_m_omega rhs) ~dst);
+    omega_diag_ip = ops.Mmsim.omega_diag }
+
+let qc_solve_matches_solve_inplace =
+  (* solve and solve_inplace share one stopping/divergence implementation:
+     identical (iterations, converged, delta_inf) and bit-identical
+     iterates on identical inputs — including truncated budgets (converged
+     = false), warm starts, and acceleration *)
+  QCheck.Test.make ~count:80
+    ~name:"mmsim: solve = solve_inplace on (iterations, converged, delta_inf)"
+    QCheck.(
+      quad (int_range 1 12) (int_range 0 10_000) (int_range 1 60)
+        (int_range 0 4))
+    (fun (n, seed, max_iter, accel) ->
+      let rand = mk_rand (seed + 29) in
+      let p = random_spd_lcp rand n in
+      let ops = Mmsim.gauss_seidel_operators p.Lcp.a in
+      let options = { Mmsim.default_options with max_iter; accel } in
+      let s0 = Vec.init n (fun _ -> (rand () *. 4.0) -. 2.0) in
+      let a = Mmsim.solve ~options ~s0 ops ~q:p.Lcp.q in
+      let b = Mmsim.solve_inplace ~options ~s0 (inplace_of ops) ~q:p.Lcp.q in
+      a.Mmsim.iterations = b.Mmsim.iterations
+      && a.Mmsim.converged = b.Mmsim.converged
+      && Float.equal a.Mmsim.delta_inf b.Mmsim.delta_inf
+      && Vec.dist_inf a.Mmsim.z b.Mmsim.z = 0.0
+      && Vec.dist_inf a.Mmsim.s b.Mmsim.s = 0.0)
+
+let qc_mmsim_accel_same_fixed_point =
+  (* Anderson acceleration changes the path, never the destination: the
+     accelerated solve must land on the plain fixed point *)
+  QCheck.Test.make ~count:60
+    ~name:"mmsim: accelerated solve reaches the plain fixed point"
+    QCheck.(pair (int_range 1 12) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rand = mk_rand (seed + 19) in
+      let p = random_spd_lcp rand n in
+      let ops = Mmsim.gauss_seidel_operators p.Lcp.a in
+      let plain =
+        Mmsim.solve
+          ~options:{ Mmsim.default_options with max_iter = 500_000 }
+          ops ~q:p.Lcp.q
+      in
+      let accel =
+        Mmsim.solve
+          ~options:{ Mmsim.default_options with max_iter = 500_000; accel = 8 }
+          ops ~q:p.Lcp.q
+      in
+      accel.Mmsim.converged
+      && Lcp.residual_inf p accel.Mmsim.z < 1e-5
+      && Vec.equal ~eps:1e-5 plain.Mmsim.z accel.Mmsim.z)
+
 let qc_pgs_random_spd =
   QCheck.Test.make ~count:60 ~name:"pgs: random SPD LCPs solved"
     QCheck.(pair (int_range 1 15) (int_range 0 10_000))
@@ -302,6 +361,8 @@ let () =
       [ qc_mmsim_random_spd;
         qc_mmsim_adversarial_s0_same_fixed_point;
         qc_mmsim_warm_start_reduces_iterations;
+        qc_solve_matches_solve_inplace;
+        qc_mmsim_accel_same_fixed_point;
         qc_pgs_random_spd;
         qc_lemke_random_spd ]
   in

@@ -1,52 +1,210 @@
-(* Scalability: runtime and iteration count of the MMSIM flow as the
-   instance grows. Per iteration the solver is O(n + m); the paper's large
-   suite (up to 1.3M cells) rests on this near-linear behaviour. *)
+(* Scalability: the MMSIM flow from bench scale up to the paper's full
+   suite size. Per iteration the solver is O(n + m); the large-suite
+   claims (superblue12 is ~1.29M cells at scale 1.0) rest on that
+   near-linear behaviour *and* on construction staying linear in memory,
+   so this section tracks both time-per-cell and peak-RSS-per-cell.
+
+   Two views, both snapshotted to bench_out/BENCH_pr7.json:
+
+   - a scaling curve on the superblue12 shape, scales 0.04 -> 1.0
+     (points above MCLH_SCALE are skipped, so the default 0.04 run stays
+     cheap and MCLH_SCALE=1.0 exercises the full 1.29M-cell instance);
+   - the fft/pci family at MCLH_SCALE, the Table 1/2-style designs.
+
+   The curve runs smallest-first on purpose: peak RSS is read from the
+   kernel's process-lifetime high-water mark (VmHWM), so with ascending
+   sizes each point's reading is its own peak. *)
 
 open Mclh_circuit
 open Mclh_core
 open Mclh_benchgen
 open Mclh_report
 
+let curve_scales = [ 0.04; 0.1; 0.2; 0.4; 0.7; 1.0 ]
+let family = [ "fft_1"; "fft_2"; "fft_a"; "fft_b"; "pci_bridge32_a"; "pci_bridge32_b" ]
+
+type point = {
+  scale : float;
+  cells : int;
+  gen_s : float;
+  timings : Flow.timings;
+  iterations : int;
+  components : int;
+  us_per_cell : float;
+  us_per_cell_iter : float;
+      (* solve time normalized by cells *and* iterations: the iteration
+         count varies with overlap-chain structure (not n), so this is
+         the number that isolates the per-iteration O(n + m) claim *)
+  cells_per_s : float;
+  peak_rss_kb : int option;
+  legal : bool;
+  converged : bool;
+}
+
+let measure_point scale =
+  let inst, gen_s =
+    Mclh_par.Clock.timed (fun () ->
+        Generate.generate (Spec.scaled scale (Spec.find "superblue12")))
+  in
+  let d = inst.Generate.design in
+  let res = Flow.run d in
+  let n = Design.num_cells d in
+  let total_s = res.Flow.timings.Flow.total_s in
+  let iters = res.Flow.solver.Solver.iterations in
+  { scale;
+    cells = n;
+    gen_s;
+    timings = res.Flow.timings;
+    iterations = iters;
+    components = res.Flow.solver.Solver.components;
+    us_per_cell = 1e6 *. total_s /. float_of_int n;
+    us_per_cell_iter =
+      1e6 *. res.Flow.timings.Flow.solve_s
+      /. float_of_int (n * max 1 iters);
+    cells_per_s = (if total_s > 0.0 then float_of_int n /. total_s else 0.0);
+    peak_rss_kb = Mclh_obs.Obs.peak_rss_kb ();
+    legal = Legality.is_legal d res.Flow.legal;
+    converged = res.Flow.solver.Solver.converged }
+
+let point_json p =
+  Json.Obj
+    [ ("scale", Json.Float p.scale);
+      ("cells", Json.Int p.cells);
+      ("gen_s", Json.Float p.gen_s);
+      ("assign_s", Json.Float p.timings.Flow.assign_s);
+      ("model_s", Json.Float p.timings.Flow.model_s);
+      ("solve_s", Json.Float p.timings.Flow.solve_s);
+      ("alloc_s", Json.Float p.timings.Flow.alloc_s);
+      ("total_s", Json.Float p.timings.Flow.total_s);
+      ("us_per_cell", Json.Float p.us_per_cell);
+      ("solve_us_per_cell_per_iter", Json.Float p.us_per_cell_iter);
+      ("cells_per_s", Json.Float p.cells_per_s);
+      ( "peak_rss_kb",
+        match p.peak_rss_kb with Some kb -> Json.Int kb | None -> Json.Null );
+      ("iterations", Json.Int p.iterations);
+      ("components", Json.Int p.components);
+      ("legal", Json.Bool p.legal);
+      ("converged", Json.Bool p.converged) ]
+
+let rss_cell p =
+  match p.peak_rss_kb with
+  | Some kb -> Printf.sprintf "%.2f" (1024.0 *. float_of_int kb /. float_of_int p.cells)
+  | None -> "n/a"
+
 let run () =
-  Util.section "Scaling - MMSIM flow runtime vs instance size (fft_2 shape)";
+  Util.section
+    (Printf.sprintf
+       "Scaling - superblue12 curve to scale %g + fft/pci family (MCLH_SCALE)"
+       Util.scale);
   let table =
     Table.create
       [ { Table.title = "scale"; align = Table.Right };
         { title = "cells"; align = Right };
-        { title = "vars+constraints"; align = Right };
-        { title = "components"; align = Right };
-        { title = "largest"; align = Right };
-        { title = "iterations"; align = Right };
+        { title = "gen (s)"; align = Right };
+        { title = "model (s)"; align = Right };
         { title = "solve (s)"; align = Right };
         { title = "total (s)"; align = Right };
         { title = "us/cell"; align = Right };
+        { title = "cells/s"; align = Right };
+        { title = "peakRSS B/cell"; align = Right };
+        { title = "iters"; align = Right };
         { title = "legal"; align = Right } ]
   in
   let scales =
-    if Util.fast_mode then [ 0.01; 0.02; 0.04 ]
-    else [ 0.01; 0.02; 0.04; 0.08; 0.16; 0.32 ]
+    let cap = Util.scale in
+    let below = List.filter (fun s -> s <= cap +. 1e-9) curve_scales in
+    if below = [] then [ cap ] else below
   in
-  List.iter
-    (fun scale ->
-      let inst = Generate.generate (Spec.scaled scale (Spec.find "fft_2")) in
-      let d = inst.Generate.design in
-      let res = Flow.run d in
-      let n = Design.num_cells d in
-      let m = res.Flow.model in
-      Table.add_row table
-        [ Printf.sprintf "%g" scale;
-          string_of_int n;
-          Printf.sprintf "%d+%d" m.Model.nvars (Model.num_constraints m);
-          string_of_int res.Flow.solver.Solver.components;
-          string_of_int res.Flow.solver.Solver.largest_dim;
-          string_of_int res.Flow.solver.Solver.iterations;
-          Table.fmt_float 3 res.Flow.timings.Flow.solve_s;
-          Table.fmt_float 3 res.Flow.timings.Flow.total_s;
-          Table.fmt_float 2
-            (1e6 *. res.Flow.timings.Flow.total_s /. float_of_int n);
-          string_of_bool (Legality.is_legal d res.Flow.legal) ])
-    scales;
+  let points =
+    (* ascending, sequentially: each VmHWM reading then belongs to the
+       point that just ran (the high-water mark only ever grows) *)
+    List.map
+      (fun scale ->
+        let p = measure_point scale in
+        Table.add_row table
+          [ Printf.sprintf "%g" p.scale;
+            string_of_int p.cells;
+            Table.fmt_float 2 p.gen_s;
+            Table.fmt_float 2 p.timings.Flow.model_s;
+            Table.fmt_float 2 p.timings.Flow.solve_s;
+            Table.fmt_float 2 p.timings.Flow.total_s;
+            Table.fmt_float 2 p.us_per_cell;
+            Printf.sprintf "%.0f" p.cells_per_s;
+            rss_cell p;
+            string_of_int p.iterations;
+            string_of_bool p.legal ];
+        p)
+      scales
+  in
   print_string (Table.render table);
+  let spread_of f =
+    let us = List.map f points in
+    let mn = List.fold_left Float.min infinity us in
+    let mx = List.fold_left Float.max 0.0 us in
+    if mn > 0.0 then mx /. mn else 1.0
+  in
+  let spread = spread_of (fun p -> p.us_per_cell) in
+  let iter_spread = spread_of (fun p -> p.us_per_cell_iter) in
   Printf.printf
-    "(us/cell should stay roughly flat if the flow is near-linear; the\n\
-    \ iteration count depends on overlap-chain lengths, not directly on n)\n%!"
+    "(us/cell spread across the curve: %.2fx total, %.2fx per solver\n\
+    \ iteration — the difference is the iteration count, which tracks\n\
+    \ overlap-chain structure rather than n; peak RSS is the process\n\
+    \ high-water mark after each point)\n%!"
+    spread iter_spread;
+
+  Util.section "Scaling - fft/pci family at MCLH_SCALE";
+  let ftable =
+    Table.create
+      [ { Table.title = "design"; align = Table.Left };
+        { title = "cells"; align = Right };
+        { title = "iters"; align = Right };
+        { title = "total (s)"; align = Right };
+        { title = "us/cell"; align = Right };
+        { title = "legal"; align = Right };
+        { title = "converged"; align = Right } ]
+  in
+  let family_rows =
+    List.map
+      (fun name ->
+        let inst = Util.instance name in
+        let d = inst.Generate.design in
+        let res = Flow.run d in
+        let n = Design.num_cells d in
+        let total_s = res.Flow.timings.Flow.total_s in
+        let us = 1e6 *. total_s /. float_of_int n in
+        let legal = Legality.is_legal d res.Flow.legal in
+        let converged = res.Flow.solver.Solver.converged in
+        Table.add_row ftable
+          [ name;
+            string_of_int n;
+            string_of_int res.Flow.solver.Solver.iterations;
+            Table.fmt_float 3 total_s;
+            Table.fmt_float 2 us;
+            string_of_bool legal;
+            string_of_bool converged ];
+        Json.Obj
+          [ ("design", Json.String name);
+            ("cells", Json.Int n);
+            ("iterations", Json.Int res.Flow.solver.Solver.iterations);
+            ("total_s", Json.Float total_s);
+            ("us_per_cell", Json.Float us);
+            ("legal", Json.Bool legal);
+            ("converged", Json.Bool converged) ])
+      family
+  in
+  print_string (Table.render ftable);
+
+  Util.ensure_out_dir ();
+  let path = Filename.concat Util.out_dir "BENCH_pr7.json" in
+  Json.to_file ~path
+    (Json.Obj
+       [ ("benchmark", Json.String "scaling_full_suite");
+         ("version", Json.Int 1);
+         ("design", Json.String "superblue12");
+         ("scale_cap", Json.Float Util.scale);
+         ("num_domains", Json.Int (Mclh_par.Pool.size (Util.pool ())));
+         ("curve", Json.List (List.map point_json points));
+         ("us_per_cell_spread", Json.Float spread);
+         ("solve_us_per_cell_per_iter_spread", Json.Float iter_spread);
+         ("family", Json.List family_rows) ]);
+  Printf.printf "wrote %s\n%!" path

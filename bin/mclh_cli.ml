@@ -118,6 +118,15 @@ let max_iter_arg =
     & opt int Config.default.Config.max_iter
     & info [ "max-iter" ] ~docv:"N" ~doc)
 
+let progress_arg =
+  let doc =
+    "Print stage and iteration heartbeat lines to stderr while the flow \
+     runs (model build, shard fan-out, solver iterations) — for watching \
+     long full-scale runs. Never appears in reports or stdout and never \
+     affects results."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
 let strict_arg =
   let doc =
     "Exit with status 3 when the solver fails to converge within its \
@@ -139,11 +148,12 @@ let metrics_out_arg =
     & opt (some string) None
     & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
-let config_of ?(metrics_out = None) lambda eps max_iter =
+let config_of ?(metrics_out = None) ?(progress = false) lambda eps max_iter =
   { Config.default with
     lambda;
     eps;
     max_iter;
+    progress;
     metrics = Config.default.Config.metrics || metrics_out <> None }
 
 (* A non-converged solve used to look exactly like success (the repair
@@ -281,10 +291,13 @@ let legalize_cmd =
     let doc = "Output placement file." in
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
   in
-  let run input alg output svg lambda eps max_iter strict refine metrics_out =
+  let run input alg output svg lambda eps max_iter strict refine metrics_out
+      progress =
     let design = Io.read_design ~path:input in
     let r =
-      Runner.run ~config:(config_of ~metrics_out lambda eps max_iter) alg design
+      Runner.run
+        ~config:(config_of ~metrics_out ~progress lambda eps max_iter)
+        alg design
     in
     let r = maybe_refine design refine r in
     print_string (report_of design r);
@@ -307,23 +320,26 @@ let legalize_cmd =
     (Cmd.info "legalize" ~doc:"Legalize a design file.")
     Term.(
       const run $ in_arg $ alg_arg $ out_arg $ svg_arg $ lambda_arg $ eps_arg
-      $ max_iter_arg $ strict_arg $ refine_arg $ metrics_out_arg)
+      $ max_iter_arg $ strict_arg $ refine_arg $ metrics_out_arg
+      $ progress_arg)
 
 let run_cmd =
   let run bench scale seed single_height blockages tall fences alg svg lambda
-      eps max_iter strict refine metrics_out =
+      eps max_iter strict refine metrics_out progress =
     match Spec.find bench with
     | exception Not_found ->
       Printf.eprintf "unknown benchmark %S\n" bench;
       exit 1
     | _ ->
+      if progress then
+        Printf.eprintf "[mclh] generating %s at scale %g\n%!" bench scale;
       let inst =
         generate_instance bench scale seed single_height blockages tall fences
       in
       let design = inst.Generate.design in
       let r =
         Runner.run
-          ~config:(config_of ~metrics_out lambda eps max_iter)
+          ~config:(config_of ~metrics_out ~progress lambda eps max_iter)
           alg design
       in
       let r = maybe_refine design refine r in
@@ -343,7 +359,8 @@ let run_cmd =
     Term.(
       const run $ bench_arg $ scale_arg $ seed_arg $ single_height_arg
       $ blockage_arg $ tall_arg $ fences_arg $ alg_arg $ svg_arg $ lambda_arg
-      $ eps_arg $ max_iter_arg $ strict_arg $ refine_arg $ metrics_out_arg)
+      $ eps_arg $ max_iter_arg $ strict_arg $ refine_arg $ metrics_out_arg
+      $ progress_arg)
 
 let check_cmd =
   let design_arg =

@@ -37,7 +37,7 @@ let () =
       ~nets:(Netlist.empty ~num_cells:5) ()
   in
   let model = Model.build design (Row_assign.assign design) in
-  print_dense "B (c2,c4 in row 0; c1,c3,c5 in row 1)" (Csr.to_dense model.Model.b_mat);
+  print_dense "B (c2,c4 in row 0; c1,c3,c5 in row 1)" (Csr.to_dense (Model.b_mat model));
   Format.printf "b = %a@.@." Vec.pp model.Model.b_rhs;
 
   (* ----- Figure 3: mixed heights, subcell splitting ----- *)
@@ -56,7 +56,7 @@ let () =
   let model = Model.build design (Row_assign.assign design) in
   Format.printf
     "variables: x = [c1 row0; c1 row1; c2; c3 row0; c3 row1] (subcell split)@.@.";
-  print_dense "B" (Csr.to_dense model.Model.b_mat);
+  print_dense "B" (Csr.to_dense (Model.b_mat model));
   print_dense "E (x of each double's two subcells must match)"
     (Csr.to_dense (Blocks.e_matrix model.Model.blocks));
 

@@ -70,6 +70,34 @@ let make_blockages rng options (chip : Chip.t) =
     Array.of_list (List.rev !acc)
   end
 
+(* Shuffled processing order with multi-row cells first (they are the
+   hardest to fit). Built by two passes over the shuffled index array
+   into a preallocated output — the historical [multi @ single] list
+   construction allocated three lists of a cons cell per cell, which at
+   full scale (1.3M cells) dominated packing's minor-heap traffic. The
+   order (and the RNG draw) is unchanged. *)
+let pack_order rng (cells : Cell.t array) =
+  let n = Array.length cells in
+  let idx = Array.init n (fun i -> i) in
+  Rng.shuffle rng idx;
+  let out = Array.make n 0 in
+  let k = ref 0 in
+  Array.iter
+    (fun i ->
+      if cells.(i).Cell.height > 1 then begin
+        out.(!k) <- i;
+        incr k
+      end)
+    idx;
+  Array.iter
+    (fun i ->
+      if cells.(i).Cell.height = 1 then begin
+        out.(!k) <- i;
+        incr k
+      end)
+    idx;
+  out
+
 (* occupancy-based packing used when blockages fragment the rows: each cell
    lands at the free spot nearest a random target *)
 let pack_with_blockages rng (chip : Chip.t) blockages (cells : Cell.t array) =
@@ -82,15 +110,9 @@ let pack_with_blockages rng (chip : Chip.t) blockages (cells : Cell.t array) =
   let occ = Occupancy.of_design scratch in
   let xs = Array.make (Array.length cells) 0.0 in
   let ys = Array.make (Array.length cells) 0.0 in
-  let order =
-    let idx = Array.init (Array.length cells) (fun i -> i) in
-    Rng.shuffle rng idx;
-    let multi = Array.to_list idx |> List.filter (fun i -> cells.(i).Cell.height > 1) in
-    let single = Array.to_list idx |> List.filter (fun i -> cells.(i).Cell.height = 1) in
-    multi @ single
-  in
+  let order = pack_order rng cells in
   let ok =
-    List.for_all
+    Array.for_all
       (fun i ->
         let c = cells.(i) in
         let x0 = Rng.int rng (max 1 (chip.Chip.num_sites - c.Cell.width + 1)) in
@@ -109,12 +131,16 @@ let pack_with_blockages rng (chip : Chip.t) blockages (cells : Cell.t array) =
 let build_cells rng options (spec : Spec.t) =
   let lo_s, hi_s = options.single_width_range in
   let lo_d, hi_d = options.double_width_range in
-  let cells = ref [] in
+  (* exactly [singles + doubles] cells are pushed, in id order — write
+     them straight into a preallocated array (the historical list-push /
+     reverse / copy path held every cell behind a cons cell) *)
+  let n = spec.singles + spec.doubles in
+  let arr = Array.make n (Cell.make ~id:0 ~width:1 ~height:1 ()) in
   let next_id = ref 0 in
   let push width height rail =
     let id = !next_id in
     incr next_id;
-    cells := Cell.make ~id ~width ~height ?bottom_rail:rail () :: !cells
+    arr.(id) <- Cell.make ~id ~width ~height ?bottom_rail:rail ()
   in
   for _ = 1 to spec.singles do
     push (Rng.int_in rng lo_s hi_s) 1 None
@@ -132,11 +158,10 @@ let build_cells rng options (spec : Spec.t) =
     end
     else push w 2 (Some (if Rng.bool rng then Rail.Vdd else Rail.Vss))
   done;
-  let arr = Array.of_list (List.rev !cells) in
   (* shuffle so ids do not encode the height class *)
-  let order = Array.init (Array.length arr) (fun i -> i) in
+  let order = Array.init n (fun i -> i) in
   Rng.shuffle rng order;
-  Array.init (Array.length arr) (fun new_id ->
+  Array.init n (fun new_id ->
       let c = arr.(order.(new_id)) in
       Cell.make ~id:new_id ~width:c.Cell.width ~height:c.Cell.height
         ?bottom_rail:c.Cell.bottom_rail ())
@@ -207,15 +232,8 @@ let pack rng (chip : Chip.t) (cells : Cell.t array) ~density =
       Some ()
     end
   in
-  let order =
-    let idx = Array.init (Array.length cells) (fun i -> i) in
-    Rng.shuffle rng idx;
-    (* multi-row cells first: they are the hardest to fit *)
-    let multi = Array.to_list idx |> List.filter (fun i -> cells.(i).Cell.height > 1) in
-    let single = Array.to_list idx |> List.filter (fun i -> cells.(i).Cell.height = 1) in
-    multi @ single
-  in
-  let ok = List.for_all (fun i -> place cells.(i) <> None) order in
+  let order = pack_order rng cells in
+  let ok = Array.for_all (fun i -> place cells.(i) <> None) order in
   if ok then Some (Placement.make ~xs ~ys) else None
 
 let rec pack_with_growth rng chip cells ~density ~attempts =
@@ -327,15 +345,9 @@ let pack_with_fences rng (chip : Chip.t) blockages (fences : Region.t array)
   in
   let xs = Array.make (Array.length cells) 0.0 in
   let ys = Array.make (Array.length cells) 0.0 in
-  let order =
-    let idx = Array.init (Array.length cells) (fun i -> i) in
-    Rng.shuffle rng idx;
-    let multi = Array.to_list idx |> List.filter (fun i -> cells.(i).Cell.height > 1) in
-    let single = Array.to_list idx |> List.filter (fun i -> cells.(i).Cell.height = 1) in
-    multi @ single
-  in
+  let order = pack_order rng cells in
   let ok =
-    List.for_all
+    Array.for_all
       (fun i ->
         let c = cells.(i) in
         let x0 = Rng.int rng (max 1 (chip.Chip.num_sites - c.Cell.width + 1)) in

@@ -1,13 +1,28 @@
 open Mclh_circuit
 
-(* spatial grid over the global placement for neighborhood queries *)
+(* Spatial grid over the global placement for neighborhood queries.
+
+   The buckets are stored CSR-style (prefix offsets into one members
+   array, each bucket's slice ascending by cell id) instead of as
+   per-bucket lists: full-scale designs put ~1.3M cells in the grid, and
+   the list representation costs a cons cell per placement plus pointer
+   chasing on every neighborhood scan. The candidate order produced from
+   this layout is byte-identical to the historical list-based one (see
+   [fill_candidates]); the pinned generated designs depend on it. *)
 type grid = {
   bucket_w : float;
   bucket_h : float;
   nx : int;
   ny : int;
-  buckets : int list array;
+  start : int array; (* nx*ny + 1 prefix offsets into [members] *)
+  members : int array; (* cell ids, ascending within each bucket *)
 }
+
+let bucket_key grid (placement : Placement.t) i =
+  let clamp v hi = max 0 (min (hi - 1) v) in
+  let bx = clamp (int_of_float (placement.Placement.xs.(i) /. grid.bucket_w)) grid.nx in
+  let by = clamp (int_of_float (placement.Placement.ys.(i) /. grid.bucket_h)) grid.ny in
+  (by * grid.nx) + bx
 
 let build_grid (chip : Chip.t) (placement : Placement.t) =
   let n = Placement.num_cells placement in
@@ -18,29 +33,30 @@ let build_grid (chip : Chip.t) (placement : Placement.t) =
   let nx = max 1 (int_of_float (num_buckets /. float_of_int ny)) in
   let bucket_w = float_of_int chip.Chip.num_sites /. float_of_int nx in
   let bucket_h = float_of_int chip.Chip.num_rows /. float_of_int ny in
-  let buckets = Array.make (nx * ny) [] in
-  let clamp v hi = max 0 (min (hi - 1) v) in
+  let nb = nx * ny in
+  let grid =
+    { bucket_w; bucket_h; nx; ny; start = Array.make (nb + 1) 0; members = Array.make n 0 }
+  in
+  (* counting sort by bucket: count, prefix, fill (cells in increasing id
+     order, so each bucket's slice comes out ascending) *)
+  let count = Array.make nb 0 in
   for i = 0 to n - 1 do
-    let bx = clamp (int_of_float (placement.Placement.xs.(i) /. bucket_w)) nx in
-    let by = clamp (int_of_float (placement.Placement.ys.(i) /. bucket_h)) ny in
-    let key = (by * nx) + bx in
-    buckets.(key) <- i :: buckets.(key)
+    let key = bucket_key grid placement i in
+    count.(key) <- count.(key) + 1
   done;
-  { bucket_w; bucket_h; nx; ny; buckets }
-
-let neighbors grid (placement : Placement.t) seed ~radius_buckets =
-  let clamp v hi = max 0 (min (hi - 1) v) in
-  let bx = clamp (int_of_float (placement.Placement.xs.(seed) /. grid.bucket_w)) grid.nx in
-  let by = clamp (int_of_float (placement.Placement.ys.(seed) /. grid.bucket_h)) grid.ny in
-  let acc = ref [] in
-  for dy = -radius_buckets to radius_buckets do
-    for dx = -radius_buckets to radius_buckets do
-      let x = bx + dx and y = by + dy in
-      if x >= 0 && x < grid.nx && y >= 0 && y < grid.ny then
-        acc := List.rev_append grid.buckets.((y * grid.nx) + x) !acc
-    done
+  let acc = ref 0 in
+  for k = 0 to nb - 1 do
+    grid.start.(k) <- !acc;
+    acc := !acc + count.(k)
   done;
-  !acc
+  grid.start.(nb) <- !acc;
+  let cursor = Array.copy grid.start in
+  for i = 0 to n - 1 do
+    let key = bucket_key grid placement i in
+    grid.members.(cursor.(key)) <- i;
+    cursor.(key) <- cursor.(key) + 1
+  done;
+  grid
 
 let degree rng =
   (* ~55% two-pin nets, geometric tail capped at 8 *)
@@ -64,15 +80,57 @@ let generate rng ~nets_per_cell ~chip ~cells ~placement =
   else begin
     let grid = build_grid chip placement in
     let max_radius = max grid.nx grid.ny in
+    (* Candidate scratch, reused across nets. The historical list code
+       visited buckets dy = -r..r, dx = -r..r and [List.rev_append]ed
+       each (descending, prepend-built) bucket onto the accumulator, so
+       the final list held the buckets in *reverse* visit order with
+       each bucket ascending. Replicate that exact order here: walk
+       dy = +r downto -r, dx = +r downto -r and append each bucket's
+       ascending CSR slice. *)
+    let buf = ref (Array.make 64 0) in
+    let fill_candidates seed ~radius_buckets =
+      let clamp v hi = max 0 (min (hi - 1) v) in
+      let bx =
+        clamp (int_of_float (placement.Placement.xs.(seed) /. grid.bucket_w)) grid.nx
+      in
+      let by =
+        clamp (int_of_float (placement.Placement.ys.(seed) /. grid.bucket_h)) grid.ny
+      in
+      let len = ref 0 in
+      for dy = radius_buckets downto -radius_buckets do
+        for dx = radius_buckets downto -radius_buckets do
+          let x = bx + dx and y = by + dy in
+          if x >= 0 && x < grid.nx && y >= 0 && y < grid.ny then begin
+            let key = (y * grid.nx) + x in
+            let lo = grid.start.(key) and hi = grid.start.(key + 1) in
+            let size = hi - lo in
+            if size > 0 then begin
+              let cap = ref (Array.length !buf) in
+              while !len + size > !cap do
+                cap := 2 * !cap
+              done;
+              if !cap > Array.length !buf then begin
+                let bigger = Array.make !cap 0 in
+                Array.blit !buf 0 bigger 0 !len;
+                buf := bigger
+              end;
+              Array.blit grid.members lo !buf !len size;
+              len := !len + size
+            end
+          end
+        done
+      done;
+      !len
+    in
     let make_net () =
       let seed = Rng.int rng n in
       let want = degree rng in
       let rec gather radius =
-        let cand = neighbors grid placement seed ~radius_buckets:radius in
-        if List.length cand >= want || radius >= max_radius then cand
+        let count = fill_candidates seed ~radius_buckets:radius in
+        if count >= want || radius >= max_radius then count
         else gather (radius + 1)
       in
-      let cand = Array.of_list (gather 1) in
+      let cand = Array.sub !buf 0 (gather 1) in
       Rng.shuffle rng cand;
       let chosen = Hashtbl.create want in
       Hashtbl.replace chosen seed ();
@@ -84,6 +142,9 @@ let generate rng ~nets_per_cell ~chip ~cells ~placement =
       Hashtbl.fold (fun cell () acc -> pin_of rng cells cell :: acc) chosen []
       |> Array.of_list
     in
-    let nets = List.init num_nets (fun _ -> make_net ()) in
-    Netlist.make ~num_cells:n nets
+    let builder = Netlist.Builder.create ~num_cells:n ~expected_nets:num_nets in
+    for _ = 1 to num_nets do
+      Netlist.Builder.add_net builder (make_net ())
+    done;
+    Netlist.Builder.build builder
   end

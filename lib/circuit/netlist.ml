@@ -36,3 +36,55 @@ let nets_of_cell t =
   Array.map (fun l -> Array.of_list (List.rev l)) buckets
 
 let empty ~num_cells = { num_cells; nets = [||] }
+
+(* Counted construction: callers that know (or can bound) the net count
+   up front append into a preallocated array instead of accumulating a
+   list Array.of_list then copies — at full scale (millions of nets) the
+   list path churns the minor heap with a cons cell per net and doubles
+   peak memory at the copy. *)
+module Builder = struct
+  type builder = {
+    b_num_cells : int;
+    mutable b_nets : net array;
+    mutable b_len : int;
+  }
+
+  let create ~num_cells ~expected_nets =
+    if num_cells < 0 then invalid_arg "Netlist.Builder.create: num_cells < 0";
+    if expected_nets < 0 then
+      invalid_arg "Netlist.Builder.create: expected_nets < 0";
+    { b_num_cells = num_cells;
+      b_nets = Array.make (max 1 expected_nets) [||];
+      b_len = 0 }
+
+  let length b = b.b_len
+
+  let add_net b pins =
+    let n = b.b_len in
+    if Array.length pins = 0 then
+      invalid_arg (Printf.sprintf "Netlist.Builder.add_net: net %d has no pin" n);
+    Array.iter
+      (fun p ->
+        if p.cell < 0 || p.cell >= b.b_num_cells then
+          invalid_arg
+            (Printf.sprintf "Netlist.Builder.add_net: net %d pins missing cell %d"
+               n p.cell))
+      pins;
+    if n = Array.length b.b_nets then begin
+      let bigger = Array.make (2 * max 1 n) [||] in
+      Array.blit b.b_nets 0 bigger 0 n;
+      b.b_nets <- bigger
+    end;
+    b.b_nets.(n) <- pins;
+    b.b_len <- n + 1
+
+  let build b =
+    (* exact-count builders hand their array over without a copy *)
+    let nets =
+      if b.b_len = Array.length b.b_nets then b.b_nets
+      else Array.sub b.b_nets 0 b.b_len
+    in
+    b.b_nets <- [||];
+    b.b_len <- 0;
+    { num_cells = b.b_num_cells; nets }
+end

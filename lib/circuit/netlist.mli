@@ -29,3 +29,28 @@ val nets_of_cell : t -> int array array
     computed once, O(pins). *)
 
 val empty : num_cells:int -> t
+
+(** Streaming construction with a known (or estimated) net count: the
+    nets array is preallocated up front and appended in place, so
+    building a full-scale netlist allocates no per-net list cells and
+    never holds two copies of the net array. Produces netlists identical
+    to {!make} given the same nets in the same order (tested). *)
+module Builder : sig
+  type builder
+
+  val create : num_cells:int -> expected_nets:int -> builder
+  (** [expected_nets] sizes the initial array; it is a hint, not a cap —
+      the builder doubles when exceeded, and {!build} trims. *)
+
+  val add_net : builder -> net -> unit
+  (** Appends one net, validating exactly as {!make} does (non-empty,
+      pins in range) with the net's final index in error messages. *)
+
+  val length : builder -> int
+  (** Nets appended so far. *)
+
+  val build : builder -> t
+  (** The finished netlist; when [expected_nets] was exact the builder's
+      array is handed over without a copy. The builder is reset to empty
+      and must not be reused. *)
+end

@@ -18,6 +18,9 @@ type t = {
   num_domains : int;
   decompose : bool;
   metrics : bool;
+  progress : bool;
+      (* stage/iteration heartbeat lines on stderr for long full-scale
+         runs; never part of report output *)
 }
 
 (* eps is measured in site widths; final positions snap to integer sites,
@@ -41,7 +44,8 @@ let default =
     warm_start = true;
     num_domains = Mclh_par.Pool.default_num_domains ();
     decompose = true;
-    metrics = Mclh_obs.Obs.enabled_from_env () }
+    metrics = Mclh_obs.Obs.enabled_from_env ();
+    progress = false }
 
 let validate t =
   if t.lambda <= 0.0 then Error "lambda must be positive"

@@ -80,6 +80,11 @@ type t = {
           reduces to single branches and the solver's zero-allocation
           steady state is preserved. Never affects results — only what is
           recorded about them. *)
+  progress : bool;
+      (** print stage/iteration heartbeat lines to stderr during the flow
+          (model build, shard fan-out, MMSIM iterations) — for watching
+          long full-scale runs. Off by default; never appears in reports
+          or stdout and never affects results. *)
 }
 
 val default : t

@@ -230,11 +230,11 @@ let extract (model : Model.t) shard =
     var_cell = Array.map (fun v -> model.var_cell.(v)) shard.vars;
     var_row = Array.map (fun v -> model.var_row.(v)) shard.vars;
     row_vars = shard.groups;
-    b_mat = Csr.make ~rows:sub_m ~cols:sub_n ~row_ptr ~col_idx ~values;
+    b_mat = Lazy.from_val (Csr.make ~rows:sub_m ~cols:sub_n ~row_ptr ~col_idx ~values);
     b_rhs = Array.init sub_m (fun i -> model.b_rhs.(shard.cons.(i)));
     p = Array.map (fun v -> model.p.(v)) shard.vars;
     shift = Array.map (fun v -> model.shift.(v)) shard.vars;
-    blocks = Blocks.make ~nvars:sub_n (Array.to_list shard.chains) }
+    blocks = Blocks.of_array ~nvars:sub_n shard.chains }
 
 (* Small enough that independent components stop iterating as soon as
    they individually converge (the work saving that pays off even on one

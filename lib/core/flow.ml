@@ -28,18 +28,31 @@ module Obs = Mclh_obs.Obs
 
 let run ?(config = Config.default) ?obs ?s0 design =
   let start = Mclh_par.Clock.now () in
+  let heartbeat fmt =
+    Format.kasprintf
+      (fun s -> if config.Config.progress then Printf.eprintf "[mclh] %s\n%!" s)
+      fmt
+  in
+  heartbeat "%s: %d cells, assigning rows" design.Design.name
+    (Array.length design.Design.cells);
   let assignment, assign_s = timed (fun () -> Row_assign.assign design) in
   Obs.record_span obs "flow/assign" assign_s;
   Log.debug (fun m ->
       m "%s: rows assigned, y displacement %.1f sites (%.3fs)"
         design.Design.name assignment.Row_assign.y_displacement assign_s);
-  let model, model_s = timed (fun () -> Model.build design assignment) in
+  heartbeat "rows assigned (%.2fs), building model" assign_s;
+  let model, model_s =
+    timed (fun () ->
+        Model.build ~num_domains:config.Config.num_domains design assignment)
+  in
   Obs.record_span obs "flow/model" model_s;
   Log.debug (fun m ->
       m "model: %d vars, %d constraints, %d chains (%.3fs)" model.Model.nvars
         (Model.num_constraints model)
         (Mclh_linalg.Blocks.num_chains model.Model.blocks)
         model_s);
+  heartbeat "model built: %d vars, %d constraints (%.2fs), solving" model.Model.nvars
+    (Model.num_constraints model) model_s;
   let solver, solve_s =
     timed (fun () -> Solver.solve ~config ?obs ?s0 model)
   in
@@ -56,6 +69,8 @@ let run ?(config = Config.default) ?obs ?s0 design =
            repair residual overlaps"
           design.Design.name config.Config.max_iter solver.Solver.delta_inf)
   end;
+  heartbeat "solve done: %d iterations, converged %b (%.2fs), allocating"
+    solver.Solver.iterations solver.Solver.converged solve_s;
   let relaxed = Model.placement_of model solver.Solver.x in
   let alloc, alloc_s =
     timed (fun () -> Tetris_alloc.run ?obs design relaxed)
@@ -65,6 +80,7 @@ let run ?(config = Config.default) ?obs ?s0 design =
       m "tetris: %d illegal, %d relocated (%.3fs)"
         alloc.Tetris_alloc.illegal_before alloc.Tetris_alloc.relocated alloc_s);
   let total_s = Mclh_par.Clock.now () -. start in
+  heartbeat "done: %d relocated, %.2fs total" alloc.Tetris_alloc.relocated total_s;
   Obs.record_span obs "flow/total" total_s;
   { legal = alloc.Tetris_alloc.placement;
     model;

@@ -9,14 +9,264 @@ type t = {
   var_cell : int array;
   var_row : int array;
   row_vars : int array array;
-  b_mat : Csr.t;
+  b_mat : Csr.t Lazy.t;
   b_rhs : Vec.t;
   p : Vec.t;
   shift : Vec.t;
   blocks : Blocks.t;
 }
 
-let build (design : Design.t) (assignment : Row_assign.t) =
+let b_mat t = Lazy.force t.b_mat
+
+let num_constraints t = Array.length t.b_rhs
+
+(* The ordering-constraint matrix has exactly one (-1, +1) pair per row,
+   emitted in ascending column order — the same (sorted, merged) layout
+   [Coo.to_csr] produces, so the direct build is byte-identical to the
+   historical triplet-list path (pinned by test_soa.ml). Built lazily:
+   the decomposed solve path only ever materializes per-shard CSRs, so
+   at scale the global B is never assembled at all. *)
+let csr_of_groups ~nvars ~m row_vars =
+  let row_ptr = Array.init (m + 1) (fun i -> 2 * i) in
+  let col_idx = Array.make (2 * m) 0 in
+  let values = Array.make (2 * m) 0.0 in
+  let ci = ref 0 in
+  Array.iter
+    (fun vars ->
+      for k = 0 to Array.length vars - 2 do
+        let u = vars.(k) and v = vars.(k + 1) in
+        let pos = 2 * !ci in
+        if u < v then begin
+          col_idx.(pos) <- u;
+          values.(pos) <- -1.0;
+          col_idx.(pos + 1) <- v;
+          values.(pos + 1) <- 1.0
+        end
+        else begin
+          col_idx.(pos) <- v;
+          values.(pos) <- 1.0;
+          col_idx.(pos + 1) <- u;
+          values.(pos + 1) <- -1.0
+        end;
+        incr ci
+      done)
+    row_vars;
+  Csr.make ~rows:m ~cols:nvars ~row_ptr ~col_idx ~values
+
+(* run [f lo hi] over [0, count), fanned over the shared pool when the
+   caller asked for domains and the range is worth splitting; [f] must
+   write disjoint state per index so either path produces the same bits *)
+let iter_chunks ~num_domains count f =
+  if num_domains > 1 && count >= 8192 then
+    Mclh_par.Pool.parallel_iter_chunks ~min_chunk:4096
+      (Mclh_par.Pool.get ~num_domains)
+      count ~f
+  else f 0 count
+
+let build ?(num_domains = 1) (design : Design.t) (assignment : Row_assign.t) =
+  let n = Design.num_cells design in
+  let cells = design.cells in
+  let gxs = design.global.Placement.xs in
+  let rows = assignment.Row_assign.rows in
+  let first_var = Array.make n 0 in
+  let nvars =
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      first_var.(i) <- !acc;
+      acc := !acc + cells.(i).Cell.height
+    done;
+    !acc
+  in
+  let var_cell = Array.make nvars 0 and var_row = Array.make nvars 0 in
+  for i = 0 to n - 1 do
+    let h = cells.(i).Cell.height in
+    let fv = first_var.(i) in
+    for k = 0 to h - 1 do
+      var_cell.(fv + k) <- i;
+      var_row.(fv + k) <- rows.(i) + k
+    done
+  done;
+  let segments = Segments.compute design in
+  let has_blk = Segments.has_blockages segments in
+  (* per-cell segment choice and shift: a multi-row cell picks a segment in
+     every spanned row and is measured from the rightmost of their left
+     walls, so all its subcells share one shift and E u = 0 is preserved.
+     [seg_of_var] is the chosen segment's start per subcell (-1 when the
+     row has no segment at all); it doubles as the grouping key below. *)
+  let seg_of_var = if has_blk then Array.make nvars (-1) else [||] in
+  let cell_shift = Array.make n 0 in
+  if has_blk then
+    iter_chunks ~num_domains n (fun lo hi ->
+        for i = lo to hi - 1 do
+          let c = cells.(i) in
+          let gx = gxs.(i) in
+          let fv = first_var.(i) in
+          let sh = ref 0 in
+          for k = 0 to c.Cell.height - 1 do
+            match
+              Segments.locate segments ~row:(rows.(i) + k) ~x:gx
+                ~width:c.Cell.width
+            with
+            | Some seg ->
+              seg_of_var.(fv + k) <- seg.Segments.start;
+              if seg.Segments.start > !sh then sh := seg.Segments.start
+            | None -> ()
+          done;
+          cell_shift.(i) <- !sh
+        done);
+  let shift = Array.make nvars 0.0 in
+  if has_blk then
+    for v = 0 to nvars - 1 do
+      shift.(v) <- float_of_int cell_shift.(var_cell.(v))
+    done;
+  (* ordering groups, struct-of-arrays: bucket the subcell variables per
+     chip row with a counting sort, then sort each row range by
+     (global x, cell id) in place — the same total order [Order.per_row]
+     derives from its per-row lists, without materializing any *)
+  let num_rows = design.chip.Chip.num_rows in
+  let row_start = Array.make (num_rows + 1) 0 in
+  for v = 0 to nvars - 1 do
+    let r = var_row.(v) in
+    row_start.(r + 1) <- row_start.(r + 1) + 1
+  done;
+  let nonempty = ref 0 in
+  for r = 0 to num_rows - 1 do
+    if row_start.(r + 1) > 0 then incr nonempty;
+    row_start.(r + 1) <- row_start.(r + 1) + row_start.(r)
+  done;
+  let members = Array.make nvars 0 in
+  let cursor = Array.make num_rows 0 in
+  for v = 0 to nvars - 1 do
+    let r = var_row.(v) in
+    members.(row_start.(r) + cursor.(r)) <- v;
+    cursor.(r) <- cursor.(r) + 1
+  done;
+  let cmp a b =
+    let ca = var_cell.(a) and cb = var_cell.(b) in
+    let c = compare gxs.(ca) gxs.(cb) in
+    if c <> 0 then c else compare ca cb
+  in
+  iter_chunks ~num_domains num_rows (fun lo hi ->
+      for r = lo to hi - 1 do
+        let base = row_start.(r) in
+        let len = row_start.(r + 1) - base in
+        if len > 1 then begin
+          let tmp = Array.sub members base len in
+          Array.sort cmp tmp;
+          Array.blit tmp 0 members base len
+        end
+      done);
+  (* groups: one per nonempty row; under blockages a row splits into one
+     group per chosen segment, ordered by first appearance in x order
+     (exactly the historical Hashtbl-based split) *)
+  let gcap = ref (max 1 !nonempty) and glen = ref 0 in
+  let gbuf = ref (Array.make !gcap [||]) in
+  let push_group g =
+    if !glen = !gcap then begin
+      let grown = Array.make (2 * !gcap) [||] in
+      Array.blit !gbuf 0 grown 0 !glen;
+      gbuf := grown;
+      gcap := 2 * !gcap
+    end;
+    !gbuf.(!glen) <- g;
+    incr glen
+  in
+  if not has_blk then
+    for r = 0 to num_rows - 1 do
+      let base = row_start.(r) in
+      let len = row_start.(r + 1) - base in
+      if len > 0 then push_group (Array.sub members base len)
+    done
+  else begin
+    (* scratch reused across rows: distinct keys (first-appearance order)
+       and their member counts *)
+    let keybuf = ref (Array.make 8 0) and cntbuf = ref (Array.make 8 0) in
+    for r = 0 to num_rows - 1 do
+      let base = row_start.(r) in
+      let len = row_start.(r + 1) - base in
+      if len > 0 then begin
+        if Array.length !keybuf < len then begin
+          keybuf := Array.make len 0;
+          cntbuf := Array.make len 0
+        end;
+        let keys = !keybuf and cnts = !cntbuf in
+        let nkeys = ref 0 in
+        let key_index key =
+          let idx = ref (-1) in
+          for j = 0 to !nkeys - 1 do
+            if keys.(j) = key then idx := j
+          done;
+          if !idx >= 0 then !idx
+          else begin
+            keys.(!nkeys) <- key;
+            cnts.(!nkeys) <- 0;
+            incr nkeys;
+            !nkeys - 1
+          end
+        in
+        for idx = base to base + len - 1 do
+          let j = key_index seg_of_var.(members.(idx)) in
+          cnts.(j) <- cnts.(j) + 1
+        done;
+        if !nkeys = 1 then push_group (Array.sub members base len)
+        else begin
+          let groups = Array.init !nkeys (fun j -> Array.make cnts.(j) 0) in
+          let fill = Array.make !nkeys 0 in
+          for idx = base to base + len - 1 do
+            let v = members.(idx) in
+            let j = key_index seg_of_var.(v) in
+            groups.(j).(fill.(j)) <- v;
+            fill.(j) <- fill.(j) + 1
+          done;
+          Array.iter push_group groups
+        end
+      end
+    done
+  end;
+  let row_vars = Array.sub !gbuf 0 !glen in
+  (* ordering constraints: one per adjacent pair in each group; every
+     variable sits in exactly one group, so m = nvars - #groups. The
+     required separation accounts for the shift difference. *)
+  let m = nvars - !glen in
+  let b_rhs = Array.make m 0.0 in
+  let ci = ref 0 in
+  Array.iter
+    (fun vars ->
+      for k = 0 to Array.length vars - 2 do
+        let u = vars.(k) and v = vars.(k + 1) in
+        b_rhs.(!ci) <-
+          float_of_int cells.(var_cell.(u)).Cell.width
+          +. shift.(u) -. shift.(v);
+        incr ci
+      done)
+    row_vars;
+  let b_mat = lazy (csr_of_groups ~nvars ~m row_vars) in
+  let p = Array.make nvars 0.0 in
+  for v = 0 to nvars - 1 do
+    p.(v) <- -.(gxs.(var_cell.(v)) -. shift.(v))
+  done;
+  let num_chains = ref 0 in
+  for i = 0 to n - 1 do
+    if cells.(i).Cell.height >= 2 then incr num_chains
+  done;
+  let chains = Array.make !num_chains [||] in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    let h = cells.(i).Cell.height in
+    if h >= 2 then begin
+      let fv = first_var.(i) in
+      chains.(!k) <- Array.init h (fun j -> fv + j);
+      incr k
+    end
+  done;
+  let blocks = Blocks.of_array ~nvars chains in
+  { design; assignment; nvars; first_var; var_cell; var_row; row_vars;
+    b_mat; b_rhs; p; shift; blocks }
+
+(* The historical list-based construction, kept verbatim as the oracle the
+   property tests pin the streaming build against (byte-identical model
+   fields on any design). Not used by the production flow. *)
+let build_reference (design : Design.t) (assignment : Row_assign.t) =
   let n = Design.num_cells design in
   let first_var = Array.make n 0 in
   let nvars =
@@ -36,9 +286,6 @@ let build (design : Design.t) (assignment : Row_assign.t) =
     done
   done;
   let segments = Segments.compute design in
-  (* per-cell segment choice and shift: a multi-row cell picks a segment in
-     every spanned row and is measured from the rightmost of their left
-     walls, so all its subcells share one shift and E u = 0 is preserved *)
   let cell_segment_start =
     Array.init n (fun i ->
         let c = design.cells.(i) in
@@ -61,15 +308,12 @@ let build (design : Design.t) (assignment : Row_assign.t) =
   let shift =
     Vec.init nvars (fun v -> float_of_int cell_shift.(var_cell.(v)))
   in
-  (* ordering groups: per row, cells grouped by their chosen segment in
-     that row, kept in global-x order *)
   let order = Order.per_row design ~rows:assignment.rows in
   let groups = ref [] in
   Array.iteri
     (fun r ids ->
       if Array.length ids > 0 then begin
         if Segments.has_blockages segments then begin
-          (* split the x-ordered row list by segment id *)
           let tbl = Hashtbl.create 4 in
           let keys = ref [] in
           Array.iter
@@ -96,8 +340,6 @@ let build (design : Design.t) (assignment : Row_assign.t) =
       end)
     order;
   let row_vars = Array.of_list (List.rev !groups) in
-  (* ordering constraints: one per adjacent pair in each group; the
-     required separation accounts for the shift difference *)
   let m =
     Array.fold_left (fun acc vars -> acc + max 0 (Array.length vars - 1)) 0 row_vars
   in
@@ -116,7 +358,7 @@ let build (design : Design.t) (assignment : Row_assign.t) =
         incr ci
       done)
     row_vars;
-  let b_mat = Coo.to_csr coo in
+  let b_mat = Lazy.from_val (Coo.to_csr coo) in
   let p =
     Vec.init nvars (fun v ->
         -.(design.global.Placement.xs.(var_cell.(v)) -. shift.(v)))
@@ -131,8 +373,6 @@ let build (design : Design.t) (assignment : Row_assign.t) =
   let blocks = Blocks.make ~nvars chains in
   { design; assignment; nvars; first_var; var_cell; var_row; row_vars;
     b_mat; b_rhs; p; shift; blocks }
-
-let num_constraints t = Csr.rows t.b_mat
 
 let lcp_rhs t =
   let n = t.nvars and m = num_constraints t in
@@ -160,7 +400,7 @@ let to_qp t ~lambda =
           entries)
       entries
   done;
-  Mclh_qp.Qp.make ~q_mat:(Coo.to_csr coo) ~p:t.p ~b_mat:t.b_mat ~b_rhs:t.b_rhs
+  Mclh_qp.Qp.make ~q_mat:(Coo.to_csr coo) ~p:t.p ~b_mat:(b_mat t) ~b_rhs:t.b_rhs
 
 let packed_start t =
   (* cumulative packing directly in u-space: u_first = 0 and

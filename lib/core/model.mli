@@ -27,7 +27,12 @@ type t = {
   row_vars : int array array;
       (** ordering groups: one per row *segment* (one per row when the
           design has no blockages), variables in global-x order *)
-  b_mat : Csr.t;  (** m x nvars ordering-constraint matrix *)
+  b_mat : Csr.t Lazy.t;
+      (** m x nvars ordering-constraint matrix, materialized on first
+          force (prefer the {!b_mat} accessor). The decomposed solve path
+          never forces the global matrix: component discovery and shard
+          extraction work from [row_vars]/[blocks] alone, and each shard
+          builds only its own sub-CSR. *)
   b_rhs : Vec.t;
       (** required separation of each adjacent pair: the left cell's width
           plus the shift difference when blockage segments shift the
@@ -40,7 +45,20 @@ type t = {
   blocks : Blocks.t;  (** subcell-equality chains *)
 }
 
-val build : Design.t -> Row_assign.t -> t
+val build : ?num_domains:int -> Design.t -> Row_assign.t -> t
+(** Streaming struct-of-arrays construction: every model field is filled
+    in linear passes over preallocated arrays (counting-sort row buckets,
+    in-place range sorts, direct CSR emission) with no intermediate
+    lists. With [num_domains > 1] the per-cell segment location and the
+    per-row sorts fan out over the shared pool; all parallel writes are
+    disjoint, so the result is bit-identical to the sequential build. *)
+
+val build_reference : Design.t -> Row_assign.t -> t
+(** The historical list-based construction (kept as an oracle): same
+    design, byte-identical model fields. For tests only. *)
+
+val b_mat : t -> Csr.t
+(** Force and return the global ordering-constraint matrix. *)
 
 val num_constraints : t -> int
 

@@ -72,6 +72,12 @@ let run ?(config = Config.default) ?obs algorithm design =
   Obs.record_span obs "runner/total" runtime_s;
   Obs.add obs "runner/legal" (if legal then 1 else 0);
   Obs.gauge obs "runner/delta_hpwl" delta_hpwl;
+  if runtime_s > 0.0 then
+    Obs.gauge obs "runner/cells_per_s"
+      (float_of_int (Array.length design.Design.cells) /. runtime_s);
+  (match Obs.peak_rss_kb () with
+  | Some kb -> Obs.gauge obs "mem/peak_rss_kb" (float_of_int kb)
+  | None -> ());
   { algorithm;
     placement;
     legal;

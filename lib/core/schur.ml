@@ -12,7 +12,7 @@ let dot_with_row entries (l, j) =
   look j -. look l
 
 let b_row_pair (model : Model.t) i =
-  match Csr.row_entries model.b_mat i with
+  match Csr.row_entries (Model.b_mat model) i with
   | [ (l, -1.0); (j, 1.0) ] -> (l, j)
   | [ (j, 1.0); (l, -1.0) ] -> (l, j)
   | _ -> invalid_arg "Schur: constraint row is not a (-1, +1) pair"

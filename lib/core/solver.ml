@@ -45,6 +45,7 @@ let rhs_q = Model.lcp_rhs
 
 let operators (model : Model.t) (config : Config.t) =
   let n = model.nvars and m = Model.num_constraints model in
+  let b = Model.b_mat model in
   let { Config.lambda; beta; theta; _ } = config in
   let d =
     Schur.tridiag
@@ -72,11 +73,11 @@ let operators (model : Model.t) (config : Config.t) =
     q_tilde_into x top;
     Array.blit top 0 out 0 n;
     (* top -= B^T r *)
-    let btr = Csr.mul_vec_t model.b_mat r in
+    let btr = Csr.mul_vec_t b r in
     for i = 0 to n - 1 do
       out.(i) <- out.(i) -. btr.(i)
     done;
-    let bx = Csr.mul_vec model.b_mat x in
+    let bx = Csr.mul_vec b x in
     Array.blit bx 0 out n m;
     out
   in
@@ -86,7 +87,7 @@ let operators (model : Model.t) (config : Config.t) =
     let top = Vec.zeros n in
     q_tilde_into x top;
     let c = (1.0 /. beta) -. 1.0 in
-    let btr = Csr.mul_vec_t model.b_mat r in
+    let btr = Csr.mul_vec_t b r in
     for i = 0 to n - 1 do
       out.(i) <- (c *. top.(i)) +. btr.(i)
     done;
@@ -103,7 +104,7 @@ let operators (model : Model.t) (config : Config.t) =
         ~coef:(lambda /. beta) model.blocks rhs_x
     in
     (* ((1/theta) D + I) s_r = rhs_r - B s_x *)
-    let bsx = Csr.mul_vec model.b_mat s_x in
+    let bsx = Csr.mul_vec b s_x in
     for i = 0 to m - 1 do
       rhs_r.(i) <- rhs_r.(i) -. bsx.(i)
     done;
@@ -126,11 +127,21 @@ let operators (model : Model.t) (config : Config.t) =
    threshold to force the path on small models). *)
 let par_chain_chunk = ref 1024
 
+(* Minimum total KKT dimension per pool job of the decomposed fan-out:
+   shards are packed (heaviest first) into chunks of at least this much
+   work, so with tens of thousands of tiny shards (scale 1.0) the
+   per-job closure/dispatch overhead stays proportional to the chunk
+   count while big shards still get a job each. Scheduling only — the
+   per-shard bits never depend on the chunking (test_par.ml lowers this
+   to force many chunks on small models). *)
+let par_shard_chunk = ref 2048
+
 (* allocation-free operator set: the same mathematics as [operators], with
    every intermediate in preallocated scratch; used by the production
    solve loop *)
 let operators_inplace (model : Model.t) (config : Config.t) =
   let n = model.nvars and m = Model.num_constraints model in
+  let b = Model.b_mat model in
   let { Config.lambda; beta; theta; _ } = config in
   let nchains = Blocks.num_chains model.blocks in
   let chain_chunk = !par_chain_chunk in
@@ -178,18 +189,18 @@ let operators_inplace (model : Model.t) (config : Config.t) =
   let apply_a_into z dst =
     split z;
     q_tilde_into xbuf dst;
-    Csr.mul_vec_t_into model.b_mat rbuf btr;
+    Csr.mul_vec_t_into b rbuf btr;
     for i = 0 to n - 1 do
       dst.(i) <- dst.(i) -. btr.(i)
     done;
-    Csr.mul_vec_into model.b_mat xbuf bx;
+    Csr.mul_vec_into b xbuf bx;
     Array.blit bx 0 dst n m
   in
   let c_top = (1.0 /. beta) -. 1.0 in
   let apply_n_into z dst =
     split z;
     q_tilde_into xbuf dst;
-    Csr.mul_vec_t_into model.b_mat rbuf btr;
+    Csr.mul_vec_t_into b rbuf btr;
     for i = 0 to n - 1 do
       dst.(i) <- (c_top *. dst.(i)) +. btr.(i)
     done;
@@ -219,7 +230,7 @@ let operators_inplace (model : Model.t) (config : Config.t) =
     Array.blit xbuf 0 dst 0 n;
     (* bottom: ((1/theta) D + I) s_r = rhs_r - B s_x *)
     if m > 0 then begin
-      Csr.mul_vec_into model.b_mat xbuf bx;
+      Csr.mul_vec_into b xbuf bx;
       for i = 0 to m - 1 do
         rbuf.(i) <- rbuf.(i) -. bx.(i)
       done;
@@ -235,13 +246,14 @@ let operators_inplace (model : Model.t) (config : Config.t) =
 
 let gamma_operator (model : Model.t) (config : Config.t) =
   let m = Model.num_constraints model in
+  let b = Model.b_mat model in
   let d = Schur.tridiag model ~lambda:config.Config.lambda in
   fun v ->
-    let t1 = Csr.mul_vec_t model.b_mat v in
+    let t1 = Csr.mul_vec_t b v in
     let t2 =
       Blocks.solve_shifted ~alpha:1.0 ~coef:config.Config.lambda model.blocks t1
     in
-    let t3 = Csr.mul_vec model.b_mat t2 in
+    let t3 = Csr.mul_vec b t2 in
     if m = 0 then t3 else Tridiag.solve_pivoting d t3
 
 let check_bound (model : Model.t) (config : Config.t) =
@@ -440,6 +452,14 @@ let solve ?(config = Config.default) ?obs ?s0 (model : Model.t) =
          (Vec.dim s0) (n + m))
   | Some _ | None -> ());
   let deco = if config.decompose then Some (Decompose.analyze model) else None in
+  if config.progress then begin
+    match deco with
+    | Some d ->
+      Printf.eprintf "[mclh] solve: %d components, %d shards (largest dim %d)\n%!"
+        (Decompose.num_components d) (Decompose.num_shards d)
+        (Decompose.largest_dim d)
+    | None -> Printf.eprintf "[mclh] solve: monolithic (dim %d)\n%!" (n + m)
+  end;
   let x, r, modulus, iterations, iterations_total, converged, delta_inf, backends
       =
     match deco with
@@ -452,10 +472,11 @@ let solve ?(config = Config.default) ?obs ?s0 (model : Model.t) =
          sequential map with identical results. *)
       let pool = Mclh_par.Pool.get ~num_domains:config.num_domains in
       let shards = d.Decompose.shards in
-      (* dispatch heaviest shards first: jobs are handed out in index
-         order, so a size-descending order trims the makespan. The order
-         affects scheduling only, never the per-shard bits. *)
-      let order = Array.init (Array.length shards) Fun.id in
+      let ns = Array.length shards in
+      (* dispatch heaviest shards first: chunks are handed out in order,
+         so a size-descending order trims the makespan. The order affects
+         scheduling only, never the per-shard bits. *)
+      let order = Array.init ns Fun.id in
       Array.sort
         (fun i j ->
           let di = Decompose.shard_dim shards.(i)
@@ -475,6 +496,21 @@ let solve ?(config = Config.default) ?obs ?s0 (model : Model.t) =
                  if i < sn then s0.(shard.Decompose.vars.(i))
                  else s0.(n + shard.Decompose.cons.(i - sn))))
       in
+      (* per-shard results land in slots indexed by shard id; solution
+         slices scatter straight into the shared global vectors. Every
+         write is disjoint across shards (the vars/cons sets partition),
+         so concurrent jobs never touch the same entry and the fan-in
+         below only folds scalars, in shard-id order. *)
+      let x = Vec.zeros n and r = Vec.zeros m in
+      let s_final = Vec.zeros (n + m) in
+      let its = Array.make ns 0 in
+      let convs = Array.make ns false in
+      let dinfs = Array.make ns 0.0 in
+      let tags = Array.make ns Plain in
+      let fbks = Array.make ns 0 in
+      let trs = Array.make ns None in
+      let completed = Atomic.make 0 in
+      let progress_step = max 1 (ns / 20) in
       let solve_shard i =
         let shard = shards.(i) in
         (* each pool job records into its own trace; the orchestrating
@@ -487,50 +523,60 @@ let solve ?(config = Config.default) ?obs ?s0 (model : Model.t) =
             let tr = Trace.create ~capacity:trace_capacity in
             (Some tr, Some (fun _k d -> Trace.record tr d))
         in
-        ( i,
-          shard,
+        let sx, sr, ss, it, conv, dinf, tag, fbk =
           solve_raw ?on_iter ?s0:(shard_s0 shard) config
-            (Decompose.extract model shard),
-          tr )
+            (Decompose.extract model shard)
+        in
+        Decompose.scatter_vars shard sx x;
+        Decompose.scatter_cons shard sr r;
+        (* the shard's final modulus slices scatter to (vars; n + cons) *)
+        let sn = Array.length shard.Decompose.vars in
+        Array.iteri (fun k v -> s_final.(v) <- ss.(k)) shard.Decompose.vars;
+        Array.iteri
+          (fun k c -> s_final.(n + c) <- ss.(sn + k))
+          shard.Decompose.cons;
+        its.(i) <- it;
+        convs.(i) <- conv;
+        dinfs.(i) <- dinf;
+        tags.(i) <- tag;
+        fbks.(i) <- fbk;
+        trs.(i) <- tr;
+        if config.progress then begin
+          let k = Atomic.fetch_and_add completed 1 + 1 in
+          if k mod progress_step = 0 || k = ns then
+            Printf.eprintf "[mclh] solve: %d/%d shards done\n%!" k ns
+        end
       in
-      let results =
-        (* on an oversubscribed pool (more domains than cores) fan-out
-           only adds GC-rendezvous stalls; same bits either way *)
-        if Mclh_par.Pool.oversubscribed pool then Array.map solve_shard order
-        else Mclh_par.Pool.parallel_map pool solve_shard order
-      in
-      let x = Vec.zeros n and r = Vec.zeros m in
-      let s_final = Vec.zeros (n + m) in
+      (* on an oversubscribed pool (more domains than cores) fan-out
+         only adds GC-rendezvous stalls; same bits either way *)
+      if Mclh_par.Pool.oversubscribed pool then Array.iter solve_shard order
+      else
+        Mclh_par.Pool.parallel_iter_weighted
+          ~min_chunk_weight:!par_shard_chunk pool
+          ~weight:(fun i -> Decompose.shard_dim shards.(i))
+          ~f:solve_shard order;
       let iterations = ref 0
       and iterations_total = ref 0
       and converged = ref true
       and delta = ref 0.0
       and stats = ref no_backend_stats in
-      Array.iter
-        (fun (i, shard, (sx, sr, ss, it, conv, dinf, tag, fbk), tr) ->
-          Decompose.scatter_vars shard sx x;
-          Decompose.scatter_cons shard sr r;
-          (* the shard's final modulus slices scatter to (vars; n + cons) *)
-          let sn = Array.length shard.Decompose.vars in
-          Array.iteri (fun k v -> s_final.(v) <- ss.(k)) shard.Decompose.vars;
-          Array.iteri
-            (fun k c -> s_final.(n + c) <- ss.(sn + k))
-            shard.Decompose.cons;
-          (match tr with
-          | None -> ()
-          | Some tr ->
-            let name = Printf.sprintf "solver/comp%03d" i in
-            Obs.attach_trace obs (name ^ "/delta_inf") tr;
-            Obs.add obs (name ^ "/iterations") it;
-            Obs.add obs (name ^ "/dim") (Decompose.shard_dim shard));
-          stats := count_backend !stats tag ~fallbacks:fbk;
-          if it > !iterations then iterations := it;
-          iterations_total := !iterations_total + it;
-          if not conv then converged := false;
-          (* a nan delta (divergence guard) must survive the max *)
-          if Float.is_nan dinf then delta := dinf
-          else if (not (Float.is_nan !delta)) && dinf > !delta then delta := dinf)
-        results;
+      for i = 0 to ns - 1 do
+        (match trs.(i) with
+        | None -> ()
+        | Some tr ->
+          let name = Printf.sprintf "solver/comp%03d" i in
+          Obs.attach_trace obs (name ^ "/delta_inf") tr;
+          Obs.add obs (name ^ "/iterations") its.(i);
+          Obs.add obs (name ^ "/dim") (Decompose.shard_dim shards.(i)));
+        stats := count_backend !stats tags.(i) ~fallbacks:fbks.(i);
+        if its.(i) > !iterations then iterations := its.(i);
+        iterations_total := !iterations_total + its.(i);
+        if not convs.(i) then converged := false;
+        (* a nan delta (divergence guard) must survive the max *)
+        if Float.is_nan dinfs.(i) then delta := dinfs.(i)
+        else if (not (Float.is_nan !delta)) && dinfs.(i) > !delta then
+          delta := dinfs.(i)
+      done;
       (x, r, s_final, !iterations, !iterations_total, !converged, !delta, !stats)
     | Some _ | None ->
       (* single component (or decomposition off): the monolithic solve is
@@ -539,6 +585,15 @@ let solve ?(config = Config.default) ?obs ?s0 (model : Model.t) =
         match Obs.new_trace obs "solver/delta_inf" ~capacity:trace_capacity with
         | None -> None
         | Some tr -> Some (fun _k d -> Trace.record tr d)
+      in
+      let on_iter =
+        if not config.progress then on_iter
+        else
+          Some
+            (fun k d ->
+              (match on_iter with None -> () | Some f -> f k d);
+              if k mod 500 = 0 then
+                Printf.eprintf "[mclh] mmsim: iteration %d (delta %.2e)\n%!" k d)
       in
       let x, r, s, it, conv, dinf, tag, fbk =
         solve_raw ?on_iter ?s0 config model

@@ -94,6 +94,16 @@ val par_chain_chunk : int ref
     path on small models; the parallel path is bit-identical to the
     sequential one either way. *)
 
+val par_shard_chunk : int ref
+(** Minimum total KKT dimension ([vars + constraints]) a pool job must
+    carry before the decomposed solve fans another shard chunk out; see
+    {!Mclh_par.Pool.parallel_iter_weighted}. Chunking depends only on
+    the (deterministic) heaviest-first shard order and the shard
+    dimensions, so results are bit-identical across values — this only
+    bounds dispatch overhead when a full-scale design splits into tens
+    of thousands of tiny shards. Exposed so tests can force multi-chunk
+    scheduling on small models. *)
+
 val operators_inplace : Model.t -> Config.t -> Mclh_lcp.Mmsim.operators_inplace
 (** Allocation-free operators over preallocated scratch buffers; the
     production path ({!solve} uses {!Mclh_lcp.Mmsim.solve_inplace} with

@@ -4,12 +4,25 @@ type t = {
   chain_of : int array; (* var -> chain id, or -1 *)
 }
 
-let make ~nvars chain_list =
+let of_array ~nvars chains =
   if nvars < 0 then invalid_arg "Blocks.make: negative nvars";
   let chains =
-    chain_list
-    |> List.filter (fun c -> Array.length c >= 2)
-    |> Array.of_list
+    if Array.for_all (fun c -> Array.length c >= 2) chains then chains
+    else begin
+      (* drop degenerate chains without list intermediates *)
+      let kept = ref 0 in
+      Array.iter (fun c -> if Array.length c >= 2 then incr kept) chains;
+      let out = Array.make !kept [||] in
+      let k = ref 0 in
+      Array.iter
+        (fun c ->
+          if Array.length c >= 2 then begin
+            out.(!k) <- c;
+            incr k
+          end)
+        chains;
+      out
+    end
   in
   let chain_of = Array.make nvars (-1) in
   Array.iteri
@@ -24,6 +37,8 @@ let make ~nvars chain_list =
         vars)
     chains;
   { nvars; chains; chain_of }
+
+let make ~nvars chain_list = of_array ~nvars (Array.of_list chain_list)
 
 let nvars t = t.nvars
 let num_chains t = Array.length t.chains

@@ -17,6 +17,11 @@ val make : nvars:int -> int array list -> t
     @raise Invalid_argument if an index is out of range or appears in two
     chains. *)
 
+val of_array : nvars:int -> int array array -> t
+(** {!make} from a chains array, taking ownership of it when no chain is
+    degenerate (no list intermediates — the constructor the streaming
+    model build uses). Same validation and semantics as {!make}. *)
+
 val nvars : t -> int
 
 val num_chains : t -> int

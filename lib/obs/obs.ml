@@ -82,6 +82,36 @@ let attach_trace obs name tr =
 let sub obs name json =
   match obs with None -> () | Some t -> t.subs <- (name, json) :: t.subs
 
+(* Peak resident set size of this process, from the [VmHWM] line of
+   /proc/self/status — a process-lifetime high-water mark maintained by
+   the kernel, so it costs one file read and no sampling thread. Returns
+   [None] on platforms without procfs (the metric is then simply absent
+   from reports). *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec scan () =
+          match input_line ic with
+          | exception End_of_file -> None
+          | line ->
+            if String.length line >= 6 && String.sub line 0 6 = "VmHWM:" then begin
+              (* "VmHWM:   123456 kB" *)
+              let rest = String.sub line 6 (String.length line - 6) in
+              let rest =
+                match String.index_opt rest 'k' with
+                | Some i -> String.sub rest 0 i
+                | None -> rest
+              in
+              int_of_string_opt (String.trim rest)
+            end
+            else scan ()
+        in
+        scan ())
+
 (* ---- read-back (tests, report assembly) ---- *)
 
 let sorted_assoc tbl =

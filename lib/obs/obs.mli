@@ -56,6 +56,14 @@ val attach_trace : t option -> string -> Trace.t -> unit
 val sub : t option -> string -> Mclh_report.Json.t -> unit
 (** Attach a nested sub-report (e.g. a fence territory's own report). *)
 
+val peak_rss_kb : unit -> int option
+(** Peak resident set size of this process in kB, read from the [VmHWM]
+    line of [/proc/self/status]. A kernel-maintained process-lifetime
+    high-water mark: one file read, no sampling thread, but values only
+    ever grow across a process (callers measuring several runs in one
+    process should order them smallest-first if they want per-run
+    peaks). [None] on platforms without procfs. *)
+
 (** {1 Read-back} — name-sorted for deterministic serialization *)
 
 val counters : t -> (string * int) list

@@ -176,6 +176,67 @@ let parallel_map t f arr =
     else Array.map f arr
   end
 
+(* Chunked weighted fan-out: [order] is a caller-chosen processing order
+   (typically heaviest first); consecutive elements are grouped into
+   chunks of at least [min_chunk_weight] total weight and each chunk
+   becomes one dynamically-scheduled pool job. With tens of thousands of
+   tiny items (scale-1.0 shard counts) this keeps the per-job dispatch
+   and closure cost proportional to the number of chunks, not items,
+   while heavy items still get a job of their own. The chunking depends
+   only on [order] and the weights — never on the pool size — so any
+   degree (including the sequential fallback) processes every element
+   exactly once with bit-identical effects. *)
+let parallel_iter_weighted ?(min_chunk_weight = 1) t ~weight ~f order =
+  if min_chunk_weight < 1 then
+    invalid_arg "Pool.parallel_iter_weighted: min_chunk_weight < 1";
+  let n = Array.length order in
+  if n > 0 then begin
+    (* chunk starts: positions in [order] where the running weight resets *)
+    let count_chunks () =
+      let count = ref 0 and acc = ref 0 in
+      for idx = 0 to n - 1 do
+        if !acc = 0 then incr count;
+        acc := !acc + max 1 (weight order.(idx));
+        if !acc >= min_chunk_weight then acc := 0
+      done;
+      !count
+    in
+    let num_chunks = count_chunks () in
+    let starts = Array.make (num_chunks + 1) n in
+    let k = ref 0 and acc = ref 0 in
+    for idx = 0 to n - 1 do
+      if !acc = 0 then begin
+        starts.(!k) <- idx;
+        incr k
+      end;
+      acc := !acc + max 1 (weight order.(idx));
+      if !acc >= min_chunk_weight then acc := 0
+    done;
+    let run_chunk c =
+      for idx = starts.(c) to starts.(c + 1) - 1 do
+        f order.(idx)
+      done
+    in
+    let ran_par =
+      num_chunks > 1
+      && try_with_pool t (fun () ->
+             let next = Atomic.make 0 in
+             run_job t (fun _wid ->
+                 let rec pull () =
+                   let c = Atomic.fetch_and_add next 1 in
+                   if c < num_chunks then begin
+                     run_chunk c;
+                     pull ()
+                   end
+                 in
+                 pull ()))
+    in
+    if not ran_par then
+      for c = 0 to num_chunks - 1 do
+        run_chunk c
+      done
+  end
+
 let parallel_iter_chunks ?(min_chunk = 1) t n ~f =
   if min_chunk < 1 then invalid_arg "Pool.parallel_iter_chunks: min_chunk < 1";
   if n > 0 then begin

@@ -41,6 +41,21 @@ val parallel_map : t -> ('a -> 'b) -> 'a array -> 'b array
     degenerate, busy (nested call), or [arr] has fewer than two
     elements. *)
 
+val parallel_iter_weighted :
+  ?min_chunk_weight:int -> t -> weight:(int -> int) -> f:(int -> unit) -> int array -> unit
+(** [parallel_iter_weighted pool ~weight ~f order] applies [f] to every
+    element of [order] (a caller-chosen processing order, typically
+    heaviest first), grouping consecutive elements into chunks of at
+    least [min_chunk_weight] total weight; each chunk is one dynamically
+    load-balanced pool job. This keeps per-job dispatch and closure
+    overhead proportional to the chunk count when [order] holds tens of
+    thousands of tiny items, while heavy items still occupy a job of
+    their own. Chunk boundaries depend only on [order] and [weight] —
+    never the pool size — and [f] runs exactly once per element, so
+    disjoint-write workloads get bit-identical results on any degree
+    (including the sequential fallback, taken in the same situations as
+    {!parallel_map}). *)
+
 val parallel_iter_chunks : ?min_chunk:int -> t -> int -> f:(int -> int -> unit) -> unit
 (** [parallel_iter_chunks pool n ~f] covers the index range [0, n) with
     disjoint contiguous chunks, calling [f lo hi] for each (the chunk is

@@ -89,7 +89,7 @@ let test_model_figure2 () =
   Alcotest.(check int) "constraints" 3 (Model.num_constraints m);
   (* row 0 order: c2 then c4 -> constraint x4 - x2 >= w2 = 3 *)
   (* row 1 order: c1, c3, c5 -> x3 - x1 >= 2; x5 - x3 >= 4 *)
-  let b_dense = Csr.to_dense m.Model.b_mat in
+  let b_dense = Csr.to_dense (Model.b_mat m) in
   let expect =
     Dense.of_arrays
       [| [| 0.0; -1.0; 0.0; 1.0; 0.0 |];
@@ -127,7 +127,7 @@ let test_model_figure3 () =
   (* variables: c1 -> 0 (row0), 1 (row1); c2 -> 2; c3 -> 3 (row0), 4 (row1) *)
   Alcotest.(check int) "nvars" 5 m.Model.nvars;
   Alcotest.(check int) "constraints" 3 (Model.num_constraints m);
-  let b_dense = Csr.to_dense m.Model.b_mat in
+  let b_dense = Csr.to_dense (Model.b_mat m) in
   (* row 0: x2 - x0 >= 2; x3 - x2 >= 3. row 1: x4 - x1 >= 2 *)
   let expect_b =
     Dense.of_arrays
@@ -226,7 +226,7 @@ let test_schur_dense_vs_bruteforce () =
   let lambda = 50.0 in
   let qp = Model.to_qp m ~lambda in
   let qinv = Lu.inverse (Lu.factorize (Csr.to_dense qp.Mclh_qp.Qp.q_mat)) in
-  let b = Csr.to_dense m.Model.b_mat in
+  let b = Csr.to_dense (Model.b_mat m) in
   let brute = Dense.mul b (Dense.mul qinv (Dense.transpose b)) in
   Alcotest.(check bool) "dense schur correct" true
     (Dense.equal ~eps:1e-8 brute (Schur.dense m ~lambda))

@@ -57,7 +57,7 @@ let test_partition_valid () =
       (* every constraint row must stay a (-1, +1) pair over shard-local
          variables of the same component *)
       for i = 0 to Model.num_constraints sub - 1 do
-        match Csr.row_entries sub.Model.b_mat i with
+        match Csr.row_entries (Model.b_mat sub) i with
         | [ (_, a); (_, b) ] ->
           Alcotest.(check (float 0.0)) "pair sum" 0.0 (a +. b)
         | _ -> Alcotest.fail "constraint row is not a two-entry pair"
@@ -87,9 +87,9 @@ let test_component_ids_cover () =
         (c >= 0 && c < deco.Decompose.num_components))
     deco.Decompose.comp_of_var;
   (* constraints keep both endpoints in one component *)
-  Csr.iter model.Model.b_mat (fun _ _ _ -> ());
+  Csr.iter (Model.b_mat model) (fun _ _ _ -> ());
   for i = 0 to Model.num_constraints model - 1 do
-    match Csr.row_entries model.Model.b_mat i with
+    match Csr.row_entries (Model.b_mat model) i with
     | [ (u, _); (v, _) ] ->
       Alcotest.(check int) "constraint inside one component"
         deco.Decompose.comp_of_var.(u)

@@ -154,6 +154,46 @@ let test_solver_bit_identity () =
           Alcotest.(check (array (float 0.0))) (tag ^ " r") seq.Solver.r par.Solver.r)
         [ 2; 4 ])
 
+let test_pool_iter_weighted () =
+  (* coverage and chunk determinism: every element of [order] is visited
+     exactly once whatever the pool degree or min_chunk_weight, and
+     disjoint writes land identically *)
+  let orders =
+    [ [||]; [| 0 |]; [| 4; 1; 0; 3; 2 |]; Array.init 257 (fun i -> 256 - i) ]
+  in
+  let weights i = 1 + (i mod 7) in
+  List.iter
+    (fun num_domains ->
+      let pool = Pool.create ~num_domains in
+      List.iter
+        (fun order ->
+          List.iter
+            (fun min_chunk_weight ->
+              let n = Array.length order in
+              let hits = Array.make (max n 1) 0 in
+              Pool.parallel_iter_weighted ~min_chunk_weight pool
+                ~weight:weights
+                ~f:(fun i -> hits.(i) <- hits.(i) + 1)
+                order;
+              if n > 0 then
+                Alcotest.(check (array int))
+                  (Printf.sprintf
+                     "each element once (n=%d, nd=%d, mcw=%d)" n num_domains
+                     min_chunk_weight)
+                  (Array.make n 1) (Array.sub hits 0 n))
+            [ 1; 3; 1000 ])
+        orders;
+      Pool.shutdown pool)
+    [ 1; 3 ];
+  let pool = Pool.create ~num_domains:2 in
+  Alcotest.check_raises "min_chunk_weight validated"
+    (Invalid_argument "Pool.parallel_iter_weighted: min_chunk_weight < 1")
+    (fun () ->
+      Pool.parallel_iter_weighted ~min_chunk_weight:0 pool
+        ~weight:(fun _ -> 1)
+        ~f:ignore [| 0 |]);
+  Pool.shutdown pool
+
 let test_runner_bit_identity () =
   let d = (instance "fft_1").Mclh_benchgen.Generate.design in
   let seq = Runner.run ~config:(config_with_domains 1) Runner.Mmsim d in
@@ -197,6 +237,8 @@ let () =
         [ Alcotest.test_case "map order + lifecycle" `Quick test_pool_map_order;
           Alcotest.test_case "iter_chunks coverage" `Quick
             test_pool_iter_chunks_cover;
+          Alcotest.test_case "iter_weighted coverage" `Quick
+            test_pool_iter_weighted;
           Alcotest.test_case "exception propagation" `Quick
             test_pool_exception_propagation;
           Alcotest.test_case "nested fallback" `Quick test_pool_nested_fallback;

@@ -6,7 +6,8 @@
      MCLH_SCALE   instance scale factor (default 0.04; 1.0 = paper size)
      MCLH_FAST    if set, run a 5-benchmark subset
      MCLH_ONLY    comma-separated subset of sections:
-                  table1,table2,sec53,fig5,ablations,extensions,scaling,eco,kernels *)
+                  table1,table2,sec53,fig5,ablations,extensions,scaling,eco,
+                  serve,kernels *)
 
 let sections =
   [ ("table1", Table1.run);
@@ -17,6 +18,7 @@ let sections =
     ("extensions", Extensions.run);
     ("scaling", Scaling.run);
     ("eco", Eco.run);
+    ("serve", Serve.run);
     ("kernels", Kernels.run) ]
 
 let () =

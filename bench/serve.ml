@@ -1,0 +1,281 @@
+(* Load test of the mclh serve daemon (lib/serve) — legalization as a
+   service, end to end over a real Unix socket.
+
+   A resident fleet of blockage-rich sessions (the ECO regime: many
+   short segments, small dirty sets) is opened once; then N client
+   threads, each on its own connection, fire M ECO-sized move batches
+   at the fleet and time every request round trip. Afterwards each
+   session's applied-batch log is fetched and replayed serially on a
+   locally rebuilt Incr session of the same generated design — the
+   served placements must be bit-identical to the serial replay, which
+   is the whole correctness story of the concurrent daemon (coalescing,
+   drainer queues and admission control may change *when* batches are
+   applied, never what they compute).
+
+   Reported: p50/p95/p99/mean round-trip latency, throughput,
+   sessions-per-GB of peak RSS, coalescing and busy counters. A JSON
+   snapshot lands in bench_out/BENCH_pr8.json for CI tracking. *)
+
+open Mclh_circuit
+open Mclh_serve
+
+let position_diff (a : Placement.t) (b : Placement.t) =
+  let open Mclh_linalg in
+  Float.max
+    (Vec.dist_inf a.Placement.xs b.Placement.xs)
+    (Vec.dist_inf a.Placement.ys b.Placement.ys)
+
+let bit_identical (a : Placement.t) (b : Placement.t) =
+  let eq u v =
+    Array.length u = Array.length v
+    && Array.for_all2
+         (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+         u v
+  in
+  eq a.Placement.xs b.Placement.xs && eq a.Placement.ys b.Placement.ys
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+
+let blockages = 0.15
+
+(* the fleet: name, generator bench, seed — a multi-design mix of
+   small blockage-rich instances (the regime the Incr engine targets) *)
+let fleet_specs fast =
+  let all =
+    [ ("s0", "fft_2", 1); ("s1", "fft_2", 7); ("s2", "pci_bridge32_a", 1);
+      ("s3", "pci_bridge32_b", 1) ]
+  in
+  if fast then [ List.nth all 0; List.nth all 3 ] else all
+
+(* an ECO edit is a handful of local moves, not a re-placement *)
+let edits_per_batch = 4
+
+(* paced load: clients think between batches like an interactive ECO
+   loop. A zero-think closed loop on a box with few cores measures the
+   queue, not the service — utilization here stays well under 1 so the
+   reported p50 is the daemon's actual response time. *)
+let think_s = 0.12
+
+let open_source bench seed =
+  Protocol.Generated
+    { bench; scale = Util.scale; seed; blockages; tall = 0.0 }
+
+let run () =
+  Util.section "mclh serve: concurrent legalization-as-a-service (lib/serve)";
+  let fleet = fleet_specs Util.fast_mode in
+  let num_clients = if Util.fast_mode then 4 else 8 in
+  let batches_per_client = if Util.fast_mode then 6 else 20 in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mclh-bench-%d.sock" (Unix.getpid ()))
+  in
+  let server = Server.create () in
+  let addr = Server.start server (Protocol.Unix_sock sock) in
+  Printf.printf "daemon on %s — %d sessions, %d clients x %d batches\n%!"
+    (Protocol.pp_address addr) (List.length fleet) num_clients
+    batches_per_client;
+
+  (* resident fleet *)
+  let admin = Client.connect addr in
+  let sessions =
+    List.map
+      (fun (name, bench, seed) ->
+        match Client.request admin (Open { session = name; source = open_source bench seed }) with
+        | Protocol.Opened { cells; legal; init_s; _ } ->
+          Printf.printf "  open %-4s %-16s %6d cells, legal %b, %.2fs\n%!"
+            name bench cells legal init_s;
+          assert legal;
+          (name, bench, seed, cells)
+        | r -> failwith ("open failed: " ^ Protocol.response_to_line r))
+      fleet
+  in
+  (* one positions snapshot per session: clients aim their nudges at it.
+     All batches are move-only (no renumbering), so ids stay valid no
+     matter how the daemon interleaves them. *)
+  let snapshots =
+    List.map
+      (fun (name, _, _, _) ->
+        match Client.request admin (Query { session = name; what = Q_cells }) with
+        | Protocol.Cells { xs; ys; _ } ->
+          let bound a = Array.fold_left Float.max 1.0 a in
+          (name, xs, ys, bound xs, bound ys)
+        | r -> failwith ("query failed: " ^ Protocol.response_to_line r))
+      sessions
+  in
+  let num_sessions = List.length sessions in
+  let snap = Array.of_list snapshots in
+
+  (* the load: each client round-robins the fleet starting at its own
+     offset, sending 1%-of-cells move batches and timing round trips *)
+  let clamp hi v = Float.min hi (Float.max 0.0 v) in
+  let client_job id =
+    let rng = Mclh_benchgen.Rng.create (1000 + id) in
+    let conn = Client.connect addr in
+    let latencies = ref [] in
+    let busy = ref 0 in
+    for b = 0 to batches_per_client - 1 do
+      let name, xs, ys, max_x, max_y =
+        snap.((id + b) mod num_sessions)
+      in
+      let n = Array.length xs in
+      let edits =
+        List.init edits_per_batch (fun _ ->
+            let cell = Mclh_benchgen.Rng.int rng n in
+            let x = clamp max_x (xs.(cell) +. (5.0 *. Mclh_benchgen.Rng.gaussian rng))
+            and y = clamp max_y (ys.(cell) +. (0.75 *. Mclh_benchgen.Rng.gaussian rng)) in
+            Mclh_incr.Edit.Move { cell; x; y })
+      in
+      let rec attempt tries =
+        let t0 = Mclh_par.Clock.now () in
+        match Client.request conn (Edit_batch { session = name; edits }) with
+        | Protocol.Edited { stats; _ } ->
+          latencies := (Mclh_par.Clock.now () -. t0) :: !latencies;
+          assert stats.Mclh_incr.Incr.converged
+        | Protocol.Failed { code = Protocol.Busy; _ } when tries < 50 ->
+          incr busy;
+          Thread.delay 0.002;
+          attempt (tries + 1)
+        | r -> failwith ("edit failed: " ^ Protocol.response_to_line r)
+      in
+      attempt 0;
+      Thread.delay (think_s *. (0.5 +. Mclh_benchgen.Rng.float rng 1.0))
+    done;
+    Client.close conn;
+    (!latencies, !busy)
+  in
+  let t0 = Mclh_par.Clock.now () in
+  let slots = Array.make num_clients ([], 0) in
+  let threads =
+    List.init num_clients (fun id ->
+        Thread.create (fun () -> slots.(id) <- client_job id) ())
+  in
+  List.iter Thread.join threads;
+  let wall = Mclh_par.Clock.now () -. t0 in
+  let latencies = List.concat_map fst (Array.to_list slots) in
+  let client_busy = Array.fold_left (fun acc (_, b) -> acc + b) 0 slots in
+
+  let sorted = Array.of_list latencies in
+  Array.sort compare sorted;
+  let ms x = 1000.0 *. x in
+  let p50 = percentile sorted 0.50
+  and p95 = percentile sorted 0.95
+  and p99 = percentile sorted 0.99 in
+  let mean =
+    Array.fold_left ( +. ) 0.0 sorted /. float_of_int (max 1 (Array.length sorted))
+  in
+  let total_batches = Array.length sorted in
+  let throughput = float_of_int total_batches /. wall in
+
+  (* server-side accounting *)
+  let applies, coalesced, srv_busy, errors, peak_rss_kb =
+    match Client.request admin Protocol.Stats with
+    | Protocol.Server_stats { applies; coalesced; busy; errors; peak_rss_kb; _ } ->
+      (applies, coalesced, busy, errors, peak_rss_kb)
+    | r -> failwith ("stats failed: " ^ Protocol.response_to_line r)
+  in
+  let sessions_per_gb =
+    match peak_rss_kb with
+    | Some kb when kb > 0 ->
+      float_of_int num_sessions *. 1024.0 *. 1024.0 /. float_of_int kb
+    | _ -> Float.nan
+  in
+  Printf.printf
+    "%d batches in %.2fs — %.1f batches/s; latency p50 %.2fms p95 %.2fms \
+     p99 %.2fms mean %.2fms\n%!"
+    total_batches wall throughput (ms p50) (ms p95) (ms p99) (ms mean);
+  Printf.printf
+    "applies %d (coalesced riders %d), busy %d (client-observed %d), \
+     errors %d, peak RSS %s — %.0f sessions/GB\n%!"
+    applies coalesced srv_busy client_busy errors
+    (match peak_rss_kb with Some kb -> Printf.sprintf "%d kB" kb | None -> "n/a")
+    sessions_per_gb;
+
+  (* serial-replay equivalence: rebuild each design locally, replay the
+     applied-batch log in order, compare placements bit-exactly *)
+  let worst = ref 0.0 in
+  let all_identical = ref true in
+  List.iter
+    (fun (name, bench, seed, _) ->
+      let log =
+        match Client.request admin (Query { session = name; what = Q_log }) with
+        | Protocol.Log { log; _ } -> log
+        | r -> failwith ("log failed: " ^ Protocol.response_to_line r)
+      in
+      let served =
+        match Client.request admin (Query { session = name; what = Q_cells }) with
+        | Protocol.Cells { xs; ys; _ } -> Placement.make ~xs ~ys
+        | r -> failwith ("cells failed: " ^ Protocol.response_to_line r)
+      in
+      let options =
+        { Mclh_benchgen.Generate.default_options with
+          seed;
+          blockage_fraction = blockages;
+          blockage_count = 32 }
+      in
+      let inst =
+        Mclh_benchgen.Generate.generate ~options
+          (Mclh_benchgen.Spec.scaled Util.scale (Mclh_benchgen.Spec.find bench))
+      in
+      let replay =
+        Mclh_incr.Incr.create
+          ~config:(Server.default_config.Server.incr_config)
+          inst.Mclh_benchgen.Generate.design
+      in
+      List.iter
+        (fun (_, edits) -> ignore (Mclh_incr.Incr.apply replay edits))
+        log;
+      let local = Mclh_incr.Incr.legal replay in
+      let diff = position_diff served local in
+      let ident = bit_identical served local in
+      worst := Float.max !worst diff;
+      all_identical := !all_identical && ident;
+      Printf.printf "  replay %-4s: %3d applies, max |dpos| %.1e, bit-identical %b\n%!"
+        name (List.length log) diff ident)
+    sessions;
+  if not !all_identical then
+    Printf.printf "WARNING: served placement differs from serial replay!\n%!";
+
+  List.iter
+    (fun (name, _, _, _) ->
+      ignore (Client.request admin (Close { session = name })))
+    sessions;
+  ignore (Client.request admin Protocol.Shutdown);
+  Client.close admin;
+  Server.stop server;
+
+  Util.ensure_out_dir ();
+  let path = Filename.concat Util.out_dir "BENCH_pr8.json" in
+  let open Mclh_report in
+  Json.to_file ~path
+    (Json.Obj
+       [ ("benchmark", Json.String "serve_load");
+         ("scale", Json.Float Util.scale);
+         ("sessions", Json.Int num_sessions);
+         ("fleet",
+          Json.List
+            (List.map (fun (_, b, _, _) -> Json.String b) sessions));
+         ("clients", Json.Int num_clients);
+         ("batches_per_client", Json.Int batches_per_client);
+         ("edits_per_batch", Json.Int edits_per_batch);
+         ("think_s", Json.Float think_s);
+         ("batches", Json.Int total_batches);
+         ("wall_s", Json.Float wall);
+         ("throughput_batches_per_s", Json.Float throughput);
+         ("latency_p50_ms", Json.Float (ms p50));
+         ("latency_p95_ms", Json.Float (ms p95));
+         ("latency_p99_ms", Json.Float (ms p99));
+         ("latency_mean_ms", Json.Float (ms mean));
+         ("applies", Json.Int applies);
+         ("coalesced", Json.Int coalesced);
+         ("busy", Json.Int srv_busy);
+         ("errors", Json.Int errors);
+         ("peak_rss_kb",
+          (match peak_rss_kb with Some kb -> Json.Int kb | None -> Json.Null));
+         ("sessions_per_gb", Json.Float sessions_per_gb);
+         ("replay_max_diff", Json.Float !worst);
+         ("bit_identical", Json.Bool !all_identical) ]);
+  Printf.printf "serve snapshot written to %s\n%!" path

@@ -8,7 +8,8 @@
      check      verify a placement file against a design file
      stats      density/utilization analysis of a design (+ placement)
      convert    translate between the native format and Bookshelf
-     eco        apply ECO edit batches through the incremental engine *)
+     eco        apply ECO edit batches through the incremental engine
+     serve      legalization-as-a-service daemon over a line-JSON socket *)
 
 open Cmdliner
 open Mclh_circuit
@@ -627,6 +628,94 @@ let convert_cmd =
     (Cmd.info "convert" ~doc:"Convert between native and Bookshelf formats.")
     Term.(const run $ in_arg $ out_arg)
 
+let serve_cmd =
+  let module Serve = Mclh_serve in
+  let socket_arg =
+    let doc = "Listen on a Unix-domain socket at $(docv) (the default, at \
+               /tmp/mclh.sock)." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let tcp_arg =
+    let doc = "Listen on TCP at $(docv) instead of a Unix socket; port 0 \
+               binds an ephemeral port (the resolved address is printed on \
+               startup)." in
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let max_sessions_arg =
+    let doc = "Maximum concurrently open sessions." in
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.Serve.Server.max_sessions
+      & info [ "max-sessions" ] ~docv:"N" ~doc)
+  in
+  let max_inflight_arg =
+    let doc = "Admission control: maximum edit batches admitted (queued or \
+               applying) across all sessions; further batches are refused \
+               with a $(b,busy) reply." in
+    Arg.(
+      value
+      & opt int Serve.Server.default_config.Serve.Server.max_inflight
+      & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let no_coalesce_arg =
+    let doc = "Apply every edit batch individually instead of merging \
+               queued renumbering-free runs per session." in
+    Arg.(value & flag & info [ "no-coalesce" ] ~doc)
+  in
+  let run socket tcp max_sessions max_inflight no_coalesce lambda eps max_iter =
+    let addr =
+      match (socket, tcp) with
+      | Some _, Some _ ->
+        prerr_endline "mclh serve: --socket and --tcp are mutually exclusive";
+        exit 2
+      | Some path, None -> Serve.Protocol.Unix_sock path
+      | None, Some hp -> (
+        match String.rindex_opt hp ':' with
+        | Some i -> (
+          let host = String.sub hp 0 i
+          and port = String.sub hp (i + 1) (String.length hp - i - 1) in
+          let host = if host = "" then "127.0.0.1" else host in
+          match int_of_string_opt port with
+          | Some p -> Serve.Protocol.Tcp (host, p)
+          | None ->
+            prerr_endline "mclh serve: --tcp wants HOST:PORT";
+            exit 2)
+        | None ->
+          prerr_endline "mclh serve: --tcp wants HOST:PORT";
+          exit 2)
+      | None, None -> Serve.Protocol.Unix_sock "/tmp/mclh.sock"
+    in
+    let incr_config =
+      { (config_of lambda eps max_iter) with Config.metrics = true }
+    in
+    let config =
+      { Serve.Server.default_config with
+        Serve.Server.incr_config;
+        max_sessions;
+        max_inflight;
+        coalesce = not no_coalesce }
+    in
+    let srv = Serve.Server.create ~config () in
+    let bound = Serve.Server.start srv addr in
+    Printf.printf "mclh serve: listening on %s (protocol v%d)\n%!"
+      (Serve.Protocol.pp_address bound) Serve.Protocol.version;
+    let on_signal = Sys.Signal_handle (fun _ -> Serve.Server.shutdown srv) in
+    (try Sys.set_signal Sys.sigint on_signal with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigterm on_signal with Invalid_argument _ -> ());
+    Serve.Server.wait srv;
+    Serve.Server.stop srv;
+    Printf.printf "mclh serve: stopped\n%!"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve incremental legalization sessions over a line-delimited \
+          JSON protocol (one request per line; see DESIGN.md \"Serving\"). \
+          Try: echo '{\"op\":\"ping\"}' | socat - UNIX:/tmp/mclh.sock")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ max_sessions_arg $ max_inflight_arg
+      $ no_coalesce_arg $ lambda_arg $ eps_arg $ max_iter_arg)
+
 let () =
   let info =
     Cmd.info "mclh" ~version:"1.0.0"
@@ -636,4 +725,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; gen_cmd; legalize_cmd; run_cmd; check_cmd; stats_cmd;
-            convert_cmd; eco_cmd ]))
+            convert_cmd; eco_cmd; serve_cmd ]))

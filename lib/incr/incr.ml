@@ -23,11 +23,14 @@ type stats = {
    final modulus in the shard's local numbering *)
 type entry = { ex : Vec.t; er : Vec.t; es : Vec.t }
 
+exception Busy
+
 type t = {
   config : Config.t;
   obs : Obs.t option;
   min_shard_vars : int;
   cache : (Int64.t * Int64.t * int * int, entry) Hashtbl.t;
+  in_apply : bool Atomic.t;  (* overlapping-[apply] guard (see [try_apply]) *)
   mutable design : Design.t;
   mutable assignment : Row_assign.t;
   mutable model : Model.t;
@@ -386,6 +389,7 @@ let of_flow ?(config = Config.default) ?obs
       obs;
       min_shard_vars;
       cache = Hashtbl.create 256;
+      in_apply = Atomic.make false;
       design;
       assignment = model.Model.assignment;
       model;
@@ -421,7 +425,9 @@ let num_batches t = t.batches
 let cache_entries t = Hashtbl.length t.cache
 let last_stats t = t.last
 
-let apply t edits =
+let busy t = Atomic.get t.in_apply
+
+let apply_locked t edits =
   let start = Clock.now () in
   let obs = t.obs in
   Obs.incr obs "incr/batches";
@@ -515,3 +521,19 @@ let apply t edits =
   in
   t.last <- Some stats;
   stats
+
+(* The session's mutable state (design/model/modulus/cache) is updated in
+   place: two overlapping [apply] calls would interleave those writes and
+   corrupt the session. The restriction used to live only in the mli; a
+   threaded host (the [Mclh_serve] daemon) needs it enforced, so entry is
+   guarded by an atomic flag — the loser gets a typed rejection instead of
+   silent corruption. *)
+let try_apply t edits =
+  if not (Atomic.compare_and_set t.in_apply false true) then Error `Busy
+  else
+    Fun.protect
+      ~finally:(fun () -> Atomic.set t.in_apply false)
+      (fun () -> Ok (apply_locked t edits))
+
+let apply t edits =
+  match try_apply t edits with Ok stats -> stats | Error `Busy -> raise Busy

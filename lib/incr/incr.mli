@@ -29,8 +29,11 @@
 
     Sessions are single-threaded on the outside (one [apply] at a time);
     dirty-shard solves fan out over the domain pool internally exactly
-    like the cold solver. Fence regions are not supported — create a
-    session per territory instead. *)
+    like the cold solver. The restriction is {e enforced}: overlapping
+    [apply] calls from a threaded host are rejected with {!Busy} /
+    [Error `Busy] instead of silently corrupting the session (see
+    {!try_apply}). Fence regions are not supported — create a session per
+    territory instead. *)
 
 open Mclh_circuit
 open Mclh_core
@@ -95,6 +98,16 @@ val cache_entries : t -> int
 val last_stats : t -> stats option
 (** Stats of the most recent {!apply} ([None] before the first). *)
 
+exception Busy
+(** Raised by {!apply} when another [apply] on the same session is still
+    in flight (sessions are single-threaded on the outside; see
+    {!try_apply}). *)
+
+val busy : t -> bool
+(** True while an {!apply} is in flight on this session. Advisory only —
+    the session may become busy (or free) between this read and a
+    subsequent call; use {!try_apply} to claim it atomically. *)
+
 val apply : t -> Edit.t list -> stats
 (** Applies one edit batch and re-legalizes. All cell ids in the batch
     refer to the design as of the start of the batch; deletions compact
@@ -113,4 +126,14 @@ val apply : t -> Edit.t list -> stats
       already-deleted cell, a non-positive resize/insert dimension, or a
       batch that deletes every cell.
     @raise Failure if an edit leaves a cell no admissible row or the
-      Tetris stage cannot place a cell (design over capacity). *)
+      Tetris stage cannot place a cell (design over capacity).
+    @raise Busy when another [apply] on this session is still in
+      flight — the batch is not applied and the session is unchanged. *)
+
+val try_apply : t -> Edit.t list -> (stats, [ `Busy ]) result
+(** Like {!apply} but returns [Error `Busy] instead of raising {!Busy}
+    when the session is already applying a batch. The claim is a single
+    atomic compare-and-set, so exactly one of any set of concurrent
+    callers wins; the session is released when the apply returns or
+    raises. Domain-level failures ([Invalid_argument], [Failure]) leave
+    the session's design and placement at their pre-batch state. *)

@@ -8,7 +8,14 @@
     call from inside a running job degrades to the sequential path
     instead of oversubscribing the machine. Work partitioning is
     index-deterministic and parallel writes target disjoint slices, so
-    parallel and sequential execution produce bit-identical results. *)
+    parallel and sequential execution produce bit-identical results.
+
+    The busy claim is a single atomic compare-and-set, so concurrent
+    submissions from several {e system threads} (the [Mclh_serve] daemon's
+    per-connection workers, each re-solving a different session) are safe:
+    exactly one claims the pool, every other falls back to its sequential
+    path — and since parallel and sequential execution are bit-identical,
+    contention affects only scheduling, never results. *)
 
 type t
 

@@ -31,7 +31,26 @@ let float_repr f =
   if not (Float.is_finite f) then "null"
   else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.12g" f
+  else begin
+    (* shortest representation that parses back to the exact same float:
+       %.12g keeps the artifacts human-diffable when it already round-trips
+       (it almost always does for measured quantities), escalating to 15,
+       16 and finally 17 significant digits — which is always exact — so
+       the wire protocol can carry positions bit-exactly *)
+    let exact p =
+      let s = Printf.sprintf "%.*g" p f in
+      if float_of_string s = f then Some s else None
+    in
+    match exact 12 with
+    | Some s -> s
+    | None -> (
+      match exact 15 with
+      | Some s -> s
+      | None -> (
+        match exact 16 with
+        | Some s -> s
+        | None -> Printf.sprintf "%.17g" f))
+  end
 
 let rec emit buf ~indent ~level v =
   let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in

@@ -20,7 +20,12 @@ val to_string : ?indent:bool -> t -> string
 (** Serializes the value; [indent] (default [true]) pretty-prints with
     two-space indentation and a trailing newline. Non-finite floats are
     emitted as [null] (JSON has no NaN/Infinity), so the output always
-    parses. *)
+    parses. Finite floats are emitted with the fewest significant digits
+    (starting from the historical [%.12g], escalating to 17 when needed)
+    that parse back to the exact same float, so every finite float
+    round-trips bit-identically through {!of_string} — the serving
+    protocol ({!Mclh_serve}) relies on this to carry cell positions
+    exactly. *)
 
 val of_string : string -> (t, string) result
 (** Parses one JSON document. Numbers without a fraction or exponent

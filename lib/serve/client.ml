@@ -1,0 +1,63 @@
+(* Blocking line-protocol client. *)
+
+type t = {
+  fd : Unix.file_descr;
+  chunk : Bytes.t;
+  mutable buf : string;
+  mutable closed : bool;
+}
+
+let connect addr =
+  let domain, sockaddr = Server.sockaddr_of addr in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; chunk = Bytes.create 65536; buf = ""; closed = false }
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let send_line t line = write_all t.fd (line ^ "\n")
+
+let recv_line t =
+  let rec go () =
+    match String.index_opt t.buf '\n' with
+    | Some i ->
+      let line = String.sub t.buf 0 i in
+      t.buf <- String.sub t.buf (i + 1) (String.length t.buf - i - 1);
+      let n = String.length line in
+      Some (if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line)
+    | None ->
+      let n =
+        try Unix.read t.fd t.chunk 0 (Bytes.length t.chunk)
+        with Unix.Unix_error _ -> 0
+      in
+      if n = 0 then None
+      else begin
+        t.buf <- t.buf ^ Bytes.sub_string t.chunk 0 n;
+        go ()
+      end
+  in
+  go ()
+
+let request t req =
+  send_line t (Protocol.request_to_line req);
+  match recv_line t with
+  | None -> failwith "mclh client: connection closed by server"
+  | Some line -> (
+    match Protocol.response_of_line line with
+    | Ok r -> r
+    | Error m -> failwith ("mclh client: bad response: " ^ m))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,24 @@
+(** A minimal blocking client for the {!Protocol}: one socket, one
+    request/response at a time (or hand-pipelined via {!send_line} /
+    {!recv_line}). Used by [bench/serve.ml], the test suite and the
+    [mclh serve] client one-liners; not thread-safe — use one client
+    per thread. *)
+
+type t
+
+val connect : Protocol.address -> t
+(** @raise Unix.Unix_error if the daemon is not listening. *)
+
+val request : t -> Protocol.request -> Protocol.response
+(** Send one request line and block for its response line.
+    @raise Failure if the server hangs up or replies unparsably. *)
+
+val send_line : t -> string -> unit
+(** Raw line write (newline appended) — for pipelining and for sending
+    deliberately malformed frames in tests. *)
+
+val recv_line : t -> string option
+(** Next response line ([None] on EOF). *)
+
+val close : t -> unit
+(** Idempotent. *)

@@ -1,0 +1,544 @@
+(* Serving protocol: request/response vocabulary and its JSON codecs.
+
+   Everything rides on the repository's own Json module — the emitter's
+   shortest-exact float representation makes positions round-trip
+   bit-identically, and the parser's depth cap turns nesting bombs into
+   ordinary error replies. Encoders write every field (canonical order);
+   decoders look fields up by name and tolerate reordering. *)
+
+open Mclh_report
+module Edit = Mclh_incr.Edit
+module Incr = Mclh_incr.Incr
+
+let version = 1
+let max_line_bytes = 8 * 1024 * 1024
+
+type address = Unix_sock of string | Tcp of string * int
+
+let pp_address = function
+  | Unix_sock path -> Printf.sprintf "unix:%s" path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+type open_source =
+  | From_file of { path : string }
+  | Generated of {
+      bench : string;
+      scale : float;
+      seed : int;
+      blockages : float;
+      tall : float;
+    }
+
+type query_what = Q_cells | Q_stats | Q_report | Q_log
+
+type request =
+  | Open of { session : string; source : open_source }
+  | Edit_batch of { session : string; edits : Edit.t list }
+  | Query of { session : string; what : query_what }
+  | Close of { session : string }
+  | Stats
+  | Ping
+  | Shutdown
+
+type error_code =
+  | Bad_request
+  | Unknown_op
+  | Unknown_session
+  | Session_exists
+  | Too_many_sessions
+  | Busy
+  | Rejected
+  | Shutting_down
+  | Internal
+
+type response =
+  | Opened of { session : string; cells : int; legal : bool; init_s : float }
+  | Edited of { session : string; seq : int; coalesced : int; stats : Incr.stats }
+  | Cells of { session : string; xs : float array; ys : float array }
+  | Session_stats of {
+      session : string;
+      cells : int;
+      batches : int;
+      applies : int;
+      cache_entries : int;
+      pending : int;
+    }
+  | Report of { session : string; report : Json.t }
+  | Log of { session : string; log : (int * Edit.t list) list }
+  | Closed of { session : string; batches : int }
+  | Server_stats of {
+      sessions : int;
+      requests : int;
+      edits : int;
+      applies : int;
+      busy : int;
+      coalesced : int;
+      errors : int;
+      uptime_s : float;
+      peak_rss_kb : int option;
+    }
+  | Pong
+  | Shutdown_ack
+  | Failed of { code : error_code; message : string }
+
+let error_code_to_string = function
+  | Bad_request -> "bad_request"
+  | Unknown_op -> "unknown_op"
+  | Unknown_session -> "unknown_session"
+  | Session_exists -> "session_exists"
+  | Too_many_sessions -> "too_many_sessions"
+  | Busy -> "busy"
+  | Rejected -> "rejected"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let error_code_of_string = function
+  | "bad_request" -> Some Bad_request
+  | "unknown_op" -> Some Unknown_op
+  | "unknown_session" -> Some Unknown_session
+  | "session_exists" -> Some Session_exists
+  | "too_many_sessions" -> Some Too_many_sessions
+  | "busy" -> Some Busy
+  | "rejected" -> Some Rejected
+  | "shutting_down" -> Some Shutting_down
+  | "internal" -> Some Internal
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* decoding combinators                                                *)
+
+let ( let* ) = Result.bind
+
+let field name v =
+  match Json.member name v with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let opt_field name v = Json.member name v
+
+let as_string name = function
+  | Json.String s -> Ok s
+  | _ -> Error (Printf.sprintf "field %S: expected a string" name)
+
+let as_int name = function
+  | Json.Int i -> Ok i
+  | _ -> Error (Printf.sprintf "field %S: expected an integer" name)
+
+let as_float name = function
+  (* non-finite numbers are rejected: the emitter writes them as null,
+     so they cannot round-trip — and accepting an overflowed literal
+     like 1e999 would let a client poison a session with inf/nan
+     coordinates that Incr.apply has no reason to expect *)
+  | Json.Float f when Float.is_finite f -> Ok f
+  | Json.Float _ -> Error (Printf.sprintf "field %S: non-finite number" name)
+  | Json.Int i -> Ok (float_of_int i)
+  | _ -> Error (Printf.sprintf "field %S: expected a number" name)
+
+let as_bool name = function
+  | Json.Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "field %S: expected a bool" name)
+
+let as_list name = function
+  | Json.List l -> Ok l
+  | _ -> Error (Printf.sprintf "field %S: expected a list" name)
+
+let str_field name v =
+  let* x = field name v in
+  as_string name x
+
+let int_field name v =
+  let* x = field name v in
+  as_int name x
+
+let float_field name v =
+  let* x = field name v in
+  as_float name x
+
+let bool_field name v =
+  let* x = field name v in
+  as_bool name x
+
+let list_field name v =
+  let* x = field name v in
+  as_list name x
+
+let opt_float_field name ~default v =
+  match opt_field name v with None -> Ok default | Some x -> as_float name x
+
+let opt_int_field name ~default v =
+  match opt_field name v with None -> Ok default | Some x -> as_int name x
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let float_array_field name v =
+  let* l = list_field name v in
+  let* fs = map_result (as_float name) l in
+  Ok (Array.of_list fs)
+
+(* ------------------------------------------------------------------ *)
+(* edits                                                               *)
+
+let edit_to_json = function
+  | Edit.Move { cell; x; y } ->
+    Json.Obj
+      [ ("op", Json.String "move"); ("cell", Json.Int cell);
+        ("x", Json.Float x); ("y", Json.Float y) ]
+  | Edit.Resize { cell; width } ->
+    Json.Obj
+      [ ("op", Json.String "resize"); ("cell", Json.Int cell);
+        ("width", Json.Int width) ]
+  | Edit.Insert { width; height; x; y } ->
+    Json.Obj
+      [ ("op", Json.String "insert"); ("width", Json.Int width);
+        ("height", Json.Int height); ("x", Json.Float x); ("y", Json.Float y) ]
+  | Edit.Delete { cell } ->
+    Json.Obj [ ("op", Json.String "delete"); ("cell", Json.Int cell) ]
+
+let edit_of_json v =
+  let* op = str_field "op" v in
+  match op with
+  | "move" ->
+    let* cell = int_field "cell" v in
+    let* x = float_field "x" v in
+    let* y = float_field "y" v in
+    Ok (Edit.Move { cell; x; y })
+  | "resize" ->
+    let* cell = int_field "cell" v in
+    let* width = int_field "width" v in
+    Ok (Edit.Resize { cell; width })
+  | "insert" ->
+    let* width = int_field "width" v in
+    let* height = int_field "height" v in
+    let* x = float_field "x" v in
+    let* y = float_field "y" v in
+    Ok (Edit.Insert { width; height; x; y })
+  | "delete" ->
+    let* cell = int_field "cell" v in
+    Ok (Edit.Delete { cell })
+  | op -> Error (Printf.sprintf "unknown edit op %S" op)
+
+(* ------------------------------------------------------------------ *)
+(* requests                                                            *)
+
+let what_to_string = function
+  | Q_cells -> "cells"
+  | Q_stats -> "stats"
+  | Q_report -> "report"
+  | Q_log -> "log"
+
+let what_of_string = function
+  | "cells" -> Some Q_cells
+  | "stats" -> Some Q_stats
+  | "report" -> Some Q_report
+  | "log" -> Some Q_log
+  | _ -> None
+
+let request_to_json = function
+  | Open { session; source = From_file { path } } ->
+    Json.Obj
+      [ ("op", Json.String "open"); ("session", Json.String session);
+        ("design", Json.String path) ]
+  | Open { session; source = Generated { bench; scale; seed; blockages; tall } }
+    ->
+    Json.Obj
+      [ ("op", Json.String "open"); ("session", Json.String session);
+        ("bench", Json.String bench); ("scale", Json.Float scale);
+        ("seed", Json.Int seed); ("blockages", Json.Float blockages);
+        ("tall", Json.Float tall) ]
+  | Edit_batch { session; edits } ->
+    Json.Obj
+      [ ("op", Json.String "edit"); ("session", Json.String session);
+        ("edits", Json.List (List.map edit_to_json edits)) ]
+  | Query { session; what } ->
+    Json.Obj
+      [ ("op", Json.String "query"); ("session", Json.String session);
+        ("what", Json.String (what_to_string what)) ]
+  | Close { session } ->
+    Json.Obj [ ("op", Json.String "close"); ("session", Json.String session) ]
+  | Stats -> Json.Obj [ ("op", Json.String "stats") ]
+  | Ping -> Json.Obj [ ("op", Json.String "ping") ]
+  | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
+
+let request_of_json v =
+  match v with
+  | Json.Obj _ -> (
+    let* op = str_field "op" v in
+    match op with
+    | "open" ->
+      let* session = str_field "session" v in
+      let* source =
+        match (opt_field "design" v, opt_field "bench" v) with
+        | Some _, Some _ -> Error "open: give either \"design\" or \"bench\""
+        | Some d, None ->
+          let* path = as_string "design" d in
+          Ok (From_file { path })
+        | None, Some b ->
+          let* bench = as_string "bench" b in
+          let* scale = opt_float_field "scale" ~default:0.02 v in
+          let* seed = opt_int_field "seed" ~default:1 v in
+          let* blockages = opt_float_field "blockages" ~default:0.0 v in
+          let* tall = opt_float_field "tall" ~default:0.0 v in
+          Ok (Generated { bench; scale; seed; blockages; tall })
+        | None, None -> Error "open: missing \"design\" or \"bench\""
+      in
+      Ok (Open { session; source })
+    | "edit" ->
+      let* session = str_field "session" v in
+      let* items = list_field "edits" v in
+      let* edits = map_result edit_of_json items in
+      Ok (Edit_batch { session; edits })
+    | "query" ->
+      let* session = str_field "session" v in
+      let* what_s = str_field "what" v in
+      let* what =
+        match what_of_string what_s with
+        | Some w -> Ok w
+        | None -> Error (Printf.sprintf "unknown query %S" what_s)
+      in
+      Ok (Query { session; what })
+    | "close" ->
+      let* session = str_field "session" v in
+      Ok (Close { session })
+    | "stats" -> Ok Stats
+    | "ping" -> Ok Ping
+    | "shutdown" -> Ok Shutdown
+    | op -> Error (Printf.sprintf "unknown op %S" op))
+  | _ -> Error "request must be a JSON object"
+
+(* ------------------------------------------------------------------ *)
+(* responses                                                           *)
+
+let stats_to_json (s : Incr.stats) =
+  Json.Obj
+    [ ("edits", Json.Int s.Incr.edits);
+      ("touched_cells", Json.Int s.Incr.touched_cells);
+      ("dirty_components", Json.Int s.Incr.dirty_components);
+      ("components", Json.Int s.Incr.components);
+      ("dirty_shards", Json.Int s.Incr.dirty_shards);
+      ("shards", Json.Int s.Incr.shards);
+      ("cache_hits", Json.Int s.Incr.cache_hits);
+      ("solve_iterations", Json.Int s.Incr.solve_iterations);
+      ("max_iterations", Json.Int s.Incr.max_iterations);
+      ("converged", Json.Bool s.Incr.converged);
+      ("mismatch", Json.Float s.Incr.mismatch);
+      ("latency_s", Json.Float s.Incr.latency_s) ]
+
+let stats_of_json v =
+  let* edits = int_field "edits" v in
+  let* touched_cells = int_field "touched_cells" v in
+  let* dirty_components = int_field "dirty_components" v in
+  let* components = int_field "components" v in
+  let* dirty_shards = int_field "dirty_shards" v in
+  let* shards = int_field "shards" v in
+  let* cache_hits = int_field "cache_hits" v in
+  let* solve_iterations = int_field "solve_iterations" v in
+  let* max_iterations = int_field "max_iterations" v in
+  let* converged = bool_field "converged" v in
+  let* mismatch = float_field "mismatch" v in
+  let* latency_s = float_field "latency_s" v in
+  Ok
+    { Incr.edits;
+      touched_cells;
+      dirty_components;
+      components;
+      dirty_shards;
+      shards;
+      cache_hits;
+      solve_iterations;
+      max_iterations;
+      converged;
+      mismatch;
+      latency_s }
+
+let floats xs = Json.List (Array.to_list (Array.map (fun f -> Json.Float f) xs))
+
+let response_to_json = function
+  | Opened { session; cells; legal; init_s } ->
+    Json.Obj
+      [ ("ok", Json.Bool true); ("op", Json.String "open");
+        ("session", Json.String session); ("cells", Json.Int cells);
+        ("legal", Json.Bool legal); ("init_s", Json.Float init_s) ]
+  | Edited { session; seq; coalesced; stats } ->
+    Json.Obj
+      [ ("ok", Json.Bool true); ("op", Json.String "edit");
+        ("session", Json.String session); ("seq", Json.Int seq);
+        ("coalesced", Json.Int coalesced); ("stats", stats_to_json stats) ]
+  | Cells { session; xs; ys } ->
+    Json.Obj
+      [ ("ok", Json.Bool true); ("op", Json.String "query");
+        ("what", Json.String "cells"); ("session", Json.String session);
+        ("cells", Json.Int (Array.length xs)); ("xs", floats xs);
+        ("ys", floats ys) ]
+  | Session_stats { session; cells; batches; applies; cache_entries; pending }
+    ->
+    Json.Obj
+      [ ("ok", Json.Bool true); ("op", Json.String "query");
+        ("what", Json.String "stats"); ("session", Json.String session);
+        ("cells", Json.Int cells); ("batches", Json.Int batches);
+        ("applies", Json.Int applies);
+        ("cache_entries", Json.Int cache_entries);
+        ("pending", Json.Int pending) ]
+  | Report { session; report } ->
+    Json.Obj
+      [ ("ok", Json.Bool true); ("op", Json.String "query");
+        ("what", Json.String "report"); ("session", Json.String session);
+        ("report", report) ]
+  | Log { session; log } ->
+    Json.Obj
+      [ ("ok", Json.Bool true); ("op", Json.String "query");
+        ("what", Json.String "log"); ("session", Json.String session);
+        ("log",
+         Json.List
+           (List.map
+              (fun (seq, edits) ->
+                Json.Obj
+                  [ ("seq", Json.Int seq);
+                    ("edits", Json.List (List.map edit_to_json edits)) ])
+              log)) ]
+  | Closed { session; batches } ->
+    Json.Obj
+      [ ("ok", Json.Bool true); ("op", Json.String "close");
+        ("session", Json.String session); ("batches", Json.Int batches) ]
+  | Server_stats
+      { sessions; requests; edits; applies; busy; coalesced; errors; uptime_s;
+        peak_rss_kb } ->
+    Json.Obj
+      [ ("ok", Json.Bool true); ("op", Json.String "stats");
+        ("proto", Json.Int version); ("sessions", Json.Int sessions);
+        ("requests", Json.Int requests); ("edits", Json.Int edits);
+        ("applies", Json.Int applies); ("busy", Json.Int busy);
+        ("coalesced", Json.Int coalesced); ("errors", Json.Int errors);
+        ("uptime_s", Json.Float uptime_s);
+        ("peak_rss_kb",
+         match peak_rss_kb with Some kb -> Json.Int kb | None -> Json.Null) ]
+  | Pong ->
+    Json.Obj
+      [ ("ok", Json.Bool true); ("op", Json.String "ping");
+        ("proto", Json.Int version) ]
+  | Shutdown_ack ->
+    Json.Obj [ ("ok", Json.Bool true); ("op", Json.String "shutdown") ]
+  | Failed { code; message } ->
+    Json.Obj
+      [ ("ok", Json.Bool false);
+        ("error", Json.String (error_code_to_string code));
+        ("message", Json.String message) ]
+
+let response_of_json v =
+  match v with
+  | Json.Obj _ -> (
+    let* ok = bool_field "ok" v in
+    if not ok then begin
+      let* code_s = str_field "error" v in
+      let* code =
+        match error_code_of_string code_s with
+        | Some c -> Ok c
+        | None -> Result.Error (Printf.sprintf "unknown error code %S" code_s)
+      in
+      let* message = str_field "message" v in
+      Ok (Failed { code; message })
+    end
+    else
+      let* op = str_field "op" v in
+      match op with
+      | "open" ->
+        let* session = str_field "session" v in
+        let* cells = int_field "cells" v in
+        let* legal = bool_field "legal" v in
+        let* init_s = float_field "init_s" v in
+        Ok (Opened { session; cells; legal; init_s })
+      | "edit" ->
+        let* session = str_field "session" v in
+        let* seq = int_field "seq" v in
+        let* coalesced = int_field "coalesced" v in
+        let* sv = field "stats" v in
+        let* stats = stats_of_json sv in
+        Ok (Edited { session; seq; coalesced; stats })
+      | "query" -> (
+        let* session = str_field "session" v in
+        let* what = str_field "what" v in
+        match what with
+        | "cells" ->
+          let* xs = float_array_field "xs" v in
+          let* ys = float_array_field "ys" v in
+          Ok (Cells { session; xs; ys })
+        | "stats" ->
+          let* cells = int_field "cells" v in
+          let* batches = int_field "batches" v in
+          let* applies = int_field "applies" v in
+          let* cache_entries = int_field "cache_entries" v in
+          let* pending = int_field "pending" v in
+          Ok
+            (Session_stats
+               { session; cells; batches; applies; cache_entries; pending })
+        | "report" ->
+          let* report = field "report" v in
+          Ok (Report { session; report })
+        | "log" ->
+          let* items = list_field "log" v in
+          let* log =
+            map_result
+              (fun item ->
+                let* seq = int_field "seq" item in
+                let* edits_json = list_field "edits" item in
+                let* edits = map_result edit_of_json edits_json in
+                Ok (seq, edits))
+              items
+          in
+          Ok (Log { session; log })
+        | what -> Result.Error (Printf.sprintf "unknown query reply %S" what))
+      | "close" ->
+        let* session = str_field "session" v in
+        let* batches = int_field "batches" v in
+        Ok (Closed { session; batches })
+      | "stats" ->
+        let* sessions = int_field "sessions" v in
+        let* requests = int_field "requests" v in
+        let* edits = int_field "edits" v in
+        let* applies = int_field "applies" v in
+        let* busy = int_field "busy" v in
+        let* coalesced = int_field "coalesced" v in
+        let* errors = int_field "errors" v in
+        let* uptime_s = float_field "uptime_s" v in
+        let* peak_rss_kb =
+          match opt_field "peak_rss_kb" v with
+          | None | Some Json.Null -> Ok None
+          | Some (Json.Int kb) -> Ok (Some kb)
+          | Some _ -> Result.Error "field \"peak_rss_kb\": expected int or null"
+        in
+        Ok
+          (Server_stats
+             { sessions;
+               requests;
+               edits;
+               applies;
+               busy;
+               coalesced;
+               errors;
+               uptime_s;
+               peak_rss_kb })
+      | "ping" -> Ok Pong
+      | "shutdown" -> Ok Shutdown_ack
+      | op -> Result.Error (Printf.sprintf "unknown reply op %S" op))
+  | _ -> Result.Error "response must be a JSON object"
+
+(* ------------------------------------------------------------------ *)
+(* line framing                                                        *)
+
+let to_line v = Json.to_string ~indent:false v
+
+let of_line parse line =
+  if String.contains line '\n' then Result.Error "embedded newline in frame"
+  else
+    match Json.of_string line with
+    | Ok v -> parse v
+    | Result.Error msg -> Result.Error msg
+
+let request_to_line r = to_line (request_to_json r)
+let request_of_line line = of_line request_of_json line
+let response_to_line r = to_line (response_to_json r)
+let response_of_line line = of_line response_of_json line

@@ -1,0 +1,165 @@
+(** The mclh serving protocol: line-delimited JSON over a stream socket.
+
+    One request per line, one response line per request, in request
+    order. Both sides frame on ['\n'] (requests must not contain raw
+    newlines — the {!Mclh_report.Json} emitter never produces them in
+    compact mode) and parse each line as a complete JSON document with
+    the repository's dependency-free parser, so the daemon adds no
+    third-party dependency and inherits the parser's hardening (512-level
+    nesting cap turns nesting bombs into clean errors).
+
+    Every response object carries ["ok"]: [true] for the success variants
+    below, [false] for {!Error}, whose [code] is machine-readable
+    ({!error_code}) — [busy] is the admission-control backpressure reply
+    and means "retry later", everything else is a caller mistake or a
+    rejected operation. Floats round-trip bit-exactly through the JSON
+    layer (shortest-exact emission), so placements read over the wire are
+    the placements the daemon holds.
+
+    {2 Requests}
+
+    {v
+    {"op":"open","session":S,"design":PATH}
+    {"op":"open","session":S,"bench":NAME,"scale":F,"seed":K,
+     "blockages":F,"tall":F}
+    {"op":"edit","session":S,"edits":[{"op":"move","cell":C,"x":X,"y":Y},
+                                      {"op":"resize","cell":C,"width":W},
+                                      {"op":"insert","width":W,"height":H,
+                                       "x":X,"y":Y},
+                                      {"op":"delete","cell":C}]}
+    {"op":"query","session":S,"what":"cells"|"stats"|"report"|"log"}
+    {"op":"close","session":S}
+    {"op":"stats"}   {"op":"ping"}   {"op":"shutdown"}
+    v}
+
+    Edit batches have {!Mclh_incr.Incr.apply} semantics: all cell ids
+    refer to the session's design as of the start of the batch. *)
+
+open Mclh_report
+module Edit = Mclh_incr.Edit
+module Incr = Mclh_incr.Incr
+
+val version : int
+(** Protocol version, reported by [ping] and [stats] replies. *)
+
+val max_line_bytes : int
+(** Upper bound a server places on one request line (8 MiB); longer
+    frames are answered with [bad_request] and the connection is closed
+    (framing can no longer be trusted). *)
+
+type address =
+  | Unix_sock of string  (** filesystem socket path *)
+  | Tcp of string * int  (** host, port (port [0] binds an ephemeral port) *)
+
+val pp_address : address -> string
+
+type open_source =
+  | From_file of { path : string }
+      (** load a design file ({!Mclh_circuit.Io.read_design}) *)
+  | Generated of {
+      bench : string;
+      scale : float;
+      seed : int;
+      blockages : float;
+      tall : float;
+    }
+      (** generate a synthetic instance in-daemon
+          ({!Mclh_benchgen.Generate}); [bench] names a {!Mclh_benchgen.Spec} *)
+
+type query_what =
+  | Q_cells  (** current legal placement, bit-exact *)
+  | Q_stats  (** session counters *)
+  | Q_report  (** the session's {!Mclh_obs.Run_report} JSON *)
+  | Q_log
+      (** applied-batch log: what {!Mclh_incr.Incr.apply} actually ran, in
+          order, with coalesced groups merged — replaying it serially on a
+          fresh session reproduces the placement bit-identically *)
+
+type request =
+  | Open of { session : string; source : open_source }
+  | Edit_batch of { session : string; edits : Edit.t list }
+  | Query of { session : string; what : query_what }
+  | Close of { session : string }
+  | Stats
+  | Ping
+  | Shutdown
+
+type error_code =
+  | Bad_request  (** malformed JSON, missing/ill-typed fields, bad name *)
+  | Unknown_op
+  | Unknown_session
+  | Session_exists
+  | Too_many_sessions
+  | Busy
+      (** admission control: the in-flight queue is full (or the session
+          failed to open); the batch was {e not} applied — retry later *)
+  | Rejected
+      (** the operation itself failed: unknown benchmark, unreadable
+          design file, fenced design, an edit referencing a missing cell,
+          a design over capacity. Rejected edit groups leave the session
+          at its pre-batch state. *)
+  | Shutting_down
+  | Internal
+
+type response =
+  | Opened of { session : string; cells : int; legal : bool; init_s : float }
+  | Edited of {
+      session : string;
+      seq : int;  (** per-session apply sequence number (1-based) *)
+      coalesced : int;
+          (** batches merged into that apply, [>= 1]; coalesced requests
+              share one [seq] and one [stats] *)
+      stats : Incr.stats;
+    }
+  | Cells of { session : string; xs : float array; ys : float array }
+  | Session_stats of {
+      session : string;
+      cells : int;
+      batches : int;  (** {!Mclh_incr.Incr.num_batches} (applies) *)
+      applies : int;  (** current apply sequence number *)
+      cache_entries : int;
+      pending : int;  (** batches queued behind the current apply *)
+    }
+  | Report of { session : string; report : Json.t }
+  | Log of { session : string; log : (int * Edit.t list) list }
+      (** [(seq, merged_edits)] in apply order *)
+  | Closed of { session : string; batches : int }
+  | Server_stats of {
+      sessions : int;
+      requests : int;
+      edits : int;  (** edit batches requested *)
+      applies : int;  (** [Incr.apply] calls (coalescing merges batches) *)
+      busy : int;  (** busy rejections *)
+      coalesced : int;  (** batches that rode along in a merged apply *)
+      errors : int;
+      uptime_s : float;
+      peak_rss_kb : int option;
+    }
+  | Pong
+  | Shutdown_ack
+  | Failed of { code : error_code; message : string }
+
+val error_code_to_string : error_code -> string
+val error_code_of_string : string -> error_code option
+
+(** {1 JSON codecs} — total inverses on every constructor (QCheck-pinned
+    in [test_serve.ml]); decoders return [Error] with a human-readable
+    message on any malformed document. Non-finite numbers are rejected:
+    the emitter writes them as [null] (they have no JSON literal), so a
+    value like [1e999] in a request is a malformed frame, not an [inf]
+    coordinate to feed the solver. *)
+
+val edit_to_json : Edit.t -> Json.t
+val edit_of_json : Json.t -> (Edit.t, string) result
+val request_to_json : request -> Json.t
+val request_of_json : Json.t -> (request, string) result
+val response_to_json : response -> Json.t
+val response_of_json : Json.t -> (response, string) result
+
+(** {1 Line framing} — compact (non-indented) emission, no trailing
+    newline; parsing rejects embedded newlines and trailing garbage *)
+
+val request_to_line : request -> string
+val request_of_line : string -> (request, string) result
+val response_to_line : response -> string
+val response_of_line : string -> (response, string) result

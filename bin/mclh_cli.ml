@@ -5,6 +5,7 @@
      gen        generate a synthetic instance and write it to a file
      legalize   legalize a design file with a chosen algorithm
      run        generate + legalize in one step (no files)
+     audit      sample windows of a legalized placement, re-solve exactly
      check      verify a placement file against a design file
      stats      density/utilization analysis of a design (+ placement)
      convert    translate between the native format and Bookshelf
@@ -31,6 +32,8 @@ let report_of design (r : Runner.report) =
     r.Runner.displacement.Metrics.max_manhattan;
   Printf.bprintf b "delta HPWL       : %.4f%%\n" (100.0 *. r.Runner.delta_hpwl);
   Printf.bprintf b "runtime          : %.3f s\n" r.Runner.runtime_s;
+  if r.Runner.unplaced <> [] then
+    Printf.bprintf b "unplaced         : %d\n" (List.length r.Runner.unplaced);
   (match r.Runner.mmsim with
   | Some f ->
     Printf.bprintf b "mmsim iterations : %d (total %d, converged %b)\n"
@@ -157,6 +160,24 @@ let config_of ?(metrics_out = None) ?(progress = false) lambda eps max_iter =
     progress;
     metrics = Config.default.Config.metrics || metrics_out <> None }
 
+(* a typed placement failure (design beyond capacity, over-subscribed
+   fence, ...) surfaces as a clear stderr report + exit 2, never a crash *)
+let report_unplaced (r : Runner.report) =
+  match r.Runner.unplaced with
+  | [] -> ()
+  | ids ->
+    let ids = List.sort_uniq compare ids in
+    let n = List.length ids in
+    let shown = List.filteri (fun i _ -> i < 16) ids in
+    Printf.eprintf
+      "ERROR: %d cell(s) could not be legally placed anywhere: %s%s\n\
+       (the design likely exceeds capacity; the placement written is \
+       partial)\n\
+       %!"
+      n
+      (String.concat ", " (List.map string_of_int shown))
+      (if n > 16 then Printf.sprintf " (+%d more)" (n - 16) else "")
+
 (* A non-converged solve used to look exactly like success (the repair
    stage hides it); make it loud, and fatal under --strict-convergence. *)
 let warn_nonconvergence ~strict (r : Runner.report) =
@@ -229,16 +250,41 @@ let fences_arg =
   let doc = "Number of exclusive fence regions to generate." in
   Arg.(value & opt int 0 & info [ "fences" ] ~docv:"K" ~doc)
 
-let generate_instance name scale seed single_height blockages tall fences =
-  let options =
-    { Generate.default_options with
-      seed;
-      single_height_only = single_height;
-      blockage_fraction = blockages;
-      tall_cell_fraction = tall;
-      fence_count = fences }
+let scenario_arg =
+  let alts = String.concat ", " Scenario.names in
+  let doc =
+    Printf.sprintf
+      "Generate a hard scenario instead of a Table-1 benchmark (%s). \
+       Overrides $(b,--bench) and the generator knobs."
+      alts
   in
-  Generate.generate ~options (Spec.scaled scale (Spec.find name))
+  Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"NAME" ~doc)
+
+let generate_instance name scale seed single_height blockages tall fences
+    scenario =
+  match scenario with
+  | Some s -> (
+    match Scenario.of_name s with
+    | Some kind -> Scenario.generate ~seed ~scale kind
+    | None ->
+      Printf.eprintf "unknown scenario %S (%s)\n" s
+        (String.concat ", " Scenario.names);
+      exit 1)
+  | None ->
+    (match Spec.find name with
+    | exception Not_found ->
+      Printf.eprintf "unknown benchmark %S\n" name;
+      exit 1
+    | _ -> ());
+    let options =
+      { Generate.default_options with
+        seed;
+        single_height_only = single_height;
+        blockage_fraction = blockages;
+        tall_cell_fraction = tall;
+        fence_count = fences }
+    in
+    Generate.generate ~options (Spec.scaled scale (Spec.find name))
 
 (* ---- subcommands ---- *)
 
@@ -260,28 +306,24 @@ let gen_cmd =
     let doc = "Output design file." in
     Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
   in
-  let run bench scale seed single_height blockages tall fences out =
-    match Spec.find bench with
-    | exception Not_found ->
-      Printf.eprintf "unknown benchmark %S\n" bench;
-      exit 1
-    | _ ->
-      let inst =
-        generate_instance bench scale seed single_height blockages tall fences
-      in
-      Io.write_design ~path:out inst.Generate.design;
-      let d = inst.Generate.design in
-      Printf.printf "wrote %s: %d cells, %d nets, chip %dx%d, density %.3f\n" out
-        (Design.num_cells d)
-        (Netlist.num_nets d.Design.nets)
-        d.Design.chip.Chip.num_rows d.Design.chip.Chip.num_sites
-        (Design.density d)
+  let run bench scale seed single_height blockages tall fences scenario out =
+    let inst =
+      generate_instance bench scale seed single_height blockages tall fences
+        scenario
+    in
+    Io.write_design ~path:out inst.Generate.design;
+    let d = inst.Generate.design in
+    Printf.printf "wrote %s: %d cells, %d nets, chip %dx%d, density %.3f\n" out
+      (Design.num_cells d)
+      (Netlist.num_nets d.Design.nets)
+      d.Design.chip.Chip.num_rows d.Design.chip.Chip.num_sites
+      (Design.density d)
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a synthetic benchmark instance.")
     Term.(
       const run $ bench_arg $ scale_arg $ seed_arg $ single_height_arg
-      $ blockage_arg $ tall_arg $ fences_arg $ out_arg)
+      $ blockage_arg $ tall_arg $ fences_arg $ scenario_arg $ out_arg)
 
 let legalize_cmd =
   let in_arg =
@@ -302,6 +344,7 @@ let legalize_cmd =
     in
     let r = maybe_refine design refine r in
     print_string (report_of design r);
+    report_unplaced r;
     let strict_fail = warn_nonconvergence ~strict r in
     write_metrics design r metrics_out;
     Option.iter
@@ -325,43 +368,163 @@ let legalize_cmd =
       $ progress_arg)
 
 let run_cmd =
-  let run bench scale seed single_height blockages tall fences alg svg lambda
-      eps max_iter strict refine metrics_out progress =
-    match Spec.find bench with
-    | exception Not_found ->
-      Printf.eprintf "unknown benchmark %S\n" bench;
-      exit 1
-    | _ ->
-      if progress then
-        Printf.eprintf "[mclh] generating %s at scale %g\n%!" bench scale;
-      let inst =
-        generate_instance bench scale seed single_height blockages tall fences
-      in
-      let design = inst.Generate.design in
-      let r =
-        Runner.run
-          ~config:(config_of ~metrics_out ~progress lambda eps max_iter)
-          alg design
-      in
-      let r = maybe_refine design refine r in
-      print_string (report_of design r);
-      let strict_fail = warn_nonconvergence ~strict r in
-      write_metrics design r metrics_out;
-      Option.iter
-        (fun path ->
-          Svg.write_file ~path design r.Runner.placement;
-          Printf.printf "svg              : %s\n" path)
-        svg;
-      if not r.Runner.legal then exit 2;
-      if strict_fail then exit 3
+  let run bench scale seed single_height blockages tall fences scenario alg
+      svg lambda eps max_iter strict refine metrics_out progress =
+    if progress then
+      Printf.eprintf "[mclh] generating %s at scale %g\n%!"
+        (Option.value scenario ~default:bench)
+        scale;
+    let inst =
+      generate_instance bench scale seed single_height blockages tall fences
+        scenario
+    in
+    let design = inst.Generate.design in
+    let r =
+      Runner.run
+        ~config:(config_of ~metrics_out ~progress lambda eps max_iter)
+        alg design
+    in
+    let r = maybe_refine design refine r in
+    print_string (report_of design r);
+    report_unplaced r;
+    let strict_fail = warn_nonconvergence ~strict r in
+    write_metrics design r metrics_out;
+    Option.iter
+      (fun path ->
+        Svg.write_file ~path design r.Runner.placement;
+        Printf.printf "svg              : %s\n" path)
+      svg;
+    if not r.Runner.legal then exit 2;
+    if strict_fail then exit 3
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Generate and legalize in one step.")
     Term.(
       const run $ bench_arg $ scale_arg $ seed_arg $ single_height_arg
-      $ blockage_arg $ tall_arg $ fences_arg $ alg_arg $ svg_arg $ lambda_arg
-      $ eps_arg $ max_iter_arg $ strict_arg $ refine_arg $ metrics_out_arg
-      $ progress_arg)
+      $ blockage_arg $ tall_arg $ fences_arg $ scenario_arg $ alg_arg
+      $ svg_arg $ lambda_arg $ eps_arg $ max_iter_arg $ strict_arg
+      $ refine_arg $ metrics_out_arg $ progress_arg)
+
+let audit_cmd =
+  let module Audit = Mclh_audit.Audit in
+  let in_arg =
+    let doc =
+      "Audit an existing design file instead of generating an instance."
+    in
+    Arg.(value & opt (some string) None & info [ "i"; "in" ] ~docv:"FILE" ~doc)
+  in
+  let placement_arg =
+    let doc =
+      "Audit this placement file (with $(b,--in); defaults to legalizing \
+       the design first)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "p"; "placement" ] ~docv:"FILE" ~doc)
+  in
+  let windows_arg =
+    let doc = "Number of windows to sample." in
+    Arg.(value & opt int 16 & info [ "windows"; "w" ] ~docv:"K" ~doc)
+  in
+  let max_cells_arg =
+    let doc = "Maximum movable cells per window (exact solve size)." in
+    Arg.(value & opt int 8 & info [ "max-cells" ] ~docv:"N" ~doc)
+  in
+  let max_nodes_arg =
+    let doc = "Branch-and-bound node budget per window." in
+    Arg.(value & opt int 20_000 & info [ "max-nodes" ] ~docv:"N" ~doc)
+  in
+  let run bench scale seed single_height blockages tall fences scenario input
+      placement_path alg windows max_cells max_nodes lambda eps max_iter
+      metrics_out progress =
+    let design, placement =
+      match input with
+      | Some path ->
+        let design = Io.read_design ~path in
+        let placement =
+          match placement_path with
+          | Some p -> Io.read_placement ~path:p
+          | None ->
+            let r =
+              Runner.run
+                ~config:(config_of ~metrics_out ~progress lambda eps max_iter)
+                alg design
+            in
+            report_unplaced r;
+            r.Runner.placement
+        in
+        (design, placement)
+      | None ->
+        let inst =
+          generate_instance bench scale seed single_height blockages tall
+            fences scenario
+        in
+        let design = inst.Generate.design in
+        let r =
+          Runner.run
+            ~config:(config_of ~metrics_out ~progress lambda eps max_iter)
+            alg design
+        in
+        report_unplaced r;
+        (design, r.Runner.placement)
+    in
+    let obs = Some (Mclh_obs.Obs.create ()) in
+    let s =
+      Audit.run ~seed ~count:windows ~max_cells ~max_nodes ?obs design
+        placement
+    in
+    Printf.printf "design           : %s (%d cells)\n" design.Design.name
+      (Design.num_cells design);
+    Printf.printf "windows sampled  : %d\n" s.Audit.sampled;
+    Printf.printf "audited (exact)  : %d\n" s.Audit.audited;
+    Printf.printf "certified optimal: %d\n" s.Audit.certified;
+    Printf.printf "max gap          : %.4f sq.sites\n" s.Audit.max_gap;
+    Printf.printf "total gap        : %.4f sq.sites\n" s.Audit.total_gap;
+    Printf.printf "infeasible       : %d\n" s.Audit.infeasible;
+    Printf.printf "budget exceeded  : %d\n" s.Audit.budget_out;
+    List.iteri
+      (fun i (w : Audit.window_report) ->
+        let status =
+          match w.Audit.status with
+          | Audit.Certified -> "certified"
+          | Audit.Gap g -> Printf.sprintf "gap %.4f" g
+          | Audit.Unproven g -> Printf.sprintf "gap <= %.4f (unproven)" g
+          | Audit.Window_infeasible -> "infeasible"
+          | Audit.Budget_out -> "budget out"
+        in
+        Printf.printf
+          "  window %2d : rows %d+%d, x [%d, %d), %d cells, %d nodes, %s\n" i
+          w.Audit.window.Mclh_audit.Window.row0
+          w.Audit.window.Mclh_audit.Window.rows
+          w.Audit.window.Mclh_audit.Window.x0
+          w.Audit.window.Mclh_audit.Window.x1 w.Audit.cells w.Audit.nodes
+          status)
+      s.Audit.reports;
+    (match (metrics_out, obs) with
+    | Some path, Some obs ->
+      let open Mclh_report in
+      let meta =
+        [ ("design", Json.String design.Design.name);
+          ("cells", Json.Int (Design.num_cells design));
+          ("windows", Json.Int s.Audit.sampled);
+          ("certified", Json.Int s.Audit.certified);
+          ("max_gap", Json.Float s.Audit.max_gap) ]
+      in
+      Mclh_obs.Run_report.write ~path (Mclh_obs.Run_report.to_json ~meta obs);
+      Printf.printf "metrics          : %s\n" path
+    | _ -> ())
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Sample small windows of a legalized placement and re-solve each \
+          exactly (branch-and-bound over orderings, convex QP per leaf); \
+          report per-window optimality gaps. A zero gap certifies the \
+          window is optimally placed given its surroundings.")
+    Term.(
+      const run $ bench_arg $ scale_arg $ seed_arg $ single_height_arg
+      $ blockage_arg $ tall_arg $ fences_arg $ scenario_arg $ in_arg
+      $ placement_arg $ alg_arg $ windows_arg $ max_cells_arg $ max_nodes_arg
+      $ lambda_arg $ eps_arg $ max_iter_arg $ metrics_out_arg $ progress_arg)
 
 let check_cmd =
   let design_arg =
@@ -724,5 +887,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; gen_cmd; legalize_cmd; run_cmd; check_cmd; stats_cmd;
-            convert_cmd; eco_cmd; serve_cmd ]))
+          [ list_cmd; gen_cmd; legalize_cmd; run_cmd; audit_cmd; check_cmd;
+            stats_cmd; convert_cmd; eco_cmd; serve_cmd ]))

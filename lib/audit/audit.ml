@@ -1,0 +1,178 @@
+open Mclh_circuit
+module Obs = Mclh_obs.Obs
+module Json = Mclh_report.Json
+
+type status =
+  | Certified
+  | Gap of float
+  | Unproven of float
+  | Window_infeasible
+  | Budget_out
+
+type window_report = {
+  window : Window.t;
+  cells : int;
+  placed_cost : float;
+  exact_cost : float;
+  gap : float;
+  status : status;
+  nodes : int;
+}
+
+type summary = {
+  sampled : int;
+  audited : int;
+  certified : int;
+  max_gap : float;
+  total_gap : float;
+  infeasible : int;
+  budget_out : int;
+  reports : window_report list;
+}
+
+let placed_cost (design : Design.t) pl ids =
+  let rh = design.Design.chip.Chip.row_height in
+  List.fold_left
+    (fun acc i ->
+      let dx = pl.Placement.xs.(i) -. design.Design.global.Placement.xs.(i) in
+      let dy =
+        rh *. (pl.Placement.ys.(i) -. design.Design.global.Placement.ys.(i))
+      in
+      acc +. (dx *. dx) +. (dy *. dy))
+    0.0 ids
+
+let audit_window ?(max_nodes = 20_000) ?(tol = 1e-6) (design : Design.t) pl
+    (w : Window.t) =
+  let rh = design.Design.chip.Chip.row_height in
+  let spec =
+    List.map
+      (fun i ->
+        let c = design.Design.cells.(i) in
+        (* rows pinned to the legalized row: the audit asks whether the
+           x arrangement (and ordering) is optimal, the paper's Sec 5.3
+           question, so row changes are not part of the window's freedom *)
+        { Exact.id = i;
+          width = c.Cell.width;
+          height = c.Cell.height;
+          rows = [| int_of_float (Float.round pl.Placement.ys.(i)) |];
+          target_x = design.Design.global.Placement.xs.(i);
+          target_y = design.Design.global.Placement.ys.(i) })
+      w.Window.cells
+    |> Array.of_list
+  in
+  let placed = placed_cost design pl w.Window.cells in
+  let ncells = List.length w.Window.cells in
+  match
+    Exact.solve ~max_nodes ~row_height:rh ~free:(Window.free design pl w) spec
+  with
+  | Exact.Optimal s ->
+    let gap = placed -. s.Exact.cost in
+    { window = w;
+      cells = ncells;
+      placed_cost = placed;
+      exact_cost = s.Exact.cost;
+      gap;
+      status = (if gap <= tol then Certified else Gap gap);
+      nodes = s.Exact.nodes }
+  | Exact.Feasible s ->
+    let gap = placed -. s.Exact.cost in
+    { window = w;
+      cells = ncells;
+      placed_cost = placed;
+      exact_cost = s.Exact.cost;
+      gap;
+      status = Unproven gap;
+      nodes = s.Exact.nodes }
+  | Exact.Infeasible ->
+    { window = w;
+      cells = ncells;
+      placed_cost = placed;
+      exact_cost = Float.nan;
+      gap = Float.nan;
+      status = Window_infeasible;
+      nodes = 0 }
+  | Exact.Budget_exceeded nodes ->
+    { window = w;
+      cells = ncells;
+      placed_cost = placed;
+      exact_cost = Float.nan;
+      gap = Float.nan;
+      status = Budget_out;
+      nodes }
+
+let status_name = function
+  | Certified -> "certified"
+  | Gap _ -> "gap"
+  | Unproven _ -> "unproven"
+  | Window_infeasible -> "infeasible"
+  | Budget_out -> "budget"
+
+let to_json s =
+  let window_json r =
+    let w = r.window in
+    Json.Obj
+      [ ("row0", Json.Int w.Window.row0);
+        ("rows", Json.Int w.Window.rows);
+        ("x0", Json.Int w.Window.x0);
+        ("x1", Json.Int w.Window.x1);
+        ( "region",
+          match w.Window.region with
+          | Some k -> Json.Int k
+          | None -> Json.Null );
+        ("cells", Json.Int r.cells);
+        ("placed_cost", Json.Float r.placed_cost);
+        ("exact_cost", Json.Float r.exact_cost);
+        ("gap", Json.Float r.gap);
+        ("status", Json.String (status_name r.status));
+        ("nodes", Json.Int r.nodes) ]
+  in
+  Json.Obj
+    [ ("sampled", Json.Int s.sampled);
+      ("audited", Json.Int s.audited);
+      ("certified", Json.Int s.certified);
+      ("max_gap", Json.Float s.max_gap);
+      ("total_gap", Json.Float s.total_gap);
+      ("infeasible", Json.Int s.infeasible);
+      ("budget_out", Json.Int s.budget_out);
+      ("windows", Json.List (List.map window_json s.reports)) ]
+
+let run ?seed ?count ?max_cells ?(max_nodes = 20_000) ?(tol = 1e-6) ?obs design
+    pl =
+  let windows = Window.sample ?seed ?count ?max_cells design pl in
+  let reports = List.map (audit_window ~max_nodes ~tol design pl) windows in
+  let summary =
+    List.fold_left
+      (fun acc r ->
+        match r.status with
+        | Certified ->
+          { acc with
+            audited = acc.audited + 1;
+            certified = acc.certified + 1 }
+        | Gap g | Unproven g ->
+          { acc with
+            audited = acc.audited + 1;
+            max_gap = Float.max acc.max_gap g;
+            total_gap = acc.total_gap +. Float.max 0.0 g }
+        | Window_infeasible -> { acc with infeasible = acc.infeasible + 1 }
+        | Budget_out -> { acc with budget_out = acc.budget_out + 1 })
+      { sampled = List.length reports;
+        audited = 0;
+        certified = 0;
+        max_gap = 0.0;
+        total_gap = 0.0;
+        infeasible = 0;
+        budget_out = 0;
+        reports }
+      reports
+  in
+  Obs.add obs "audit/windows" summary.sampled;
+  Obs.add obs "audit/certified" summary.certified;
+  Obs.add obs "audit/gap" (summary.audited - summary.certified);
+  Obs.add obs "audit/infeasible" summary.infeasible;
+  Obs.add obs "audit/budget" summary.budget_out;
+  Obs.gauge obs "audit/max_gap" summary.max_gap;
+  Obs.gauge obs "audit/total_gap" summary.total_gap;
+  (match obs with
+  | Some _ -> Obs.sub obs "audit/windows" (to_json summary)
+  | None -> ());
+  summary

@@ -1,0 +1,65 @@
+(** Optimality auditing of a legalized placement.
+
+    Samples small windows from a legal (or partially legal) placement,
+    re-solves each exactly with {!Exact} (rows pinned to the legalized
+    rows, targets taken from the global placement), and reports the
+    per-window displacement gap
+
+    {v gap = placed_cost - exact_cost >= 0 v}
+
+    A zero gap certifies the window is optimally placed given everything
+    around it — the Sec 5.3 single-height optimality check, generalized
+    to arbitrary windows. *)
+
+open Mclh_circuit
+
+type status =
+  | Certified  (** gap within tolerance: provably optimal window *)
+  | Gap of float  (** proven positive gap *)
+  | Unproven of float
+      (** node budget hit: the reported gap is an upper bound *)
+  | Window_infeasible
+      (** the exact solver found no arrangement — only possible when the
+          input placement was itself illegal inside the window *)
+  | Budget_out  (** budget hit before any arrangement was found *)
+
+type window_report = {
+  window : Window.t;
+  cells : int;
+  placed_cost : float;  (** squared displacement of the input placement *)
+  exact_cost : float;  (** exact (or best-found) optimum; nan if none *)
+  gap : float;  (** placed - exact; nan if none *)
+  status : status;
+  nodes : int;
+}
+
+type summary = {
+  sampled : int;
+  audited : int;  (** windows with a solved exact optimum *)
+  certified : int;
+  max_gap : float;
+  total_gap : float;
+  infeasible : int;
+  budget_out : int;
+  reports : window_report list;
+}
+
+val run :
+  ?seed:int ->
+  ?count:int ->
+  ?max_cells:int ->
+  ?max_nodes:int ->
+  ?tol:float ->
+  ?obs:Mclh_obs.Obs.t ->
+  Design.t ->
+  Placement.t ->
+  summary
+(** Audits [count] sampled windows (defaults: [count = 16],
+    [max_cells = 8], [max_nodes = 20_000], [tol = 1e-6]). Records the
+    [audit/{windows,certified,gap,infeasible,budget}] counters, the
+    [audit/{max_gap,total_gap}] gauges and an [audit/windows] sub-report
+    into [obs]. Never raises. *)
+
+val to_json : summary -> Mclh_report.Json.t
+(** The [audit/windows] sub-report: summary fields plus one entry per
+    window. *)

@@ -1,0 +1,350 @@
+open Mclh_linalg
+open Mclh_qp
+
+type cell = {
+  id : int;
+  width : int;
+  height : int;
+  rows : int array;
+  target_x : float;
+  target_y : float;
+}
+
+type solution = { xs : int array; rows : int array; cost : float; nodes : int }
+
+type outcome =
+  | Optimal of solution
+  | Feasible of solution
+  | Infeasible
+  | Budget_exceeded of int
+
+(* one admissible (row, free-interval) pair for a cell: the cell's left
+   edge may sit anywhere in [lo, hi]; [base_cost] is the cost lower bound
+   of the pair taken in isolation (clamped x target + fixed y term) *)
+type choice = { row : int; lo : int; hi : int; base_cost : float }
+
+exception Budget
+
+let intersect a b =
+  let rec go a b acc =
+    match (a, b) with
+    | [], _ | _, [] -> List.rev acc
+    | (a0, a1) :: ta, (b0, b1) :: tb ->
+      let lo = max a0 b0 and hi = min a1 b1 in
+      let acc = if lo < hi then (lo, hi) :: acc else acc in
+      if a1 < b1 then go ta b acc else go a tb acc
+  in
+  go a b []
+
+(* minimal solution of the difference system {x_j >= x_i + w_i} over
+   [lo, hi] boxes, by Bellman-Ford longest path from the lower bounds;
+   None when the system (with the boxes) is infeasible *)
+let longest_path ~n ~lo ~hi ~w prec =
+  let z = Array.copy lo in
+  let changed = ref true and sweeps = ref 0 in
+  while !changed && !sweeps <= n do
+    changed := false;
+    incr sweeps;
+    List.iter
+      (fun (i, j) ->
+        if z.(j) < z.(i) + w.(i) then begin
+          z.(j) <- z.(i) + w.(i);
+          changed := true
+        end)
+      prec
+  done;
+  if !changed then None (* positive cycle: contradictory order *)
+  else if Array.exists (fun k -> z.(k) > hi.(k)) (Array.init n Fun.id) then None
+  else Some z
+
+(* continuous relaxation of one ordering node:
+   min sum (x_i - g_i)^2  s.t.  lo <= x <= hi, x_j - x_i >= w_i for prec.
+   Returns (x, converged); x is always feasible (active-set iterates stay
+   primal feasible, and on any solver hiccup we fall back to the
+   longest-path start). *)
+let relax ~n ~lo ~hi ~w ~g ~x0 prec =
+  let nprec = List.length prec in
+  let m = (2 * n) + nprec in
+  let nnz = (2 * n) + (2 * nprec) in
+  let row_ptr = Array.make (m + 1) 0 in
+  let col_idx = Array.make nnz 0 in
+  let values = Array.make nnz 0.0 in
+  let rhs = Array.make m 0.0 in
+  let r = ref 0 and k = ref 0 in
+  let push_row entries b =
+    List.iter
+      (fun (c, v) ->
+        col_idx.(!k) <- c;
+        values.(!k) <- v;
+        incr k)
+      entries;
+    rhs.(!r) <- b;
+    incr r;
+    row_ptr.(!r) <- !k
+  in
+  for i = 0 to n - 1 do
+    push_row [ (i, 1.0) ] (float_of_int lo.(i));
+    push_row [ (i, -1.0) ] (-.float_of_int hi.(i))
+  done;
+  List.iter
+    (fun (i, j) ->
+      let entries =
+        if i < j then [ (i, -1.0); (j, 1.0) ] else [ (j, 1.0); (i, -1.0) ]
+      in
+      push_row entries (float_of_int w.(i)))
+    prec;
+  let b_mat = Csr.make ~rows:m ~cols:n ~row_ptr ~col_idx ~values in
+  let q_mat = Csr.scale 2.0 (Csr.identity n) in
+  let p = Array.init n (fun i -> -2.0 *. g.(i)) in
+  let qp = Qp.make ~q_mat ~p ~b_mat ~b_rhs:rhs in
+  match Active_set.solve ~x0 qp with
+  | { Active_set.x; converged; _ } -> (x, converged)
+  | exception Invalid_argument _ -> (x0, false)
+
+let solve ?(max_nodes = 20_000) ?(row_height = 1.0) ~free (cells : cell array) =
+  let n = Array.length cells in
+  if n = 0 then Optimal { xs = [||]; rows = [||]; cost = 0.0; nodes = 0 }
+  else begin
+    let nodes = ref 0 in
+    let tick () =
+      incr nodes;
+      if !nodes > max_nodes then raise Budget
+    in
+    let free_memo = Hashtbl.create 16 in
+    let free_row r =
+      match Hashtbl.find_opt free_memo r with
+      | Some l -> l
+      | None ->
+        let l = free r in
+        Hashtbl.add free_memo r l;
+        l
+    in
+    let choices_of c =
+      Array.to_list c.rows
+      |> List.concat_map (fun r ->
+             let ivals = ref (free_row r) in
+             for k = r + 1 to r + c.height - 1 do
+               ivals := intersect !ivals (free_row k)
+             done;
+             List.filter_map
+               (fun (a, b) ->
+                 if b - a >= c.width then begin
+                   let lo = a and hi = b - c.width in
+                   let cx =
+                     Float.max (float_of_int lo)
+                       (Float.min (float_of_int hi) c.target_x)
+                   in
+                   let dx = cx -. c.target_x in
+                   let dy =
+                     row_height *. (float_of_int r -. c.target_y)
+                   in
+                   Some { row = r; lo; hi; base_cost = (dx *. dx) +. (dy *. dy) }
+                 end
+                 else None)
+               !ivals)
+      |> List.sort (fun a b -> compare (a.base_cost, a.row, a.lo) (b.base_cost, b.row, b.lo))
+      |> Array.of_list
+    in
+    let choices = Array.map choices_of cells in
+    if Array.exists (fun a -> Array.length a = 0) choices then Infeasible
+    else begin
+      let widths = Array.map (fun c -> c.width) cells in
+      let heights = Array.map (fun c -> c.height) cells in
+      let g = Array.map (fun c -> c.target_x) cells in
+      (* decide the cells with the fewest alternatives first: small
+         branching factor near the root makes the bound cut early *)
+      let perm = Array.init n Fun.id in
+      Array.sort
+        (fun a b ->
+          compare (Array.length choices.(a), a) (Array.length choices.(b), b))
+        perm;
+      let suffix = Array.make (n + 1) 0.0 in
+      for k = n - 1 downto 0 do
+        suffix.(k) <- suffix.(k + 1) +. choices.(perm.(k)).(0).base_cost
+      done;
+      let best = ref None in
+      let best_cost () =
+        match !best with None -> infinity | Some s -> s.cost
+      in
+      let asg = Array.make n choices.(0).(0) in
+      let record z cost =
+        if cost < best_cost () -. 1e-12 then
+          best :=
+            Some
+              { xs = Array.copy z;
+                rows = Array.map (fun ch -> ch.row) asg;
+                cost;
+                nodes = !nodes }
+      in
+      (* ---- ordering branch-and-bound within one full assignment ---- *)
+      let run_assignment () =
+        let lo = Array.map (fun ch -> ch.lo) asg in
+        let hi = Array.map (fun ch -> ch.hi) asg in
+        let y_cost = ref 0.0 in
+        Array.iteri
+          (fun i ch ->
+            let dy = row_height *. (float_of_int ch.row -. cells.(i).target_y) in
+            y_cost := !y_cost +. (dy *. dy))
+          asg;
+        let y_cost = !y_cost in
+        let asg_bound =
+          Array.fold_left (fun acc ch -> acc +. ch.base_cost) 0.0 asg
+        in
+        let shares i j =
+          asg.(i).row < asg.(j).row + heights.(j)
+          && asg.(j).row < asg.(i).row + heights.(i)
+        in
+        let ordered prec i j =
+          List.exists (fun (a, b) -> (a = i && b = j) || (a = j && b = i)) prec
+        in
+        let x_cost x =
+          let acc = ref y_cost in
+          for i = 0 to n - 1 do
+            let d = x.(i) -. g.(i) in
+            acc := !acc +. (d *. d)
+          done;
+          !acc
+        in
+        let int_cost z =
+          let acc = ref y_cost in
+          for i = 0 to n - 1 do
+            let d = float_of_int z.(i) -. g.(i) in
+            acc := !acc +. (d *. d)
+          done;
+          !acc
+        in
+        (* leaf: the continuous optimum [x] has no unordered overlap; an
+           integer optimum of the induced total order lives in the unit
+           box around [x] (lattice/L-natural-convex rounding), so
+           enumerate it, with the longest-path minimal integral solution
+           as a feasibility backstop *)
+        let leaf x prec =
+          let prec_full = ref prec in
+          for i = 0 to n - 1 do
+            for j = i + 1 to n - 1 do
+              if shares i j && not (ordered prec i j) then begin
+                let ci = x.(i) +. (float_of_int widths.(i) /. 2.0) in
+                let cj = x.(j) +. (float_of_int widths.(j) /. 2.0) in
+                prec_full :=
+                  (if ci <= cj then (i, j) else (j, i)) :: !prec_full
+              end
+            done
+          done;
+          let prec_full = !prec_full in
+          (match longest_path ~n ~lo ~hi ~w:widths prec_full with
+          | Some z -> record z (int_cost z)
+          | None -> ());
+          let cand =
+            Array.init n (fun i ->
+                let f = int_of_float (Float.floor x.(i)) in
+                let clampi v = max lo.(i) (min hi.(i) v) in
+                List.sort_uniq compare [ clampi f; clampi (f + 1) ])
+          in
+          let z = Array.make n 0 in
+          let feas_against k i =
+            (* z.(i) set; check against every decided cell, not just the
+               branched pairs: any non-overlapping in-bounds layout is a
+               valid incumbent regardless of which branch it belongs to *)
+            let ok = ref true in
+            for t = 0 to k - 1 do
+              let j = t in
+              if !ok && shares i j then
+                if
+                  not
+                    (z.(i) + widths.(i) <= z.(j)
+                    || z.(j) + widths.(j) <= z.(i))
+                then ok := false
+            done;
+            !ok
+          in
+          let rec go k acc =
+            if acc < best_cost () -. 1e-12 then
+              if k = n then record z acc
+              else
+                List.iter
+                  (fun v ->
+                    z.(k) <- v;
+                    if feas_against k k then begin
+                      let d = float_of_int v -. g.(k) in
+                      go (k + 1) (acc +. (d *. d))
+                    end)
+                  cand.(k)
+          in
+          go 0 y_cost
+        in
+        let rec node prec =
+          tick ();
+          match longest_path ~n ~lo ~hi ~w:widths prec with
+          | None -> ()
+          | Some z0 ->
+            let x0 = Array.map float_of_int z0 in
+            let x, converged = relax ~n ~lo ~hi ~w:widths ~g ~x0 prec in
+            let lb = if converged then x_cost x else asg_bound in
+            if lb < best_cost () -. 1e-12 then begin
+              (* most-overlapping unordered pair in the relaxed layout *)
+              let pick = ref None in
+              for i = 0 to n - 1 do
+                for j = i + 1 to n - 1 do
+                  if shares i j && not (ordered prec i j) then begin
+                    let ov =
+                      Float.min
+                        (x.(i) +. float_of_int widths.(i) -. x.(j))
+                        (x.(j) +. float_of_int widths.(j) -. x.(i))
+                    in
+                    if ov > 1e-9 then
+                      match !pick with
+                      | Some (_, _, best_ov) when best_ov >= ov -> ()
+                      | _ -> pick := Some (i, j, ov)
+                  end
+                done
+              done;
+              match !pick with
+              | None -> leaf x prec
+              | Some (i, j, _) ->
+                if x.(i) <= x.(j) then begin
+                  node ((i, j) :: prec);
+                  node ((j, i) :: prec)
+                end
+                else begin
+                  node ((j, i) :: prec);
+                  node ((i, j) :: prec)
+                end
+            end
+        in
+        if asg_bound < best_cost () -. 1e-12 then node []
+      in
+      (* ---- enumerate (row, interval) assignments, best-first ---- *)
+      let exception Break in
+      let rec assign k acc =
+        if acc +. suffix.(k) < best_cost () -. 1e-12 then
+          if k = n then run_assignment ()
+          else begin
+            tick ();
+            let i = perm.(k) in
+            (try
+               Array.iter
+                 (fun ch ->
+                   if acc +. ch.base_cost +. suffix.(k + 1)
+                      >= best_cost () -. 1e-12
+                   then raise Break (* choices are sorted: the rest lose *)
+                   else begin
+                     asg.(i) <- ch;
+                     assign (k + 1) (acc +. ch.base_cost)
+                   end)
+                 choices.(i)
+             with Break -> ())
+          end
+      in
+      let truncated =
+        try
+          assign 0 0.0;
+          false
+        with Budget -> true
+      in
+      match (!best, truncated) with
+      | Some s, false -> Optimal { s with nodes = !nodes }
+      | Some s, true -> Feasible { s with nodes = !nodes }
+      | None, false -> Infeasible
+      | None, true -> Budget_exceeded !nodes
+    end
+  end

@@ -1,0 +1,58 @@
+(** Exact small-window legalizer.
+
+    Given a handful of cells (up to ~10), their candidate rows and the
+    free x-intervals of each row (everything else — blockages, frozen
+    neighbors, fence clips — is baked into those intervals), computes the
+    placement minimizing total squared displacement
+
+    {v sum_i (x_i - tx_i)^2 + (row_height * (r_i - ty_i))^2 v}
+
+    over integer site positions and non-overlapping spans.
+
+    The search is exact: it enumerates (row, free-interval) assignments
+    with a lower-bound cut, and within each assignment runs
+    branch-and-bound over left/right orderings of overlapping pairs, each
+    node bounded by the convex continuous relaxation (a QP with
+    difference and box constraints, solved by {!Mclh_qp.Active_set} from
+    a longest-path feasible start). The difference-constraint system of a
+    fixed order is a lattice polyhedron, so the continuous optimum rounds
+    to an integer optimum within the surrounding unit box — the leaves
+    enumerate that box (with a longest-path integral fallback), which
+    keeps the leaf step exact rather than heuristic. *)
+
+type cell = {
+  id : int;  (** caller's identifier, echoed back *)
+  width : int;  (** in sites, >= 1 *)
+  height : int;  (** in rows, >= 1 *)
+  rows : int array;  (** candidate bottom rows (already rail-filtered) *)
+  target_x : float;  (** displacement reference, in sites *)
+  target_y : float;  (** displacement reference, in rows *)
+}
+
+type solution = {
+  xs : int array;  (** chosen site per cell, aligned with the input *)
+  rows : int array;  (** chosen bottom row per cell *)
+  cost : float;  (** total squared displacement *)
+  nodes : int;  (** search nodes expanded *)
+}
+
+type outcome =
+  | Optimal of solution  (** search completed: provably minimum *)
+  | Feasible of solution
+      (** node budget hit with an incumbent: valid but unproven *)
+  | Infeasible  (** search completed: no legal arrangement exists *)
+  | Budget_exceeded of int
+      (** node budget hit before any arrangement was found *)
+
+val solve :
+  ?max_nodes:int ->
+  ?row_height:float ->
+  free:(int -> (int * int) list) ->
+  cell array ->
+  outcome
+(** [solve ~free cells] minimizes total squared displacement. [free row]
+    must return the free x-intervals of [row] as sorted disjoint
+    half-open [(lo, hi)] site ranges with [lo >= 0]; a multi-row cell
+    intersects the intervals of all its spanned rows. Defaults:
+    [max_nodes = 20_000], [row_height = 1.0]. Never raises on any input:
+    infeasibility and budget exhaustion are ordinary outcomes. *)

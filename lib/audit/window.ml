@@ -1,0 +1,151 @@
+open Mclh_circuit
+
+type t = {
+  row0 : int;
+  rows : int;
+  x0 : int;
+  x1 : int;
+  region : int option;
+  cells : int list;
+}
+
+let rounded pl i =
+  ( int_of_float (Float.round pl.Placement.xs.(i)),
+    int_of_float (Float.round pl.Placement.ys.(i)) )
+
+let extract (design : Design.t) pl ~row0 ~rows ~x0 ~x1 ~region =
+  let inside = ref [] in
+  Array.iteri
+    (fun i (c : Cell.t) ->
+      let x, r = rounded pl i in
+      if
+        c.Cell.region = region
+        && r >= row0
+        && r + c.Cell.height <= row0 + rows
+        && x >= x0
+        && x + c.Cell.width <= x1
+      then inside := i :: !inside)
+    design.Design.cells;
+  { row0; rows; x0; x1; region; cells = List.rev !inside }
+
+(* subtract the occupied span [s0, s1) from a sorted disjoint segment
+   list; keeps the result sorted and disjoint *)
+let subtract segs (s0, s1) =
+  if s1 <= s0 then segs
+  else
+    List.concat_map
+      (fun (a, b) ->
+        if s1 <= a || b <= s0 then [ (a, b) ]
+        else
+          (if a < s0 then [ (a, s0) ] else [])
+          @ if s1 < b then [ (s1, b) ] else [])
+      segs
+
+let free (design : Design.t) pl w row =
+  if row < w.row0 || row >= w.row0 + w.rows then []
+  else begin
+    let num_sites = design.Design.chip.Chip.num_sites in
+    let segs = ref [ (max 0 w.x0, min num_sites w.x1) ] in
+    (* membership geometry first: member windows live inside their
+       region's rectangles, default windows outside every region *)
+    (match w.region with
+    | Some k ->
+      let reg = design.Design.regions.(k) in
+      let allowed =
+        List.filter_map
+          (fun (r : Region.rect) ->
+            if r.Region.row <= row && row < r.Region.row + r.Region.height
+            then Some (r.Region.x, r.Region.x + r.Region.width)
+            else None)
+          reg.Region.rects
+        |> List.sort compare
+      in
+      segs :=
+        List.concat_map
+          (fun (a, b) ->
+            List.filter_map
+              (fun (ra, rb) ->
+                let lo = max a ra and hi = min b rb in
+                if lo < hi then Some (lo, hi) else None)
+              allowed)
+          !segs
+    | None ->
+      Array.iter
+        (fun (reg : Region.t) ->
+          List.iter
+            (fun (r : Region.rect) ->
+              if r.Region.row <= row && row < r.Region.row + r.Region.height
+              then segs := subtract !segs (r.Region.x, r.Region.x + r.Region.width))
+            reg.Region.rects)
+        design.Design.regions);
+    Array.iter
+      (fun (b : Blockage.t) ->
+        if b.Blockage.row <= row && row < b.Blockage.row + b.Blockage.height
+        then segs := subtract !segs (b.Blockage.x, b.Blockage.x + b.Blockage.width))
+      design.Design.blockages;
+    (* every placed cell outside the window freezes its span *)
+    let in_window = Hashtbl.create 16 in
+    List.iter (fun i -> Hashtbl.replace in_window i ()) w.cells;
+    Array.iteri
+      (fun i (c : Cell.t) ->
+        if not (Hashtbl.mem in_window i) then begin
+          let x, r = rounded pl i in
+          if r <= row && row < r + c.Cell.height then
+            segs := subtract !segs (x, x + c.Cell.width)
+        end)
+      design.Design.cells;
+    List.sort compare !segs
+  end
+
+let sample ?(seed = 1) ?(count = 16) ?(max_cells = 8) (design : Design.t) pl =
+  let n = Design.num_cells design in
+  if n = 0 then []
+  else begin
+    let chip = design.Design.chip in
+    let num_rows = chip.Chip.num_rows and num_sites = chip.Chip.num_sites in
+    (* tiny deterministic LCG; benchgen's stream stays untouched *)
+    let state = ref ((seed * 2) + 1) in
+    let rand m =
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      !state mod m
+    in
+    let windows = ref [] and found = ref 0 and attempts = ref 0 in
+    while !found < count && !attempts < count * 8 do
+      incr attempts;
+      let i = rand n in
+      let c = design.Design.cells.(i) in
+      let x, r = rounded pl i in
+      let region = c.Cell.region in
+      let row0 = max 0 (r - 1) in
+      let row_end = min num_rows (r + c.Cell.height + 1) in
+      let rec shrink half =
+        let x0 = max 0 (x - half) and x1 = min num_sites (x + c.Cell.width + half) in
+        let w = extract design pl ~row0 ~rows:(row_end - row0) ~x0 ~x1 ~region in
+        if List.length w.cells <= max_cells || half <= c.Cell.width then w
+        else shrink (half * 2 / 3)
+      in
+      let w = shrink (16 + (2 * max_cells)) in
+      (* a window that cannot shrink below the cap keeps the [max_cells]
+         cells nearest the seed; the rest stay frozen obstacles *)
+      let w =
+        if List.length w.cells <= max_cells then w
+        else
+          let keep =
+            List.sort
+              (fun a b ->
+                compare
+                  (abs (fst (rounded pl a) - x), a)
+                  (abs (fst (rounded pl b) - x), b))
+              w.cells
+            |> List.filteri (fun k _ -> k < max_cells)
+            |> List.sort compare
+          in
+          { w with cells = keep }
+      in
+      if w.cells <> [] then begin
+        windows := w :: !windows;
+        incr found
+      end
+    done;
+    List.rev !windows
+  end

@@ -1,0 +1,40 @@
+(** Window extraction for the exact auditor.
+
+    A window is a row band crossed with an x-range, carrying the cells
+    that lie fully inside it and share one fence-membership class.
+    Everything else — blockages, cells outside the window or of another
+    class, the geometry of fence regions — is frozen and subtracted from
+    the per-row free intervals the exact solver consumes. *)
+
+open Mclh_circuit
+
+type t = {
+  row0 : int;  (** first row of the band *)
+  rows : int;  (** band height in rows *)
+  x0 : int;  (** left edge, in sites *)
+  x1 : int;  (** right edge (exclusive) *)
+  region : int option;  (** membership class of the window's cells *)
+  cells : int list;  (** design cell ids fully inside, in id order *)
+}
+
+val extract :
+  Design.t -> Placement.t ->
+  row0:int -> rows:int -> x0:int -> x1:int -> region:int option -> t
+(** Cells of membership [region] whose (rounded) placement lies fully
+    inside the band and x-range. *)
+
+val free : Design.t -> Placement.t -> t -> int -> (int * int) list
+(** [free design pl w row] is the free x-intervals of [row] inside the
+    window: the window's x-range minus blockages, minus the spans of all
+    placed cells not in [w.cells], clipped to the window's membership
+    geometry (inside the region for member windows, outside every region
+    for default-class windows). Sorted, disjoint, half-open. *)
+
+val sample :
+  ?seed:int -> ?count:int -> ?max_cells:int ->
+  Design.t -> Placement.t -> t list
+(** Deterministic sample of up to [count] windows (default 16) of at most
+    [max_cells] cells each (default 8), grown around randomly chosen seed
+    cells and shrunk until small enough. Windows with no cells are
+    discarded; fewer than [count] windows may be returned on tiny
+    designs. *)

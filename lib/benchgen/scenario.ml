@@ -1,0 +1,125 @@
+open Mclh_circuit
+
+type kind = Fence_dense | Fence_cross | Fence_oversub | Md3_mix | Oversub
+
+let all = [ Fence_dense; Fence_cross; Fence_oversub; Md3_mix; Oversub ]
+
+let name = function
+  | Fence_dense -> "fence-dense"
+  | Fence_cross -> "fence-cross"
+  | Fence_oversub -> "fence-oversub"
+  | Md3_mix -> "md3-mix"
+  | Oversub -> "oversub"
+
+let of_name s = List.find_opt (fun k -> name k = s) all
+
+let names = List.map name all
+
+(* base spec for the generated kinds: ~660 cells at scale 1, dense enough
+   that the repair paths actually run but small enough for CI *)
+let spec ~label ~density scale =
+  Spec.scaled scale
+    { Spec.name = label; singles = 600; doubles = 60; density;
+      gp_hpwl_m = 0.0 }
+
+let generated ~label ~density ~options ~seed scale =
+  Generate.generate
+    ~options:{ options with Generate.seed }
+    (spec ~label ~density scale)
+
+(* reassign default-territory cells to region [k] until the members' area
+   clearly exceeds the region's raw area — infeasible by construction
+   (the usable capacity is at most the raw area) *)
+let oversubscribe_region (inst : Generate.instance) k =
+  let d = inst.Generate.design in
+  let reg_area = Region.area d.Design.regions.(k) in
+  let member_area =
+    Array.fold_left
+      (fun acc (c : Cell.t) ->
+        if c.Cell.region = Some k then acc + Cell.area c else acc)
+      0 d.Design.cells
+  in
+  let extra = ref (max 0 ((2 * reg_area) - member_area)) in
+  let cells =
+    Array.map
+      (fun (c : Cell.t) ->
+        if c.Cell.region = None && !extra > 0 then begin
+          extra := !extra - Cell.area c;
+          Cell.make ~id:c.Cell.id ~name:c.Cell.name ~width:c.Cell.width
+            ~height:c.Cell.height ?bottom_rail:c.Cell.bottom_rail ~region:k ()
+        end
+        else c)
+      d.Design.cells
+  in
+  let design =
+    Design.make ~blockages:d.Design.blockages ~regions:d.Design.regions
+      ~name:(d.Design.name ^ "-oversub") ~chip:d.Design.chip ~cells
+      ~global:d.Design.global ~nets:d.Design.nets ()
+  in
+  (* the packed witness no longer honors the inflated membership *)
+  { Generate.design; reference = design.Design.global }
+
+(* hand-built infeasible chip: total cell area ~15% above chip capacity,
+   spread deterministically so every legalizer gets to try (and must fail
+   with a typed error, not an exception) *)
+let oversub_design ~seed scale =
+  let num_rows = 8 in
+  let num_sites = max 20 (int_of_float (60.0 *. scale)) in
+  let chip = Chip.make ~num_rows ~num_sites () in
+  let w = 5 in
+  let count = (115 * num_rows * num_sites / 100 / w) + 1 in
+  let cells = Array.init count (fun id -> Cell.make ~id ~width:w ~height:1 ()) in
+  let state = ref (max 1 seed) in
+  let next range =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod range
+  in
+  let xs = Array.init count (fun _ -> float_of_int (next (num_sites - w + 1))) in
+  let ys = Array.init count (fun _ -> float_of_int (next num_rows)) in
+  let global = Placement.make ~xs ~ys in
+  let design =
+    Design.make ~name:"oversub" ~chip ~cells ~global
+      ~nets:(Netlist.empty ~num_cells:count) ()
+  in
+  { Generate.design; reference = global }
+
+let generate ?(seed = 1) ?(scale = 1.0) kind =
+  let base = Generate.default_options in
+  match kind with
+  | Fence_dense ->
+    (* density as high as the witness packer still handles with this many
+       fences: the territories run close to capacity without making the
+       generator itself give up *)
+    generated ~label:"fence-dense" ~density:0.78 ~seed scale
+      ~options:
+        { base with
+          (* fewer fences on small chips: each fence has a minimum width,
+             so a tiny chip cannot host six of them *)
+          Generate.fence_count =
+            max 2 (min 6 (int_of_float (6.0 *. scale))) }
+  | Fence_cross ->
+    (* violent perturbation: members land far outside (or straddling)
+       their fence, so the territory flow starts from a bad placement *)
+    generated ~label:"fence-cross" ~density:0.75 ~seed scale
+      ~options:
+        { base with
+          Generate.fence_count = 4;
+          noise_x_sigma = 30.0;
+          noise_y_sigma = 3.0;
+          hotspots = 5;
+          hotspot_strength = 0.08 }
+  | Fence_oversub ->
+    let inst =
+      generated ~label:"fence-oversub" ~density:0.7 ~seed scale
+        ~options:{ base with Generate.fence_count = 1 }
+    in
+    if Array.length inst.Generate.design.Design.regions = 0 then inst
+    else oversubscribe_region inst 0
+  | Md3_mix ->
+    generated ~label:"md3-mix" ~density:0.8 ~seed scale
+      ~options:
+        { base with
+          Generate.tall_cell_fraction = 0.6;
+          blockage_fraction = 0.1;
+          blockage_count = 4 }
+  | Oversub -> oversub_design ~seed scale

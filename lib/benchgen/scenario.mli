@@ -1,0 +1,39 @@
+(** Hard-scenario pack: adversarial instances for the repair paths.
+
+    Each scenario targets a failure mode that historically crashed a
+    legalizer rather than degrading gracefully:
+
+    - {b fence-dense}: many fence regions at high density — territories
+      have little slack and the per-territory allocation runs close to
+      capacity;
+    - {b fence-cross}: fences plus a violently perturbed global placement,
+      so many members start far outside (or straddling) their fence;
+    - {b fence-oversub}: a fence region whose members' total area exceeds
+      the region's usable capacity — infeasible as given; the legalizer
+      must evict rather than die;
+    - {b md3-mix}: a heavy mix of triple/quadruple-height cells with
+      blockages, stressing the multi-deck machinery;
+    - {b oversub}: total cell area exceeds the chip capacity — infeasible
+      by construction; every legalizer must return a typed failure, never
+      an uncaught exception.
+
+    For the two over-subscribed kinds there is no feasibility witness;
+    [reference] is the global placement itself. *)
+
+type kind = Fence_dense | Fence_cross | Fence_oversub | Md3_mix | Oversub
+
+val all : kind list
+
+val name : kind -> string
+(** The CLI-facing name ("fence-dense", "fence-cross", "fence-oversub",
+    "md3-mix", "oversub"). *)
+
+val of_name : string -> kind option
+
+val names : string list
+(** CLI-facing names of {!all}, in order. *)
+
+val generate : ?seed:int -> ?scale:float -> kind -> Generate.instance
+(** Builds the scenario instance. [scale] (default 1.0) multiplies the
+    cell count; [seed] (default 1) drives all randomness. Deterministic:
+    identical arguments produce the identical instance. *)

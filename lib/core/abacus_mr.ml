@@ -65,6 +65,7 @@ let legalize (design : Design.t) =
   (* per-row stacks, head = rightmost cluster of the row *)
   let stacks : cluster list array = Array.make num_rows [] in
   let row_of = Array.make n 0 in
+  let unplaced = ref [] in
   let next_cid = ref 0 in
   let replace_in_stacks ~absorbed ~into =
     List.iter
@@ -229,7 +230,15 @@ let legalize (design : Design.t) =
           end
         end
       done;
-      if !best < 0 then failwith "Abacus_mr.legalize: no admitting row span";
+      if !best < 0 then begin
+        (* no admitting row span at all: park the cell at its clamped
+           global position, outside every cluster, and report it *)
+        row_of.(i) <-
+          max 0
+            (min (num_rows - h) (int_of_float (Float.round gy)));
+        unplaced := i :: !unplaced
+      end
+      else begin
       let r0 = !best in
       row_of.(i) <- r0;
       let c =
@@ -251,6 +260,7 @@ let legalize (design : Design.t) =
       done;
       let settled = resolve c in
       if h > 1 then settled.fixed <- true
+      end
   in
   Array.iter
     (function `Cell i -> process_cell i | `Blockage k -> insert_blockage k)
@@ -268,5 +278,18 @@ let legalize (design : Design.t) =
           end)
         stack)
     stacks;
+  List.iter
+    (fun i ->
+      let c = design.cells.(i) in
+      let gx = design.global.Placement.xs.(i) in
+      xs.(i) <-
+        Float.max 0.0 (Float.min gx (float_of_int (num_sites - c.Cell.width))))
+    !unplaced;
   let ys = Array.map float_of_int row_of in
-  Placement.make ~xs ~ys
+  let pl = Placement.make ~xs ~ys in
+  match !unplaced with
+  | [] -> Ok pl
+  | cells ->
+    Error
+      (Unplaced.make ~stage:"abacus_mr" ~cells ~partial:pl
+         ~detail:"no admitting row span for these cells")

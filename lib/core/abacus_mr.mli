@@ -15,7 +15,9 @@
 
 open Mclh_circuit
 
-val legalize : Design.t -> Placement.t
+val legalize : Design.t -> (Placement.t, Unplaced.t) result
 (** A placement with integral rows and fractional x (cluster optima); snap
-    and repair with {!Tetris_alloc}.
-    @raise Failure if a cell admits no row span. *)
+    and repair with {!Tetris_alloc}. A cell admitting no row span at all
+    (taller than the chip allows, or rail-impossible) is left at its
+    clamped global position and reported in a typed {!Unplaced.t} — never
+    an exception. *)

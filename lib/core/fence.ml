@@ -11,6 +11,9 @@ type territory_stats = {
   components : int;
   illegal_before : int;
   relocated : int;
+  over_subscribed : bool;
+  evicted : int;
+  unplaced : int list;
 }
 
 type stats = {
@@ -18,7 +21,8 @@ type stats = {
   per_territory : territory_stats list;
 }
 
-let territory_of_flow name cells (result : Flow.result) =
+let territory_of_flow ?(over_subscribed = false) ?(evicted = 0)
+    ?(unplaced = []) name cells (result : Flow.result) =
   { name;
     cells;
     iterations = result.Flow.solver.Solver.iterations;
@@ -27,7 +31,10 @@ let territory_of_flow name cells (result : Flow.result) =
     mismatch = result.Flow.solver.Solver.mismatch;
     components = result.Flow.solver.Solver.components;
     illegal_before = result.Flow.alloc.Tetris_alloc.illegal_before;
-    relocated = result.Flow.alloc.Tetris_alloc.relocated }
+    relocated = result.Flow.alloc.Tetris_alloc.relocated;
+    over_subscribed;
+    evicted;
+    unplaced }
 
 (* ---- aggregation over territories (what a fenced run reports) ---- *)
 
@@ -53,6 +60,17 @@ let total_illegal stats =
 
 let total_relocated stats =
   List.fold_left (fun acc t -> acc + t.relocated) 0 stats.per_territory
+
+let total_evicted stats =
+  List.fold_left (fun acc t -> acc + t.evicted) 0 stats.per_territory
+
+let over_subscribed_territories stats =
+  List.filter (fun t -> t.over_subscribed) stats.per_territory
+  |> List.map (fun t -> t.name)
+
+let total_unplaced stats =
+  List.concat_map (fun t -> t.unplaced) stats.per_territory
+  |> List.sort_uniq compare
 
 (* sub-design for one territory: the listed cells (renumbered, region
    membership erased — the territory's geometry is enforced by blockages)
@@ -87,8 +105,123 @@ let record_aggregates obs stats =
   Obs.add obs "fence/territories" stats.territories;
   Obs.add obs "fence/illegal_before" (total_illegal stats);
   Obs.add obs "fence/relocated" (total_relocated stats);
+  Obs.add obs "fence/evicted" (total_evicted stats);
+  Obs.add obs "fence/over_subscribed"
+    (List.length (over_subscribed_territories stats));
+  Obs.add obs "fence/unplaced" (List.length (total_unplaced stats));
   if not (all_converged stats) then Obs.incr obs "fence/nonconverged";
   Obs.gauge obs "fence/max_mismatch" (max_mismatch stats)
+
+(* ---- over-subscription: capacity of a region vs its members ---------- *)
+
+(* usable area of region k: the union of its rectangles minus any overlap
+   with blockages (regions never overlap each other) *)
+let region_capacity (design : Design.t) k =
+  let reg = design.Design.regions.(k) in
+  let blocked =
+    List.fold_left
+      (fun acc (r : Region.rect) ->
+        Array.fold_left
+          (fun acc (b : Blockage.t) ->
+            let rows =
+              min (r.Region.row + r.Region.height)
+                (b.Blockage.row + b.Blockage.height)
+              - max r.Region.row b.Blockage.row
+            in
+            let cols =
+              min (r.Region.x + r.Region.width) (b.Blockage.x + b.Blockage.width)
+              - max r.Region.x b.Blockage.x
+            in
+            if rows > 0 && cols > 0 then acc + (rows * cols) else acc)
+          acc design.Design.blockages)
+      0 reg.Region.rects
+  in
+  Region.area reg - blocked
+
+(* how far a member's global position sits from its region: 0 when the
+   cell's span already touches the region, else the Manhattan distance of
+   the cell center to the nearest rectangle — the eviction policy sends
+   the cells that wandered farthest back to the default territory *)
+let region_distance (design : Design.t) k i =
+  let c = design.Design.cells.(i) in
+  let gx = design.Design.global.Placement.xs.(i)
+  and gy = design.Design.global.Placement.ys.(i) in
+  let reg = design.Design.regions.(k) in
+  let row = int_of_float (Float.round gy) in
+  if
+    Region.intersects_span reg ~row ~height:c.Cell.height ~x:gx
+      ~width:c.Cell.width
+  then 0.0
+  else begin
+    let cx = gx +. (float_of_int c.Cell.width /. 2.0) in
+    let cy = gy +. (float_of_int c.Cell.height /. 2.0) in
+    List.fold_left
+      (fun acc (r : Region.rect) ->
+        let dx =
+          Float.max 0.0
+            (Float.max
+               (float_of_int r.Region.x -. cx)
+               (cx -. float_of_int (r.Region.x + r.Region.width)))
+        in
+        let dy =
+          Float.max 0.0
+            (Float.max
+               (float_of_int r.Region.row -. cy)
+               (cy -. float_of_int (r.Region.row + r.Region.height)))
+        in
+        Float.min acc (dx +. dy))
+      infinity reg.Region.rects
+  end
+
+(* evict members of over-subscribed regions to the default class until
+   each region's member area fits its usable capacity; returns the
+   (possibly updated) classes plus per-region (over_subscribed, evicted) *)
+let evict_overflow (design : Design.t) classes num_regions =
+  let over = Array.make (num_regions + 1) false in
+  let evicted_count = Array.make (num_regions + 1) 0 in
+  for k = 0 to num_regions - 1 do
+    let members = classes.(k) in
+    let area =
+      List.fold_left
+        (fun acc i -> acc + Cell.area design.Design.cells.(i))
+        0 members
+    in
+    let cap = region_capacity design k in
+    if area > cap then begin
+      over.(k) <- true;
+      (* farthest-wandered members first, largest first on ties *)
+      let ranked =
+        List.sort
+          (fun a b ->
+            let da = region_distance design k a
+            and db = region_distance design k b in
+            let c = compare db da in
+            if c <> 0 then c
+            else
+              let c =
+                compare
+                  (Cell.area design.Design.cells.(b))
+                  (Cell.area design.Design.cells.(a))
+              in
+              if c <> 0 then c else compare a b)
+          members
+      in
+      let remaining = ref area and keep = ref [] and gone = ref [] in
+      List.iter
+        (fun i ->
+          if !remaining > cap then begin
+            remaining := !remaining - Cell.area design.Design.cells.(i);
+            gone := i :: !gone
+          end
+          else keep := i :: !keep)
+        ranked;
+      evicted_count.(k) <- List.length !gone;
+      classes.(k) <- List.sort compare !keep;
+      classes.(num_regions) <-
+        List.sort compare (!gone @ classes.(num_regions))
+    end
+  done;
+  (over, evicted_count)
 
 let legalize ?(config = Config.default) ?obs (design : Design.t) =
   let num_regions = Array.length design.Design.regions in
@@ -98,7 +231,9 @@ let legalize ?(config = Config.default) ?obs (design : Design.t) =
     let stats =
       { territories = 1;
         per_territory =
-          [ territory_of_flow design.Design.name (Design.num_cells design)
+          [ territory_of_flow
+              ~unplaced:result.Flow.alloc.Tetris_alloc.unplaced
+              design.Design.name (Design.num_cells design)
               result ] }
     in
     record_aggregates obs stats;
@@ -115,6 +250,12 @@ let legalize ?(config = Config.default) ?obs (design : Design.t) =
       in
       classes.(k) <- i :: classes.(k)
     done;
+    (* a region too small for its members would previously crash inside
+       its territory's allocation; detect it up front and evict the
+       overflow to the default territory (graceful degradation: the
+       evictees end up legally placed but outside their fence, which the
+       final legality check reports as exit 2 rather than a crash) *)
+    let over, evicted_count = evict_overflow design classes num_regions in
     (* one job per non-empty territory, in class order; the sub-problems
        are independent (disjoint cell sets, disjoint geometry), so they
        fan out over the domain pool. Results come back in job order and
@@ -147,7 +288,7 @@ let legalize ?(config = Config.default) ?obs (design : Design.t) =
         match obs with None -> None | Some _ -> Some (Obs.create ())
       in
       let result = Flow.run ~config ?obs:territory_obs sub in
-      (label, cell_ids, result, territory_obs)
+      (k, label, cell_ids, result, territory_obs)
     in
     let results =
       if config.Config.num_domains <= 1 then Array.map run_territory jobs
@@ -159,7 +300,7 @@ let legalize ?(config = Config.default) ?obs (design : Design.t) =
     let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
     let per_territory =
       Array.to_list results
-      |> List.map (fun (label, cell_ids, result, territory_obs) ->
+      |> List.map (fun (k, label, cell_ids, result, territory_obs) ->
              List.iteri
                (fun new_id old_id ->
                  xs.(old_id) <- result.Flow.legal.Placement.xs.(new_id);
@@ -171,7 +312,16 @@ let legalize ?(config = Config.default) ?obs (design : Design.t) =
                  ("territory/" ^ label)
                  (Mclh_obs.Run_report.to_json t)
              | None -> ());
-             territory_of_flow label (List.length cell_ids) result)
+             (* map the territory's unplaced sub-ids back to design ids *)
+             let ids = Array.of_list cell_ids in
+             let unplaced =
+               List.map
+                 (fun sub_id -> ids.(sub_id))
+                 result.Flow.alloc.Tetris_alloc.unplaced
+             in
+             territory_of_flow ~over_subscribed:over.(k)
+               ~evicted:evicted_count.(k) ~unplaced label
+               (List.length cell_ids) result)
     in
     let stats = { territories = Array.length results; per_territory } in
     record_aggregates obs stats;

@@ -27,6 +27,14 @@ type territory_stats = {
   components : int;  (** independent LCP components *)
   illegal_before : int;  (** cells the Tetris stage had to fix *)
   relocated : int;
+  over_subscribed : bool;
+      (** the region's usable area (rectangles minus blockage overlap) is
+          smaller than its members' total area; overflow members were
+          evicted to the default territory before solving *)
+  evicted : int;  (** members evicted to the default territory *)
+  unplaced : int list;
+      (** original design ids of cells even the territory's allocation
+          (with exact rescue) could not place *)
 }
 
 type stats = {
@@ -51,13 +59,24 @@ val total_illegal : stats -> int
 
 val total_relocated : stats -> int
 
+val total_evicted : stats -> int
+
+val over_subscribed_territories : stats -> string list
+(** Names of the regions whose members exceeded their usable area. *)
+
+val total_unplaced : stats -> int list
+(** Original design ids of all unplaceable cells, sorted and distinct. *)
+
 val legalize :
   ?config:Config.t -> ?obs:Mclh_obs.Obs.t -> Design.t -> Placement.t * stats
 (** Decomposed legalization. For a design without regions this is exactly
     one {!Flow} run (recording straight into [obs]). With regions, each
     territory's pool job records into its own recorder, attached after
     fan-in as a [territory/<name>] sub-report; the parent recorder gets
-    the [fence/{territories,illegal_before,relocated,nonconverged}]
-    counters and the [fence/max_mismatch] gauge.
-    @raise Failure if a territory cannot host its cells (region too small
-      for its members). *)
+    the [fence/{territories,illegal_before,relocated,evicted,
+    over_subscribed,unplaced,nonconverged}] counters and the
+    [fence/max_mismatch] gauge. A region too small for its members no
+    longer raises: overflow members are evicted to the default territory
+    up front (reported per territory as [over_subscribed]/[evicted]), and
+    anything even the exact rescue cannot place is listed in [unplaced]
+    with the merged placement still returned. *)

@@ -79,6 +79,14 @@ let run ?(config = Config.default) ?obs ?s0 design =
   Log.debug (fun m ->
       m "tetris: %d illegal, %d relocated (%.3fs)"
         alloc.Tetris_alloc.illegal_before alloc.Tetris_alloc.relocated alloc_s);
+  (match alloc.Tetris_alloc.unplaced with
+  | [] -> ()
+  | unplaced ->
+    Obs.add obs "flow/unplaced" (List.length unplaced);
+    Log.warn (fun m ->
+        m "%s: %d cell(s) could not be placed anywhere (design beyond \
+           capacity?); the placement is partial"
+          design.Design.name (List.length unplaced)));
   let total_s = Mclh_par.Clock.now () -. start in
   heartbeat "done: %d relocated, %.2fs total" alloc.Tetris_alloc.relocated total_s;
   Obs.record_span obs "flow/total" total_s;

@@ -14,6 +14,7 @@ let attempt ~order (options : options) (design : Design.t) =
   let n = Design.num_cells design in
   let occ = Occupancy.of_design design in
   let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
+  let unplaced = ref [] in
   Array.iter
     (fun i ->
       let cell = design.cells.(i) in
@@ -25,39 +26,51 @@ let attempt ~order (options : options) (design : Design.t) =
              (chip.Chip.num_sites - cell.Cell.width)
              (int_of_float (Float.round gx)))
       in
-      let row0 =
-        match Chip.nearest_admitting_row chip cell gy with
-        | Some r -> r
-        | None -> failwith "Greedy_cpy.legalize: no admissible row"
+      let park () =
+        (* leave the cell at its clamped target without occupying: the
+           caller surfaces it as a typed failure *)
+        xs.(i) <- float_of_int x0;
+        ys.(i) <-
+          float_of_int
+            (max 0
+               (min
+                  (chip.Chip.num_rows - cell.Cell.height)
+                  (int_of_float (Float.round gy))));
+        unplaced := i :: !unplaced
       in
-      let rec search row_window x_window =
-        match
-          Occupancy.find_spot ?row_window ?x_window
-            ~rightward_only:options.rightward_only occ cell ~row0 ~x0
-        with
-        | Some spot -> spot
-        | None ->
-          (* the local region failed; widen both windows (the published
-             algorithm's region selection also falls back to a larger
-             region) *)
-          (match row_window, x_window with
-          | None, None -> failwith "Greedy_cpy.legalize: no free span for a cell"
-          | _ ->
-            let widen cap = function
-              | Some k when 2 * k < cap -> Some (2 * k)
-              | Some _ | None -> None
-            in
-            search
-              (widen chip.Chip.num_rows row_window)
-              (widen chip.Chip.num_sites x_window))
-      in
-      let row, x, _cost = search options.row_window options.x_window in
-      Occupancy.occupy occ ~row ~height:cell.Cell.height ~x
-        ~width:cell.Cell.width;
-      xs.(i) <- float_of_int x;
-      ys.(i) <- float_of_int row)
+      match Chip.nearest_admitting_row chip cell gy with
+      | None -> park ()
+      | Some row0 ->
+        let rec search row_window x_window =
+          match
+            Occupancy.find_spot ?row_window ?x_window
+              ~rightward_only:options.rightward_only occ cell ~row0 ~x0
+          with
+          | Some spot -> Some spot
+          | None ->
+            (* the local region failed; widen both windows (the published
+               algorithm's region selection also falls back to a larger
+               region) *)
+            (match (row_window, x_window) with
+            | None, None -> None
+            | _ ->
+              let widen cap = function
+                | Some k when 2 * k < cap -> Some (2 * k)
+                | Some _ | None -> None
+              in
+              search
+                (widen chip.Chip.num_rows row_window)
+                (widen chip.Chip.num_sites x_window))
+        in
+        (match search options.row_window options.x_window with
+        | None -> park ()
+        | Some (row, x, _cost) ->
+          Occupancy.occupy occ ~row ~height:cell.Cell.height ~x
+            ~width:cell.Cell.width;
+          xs.(i) <- float_of_int x;
+          ys.(i) <- float_of_int row))
     order;
-  Placement.make ~xs ~ys
+  (Placement.make ~xs ~ys, List.rev !unplaced)
 
 let legalize ?(options = default) (design : Design.t) =
   let n = Design.num_cells design in
@@ -70,8 +83,8 @@ let legalize ?(options = default) (design : Design.t) =
       if c <> 0 then c else compare a b)
     x_order;
   match attempt ~order:x_order options design with
-  | pl -> pl
-  | exception Failure _ ->
+  | pl, [] -> Ok pl
+  | _, _ ->
     (* fragmentation stranded a (multi-row) cell: robustness fallback — the
        hardest cells first, full search windows *)
     let hard_order = Array.copy x_order in
@@ -88,4 +101,11 @@ let legalize ?(options = default) (design : Design.t) =
               (design.global.Placement.xs.(a), a)
               (design.global.Placement.xs.(b), b))
       hard_order;
-    attempt ~order:hard_order improved design
+    (match attempt ~order:hard_order improved design with
+    | pl, [] -> Ok pl
+    | partial, cells ->
+      Error
+        (Unplaced.make ~stage:"greedy" ~cells ~partial
+           ~detail:
+             "no free span anywhere for these cells (design beyond \
+              capacity?)"))

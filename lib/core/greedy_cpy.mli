@@ -32,8 +32,10 @@ val improved : options
 (** The post-conference improvement: globally nearest free span in both
     directions. *)
 
-val legalize : ?options:options -> Design.t -> Placement.t
+val legalize : ?options:options -> Design.t -> (Placement.t, Unplaced.t) result
 (** A legal placement. If the window search fails for a cell, the window
     is widened until a spot is found; if fragmentation still strands a
     multi-row cell, the whole pass re-runs with the hardest cells first.
-    @raise Failure when the design exceeds chip capacity. *)
+    A cell with no free span anywhere (design beyond capacity) is parked
+    at its clamped target and reported in a typed {!Unplaced.t} — never
+    an exception. *)

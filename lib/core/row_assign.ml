@@ -8,8 +8,13 @@ let assign_cell (design : Design.t) i =
   match Chip.nearest_admitting_row design.chip cell y with
   | Some row -> row
   | None ->
-    failwith
-      (Printf.sprintf "Row_assign.assign: no admissible row for cell %d" i)
+    (* no admitting row at all (rail-impossible cell): park on the nearest
+       in-range row and let the allocation stage report the cell as
+       unplaceable instead of killing the flow here *)
+    max 0
+      (min
+         (design.chip.Chip.num_rows - cell.Cell.height)
+         (int_of_float (Float.round y)))
 
 let y_displacement (design : Design.t) rows =
   let total = ref 0.0 in

@@ -27,12 +27,20 @@ type report = {
   displacement : Metrics.t;
   delta_hpwl : float;
   runtime_s : float;
+  unplaced : int list;
   mmsim : Flow.result option;
   fence : Fence.stats option;
   obs : Obs.t option;
 }
 
-let snap design placement = (Tetris_alloc.run design placement).Tetris_alloc.placement
+let snap design placement =
+  let alloc = Tetris_alloc.run design placement in
+  (alloc.Tetris_alloc.placement, alloc.Tetris_alloc.unplaced)
+
+(* a baseline's typed failure still yields a measurable partial placement *)
+let unwrap = function
+  | Ok pl -> (pl, [])
+  | Error u -> (u.Unplaced.partial, u.Unplaced.cells)
 
 let run ?(config = Config.default) ?obs algorithm design =
   let obs =
@@ -41,23 +49,37 @@ let run ?(config = Config.default) ?obs algorithm design =
     | None -> if config.Config.metrics then Some (Obs.create ()) else None
   in
   let t0 = Mclh_par.Clock.now () in
-  let placement, mmsim, fence =
+  let placement, unplaced, mmsim, fence =
     match algorithm with
     | Mmsim ->
       if Array.length design.Design.regions > 0 then begin
         let legal, stats = Fence.legalize ~config ?obs design in
-        (legal, None, Some stats)
+        (legal, Fence.total_unplaced stats, None, Some stats)
       end
       else begin
         let result = Flow.run ~config ?obs design in
-        (result.Flow.legal, Some result, None)
+        ( result.Flow.legal,
+          result.Flow.alloc.Tetris_alloc.unplaced,
+          Some result,
+          None )
       end
     | Greedy_dac16 ->
-      (Greedy_cpy.legalize ~options:Greedy_cpy.default design, None, None)
+      let pl, unplaced =
+        unwrap (Greedy_cpy.legalize ~options:Greedy_cpy.default design)
+      in
+      (pl, unplaced, None, None)
     | Greedy_dac16_improved ->
-      (Greedy_cpy.legalize ~options:Greedy_cpy.improved design, None, None)
-    | Abacus_multirow -> (snap design (Abacus_mr.legalize design), None, None)
-    | Tetris -> (Tetris_legal.legalize design, None, None)
+      let pl, unplaced =
+        unwrap (Greedy_cpy.legalize ~options:Greedy_cpy.improved design)
+      in
+      (pl, unplaced, None, None)
+    | Abacus_multirow ->
+      let fractional, ab_unplaced = unwrap (Abacus_mr.legalize design) in
+      let pl, alloc_unplaced = snap design fractional in
+      (pl, List.sort_uniq compare (ab_unplaced @ alloc_unplaced), None, None)
+    | Tetris ->
+      let pl, unplaced = unwrap (Tetris_legal.legalize design) in
+      (pl, unplaced, None, None)
   in
   let runtime_s = Mclh_par.Clock.now () -. t0 in
   let legal = Legality.is_legal design placement in
@@ -71,6 +93,7 @@ let run ?(config = Config.default) ?obs algorithm design =
   in
   Obs.record_span obs "runner/total" runtime_s;
   Obs.add obs "runner/legal" (if legal then 1 else 0);
+  Obs.add obs "runner/unplaced" (List.length unplaced);
   Obs.gauge obs "runner/delta_hpwl" delta_hpwl;
   if runtime_s > 0.0 then
     Obs.gauge obs "runner/cells_per_s"
@@ -84,6 +107,7 @@ let run ?(config = Config.default) ?obs algorithm design =
     displacement;
     delta_hpwl;
     runtime_s;
+    unplaced;
     mmsim;
     fence;
     obs }

@@ -25,6 +25,12 @@ type report = {
   displacement : Metrics.t;
   delta_hpwl : float;
   runtime_s : float;
+  unplaced : int list;
+      (** cells no stage could place legally (empty on feasible designs):
+          a baseline's typed {!Unplaced.t} failure, the flow's
+          [Tetris_alloc] leftovers, or a fenced run's aggregated
+          {!Fence.total_unplaced}. The placement still contains them at
+          clamped positions, and [legal] is necessarily [false] *)
   mmsim : Flow.result option;
       (** present for {!Mmsim} on designs without fence regions (fenced
           designs run the {!Fence} decomposition instead) *)

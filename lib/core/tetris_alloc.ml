@@ -7,6 +7,8 @@ type result = {
   relocated : int;
   relocation_cost : float;
   repack_fallback : bool;
+  exact_repacks : int;
+  unplaced : int list;
 }
 
 (* the one clamp both repair passes share: a relocation search never starts
@@ -14,6 +16,170 @@ type result = {
    than the chip the clamp floors at 0 and the search fails cleanly instead
    of receiving a negative start. *)
 let clamp_x0 ~num_sites (c : Cell.t) x = max 0 (min x (num_sites - c.Cell.width))
+
+(* ---- exact evict-and-repack rescue -------------------------------------
+   When even the area-ordered repack strands a cell, evict its nearest
+   placed neighbors from a small window around the target and hand the
+   window to the exact solver: the stuck cell plus the evictees are
+   re-placed at provably-minimum displacement inside the freed space. *)
+
+let rescue_band_rows = 2 (* extra rows each side of the stuck cell's span *)
+let rescue_halo_sites = 24 (* extra sites each side of the stuck cell *)
+let rescue_max_evict = 6
+let rescue_max_nodes = 4_000
+
+let exact_rescue ?obs (design : Design.t) occ ~pos ~snap ~xs ~ys i =
+  let chip = design.chip in
+  let num_rows = chip.Chip.num_rows and num_sites = chip.Chip.num_sites in
+  let c = design.cells.(i) in
+  let x0, row0 = snap.(i) in
+  let x0 = clamp_x0 ~num_sites c x0 in
+  let band0 = max 0 (row0 - rescue_band_rows) in
+  let band1 = min num_rows (row0 + c.Cell.height + rescue_band_rows) in
+  let wx0 = max 0 (x0 - rescue_halo_sites) in
+  let wx1 = min num_sites (x0 + c.Cell.width + rescue_halo_sites) in
+  let n = Design.num_cells design in
+  let evictable = ref [] in
+  for j = 0 to n - 1 do
+    match pos.(j) with
+    | Some (r, x) ->
+      let cj = design.cells.(j) in
+      if
+        r >= band0
+        && r + cj.Cell.height <= band1
+        && x >= wx0
+        && x + cj.Cell.width <= wx1
+      then evictable := j :: !evictable
+    | None -> ()
+  done;
+  let evicted =
+    let dist j = abs (snd (Option.get pos.(j)) - x0) in
+    List.sort (fun a b -> compare (dist a, a) (dist b, b)) !evictable
+    |> List.filteri (fun k _ -> k < rescue_max_evict)
+  in
+  let saved = List.map (fun j -> (j, Option.get pos.(j))) evicted in
+  List.iter
+    (fun (j, (r, x)) ->
+      let cj = design.cells.(j) in
+      Occupancy.release occ ~row:r ~height:cj.Cell.height ~x
+        ~width:cj.Cell.width;
+      pos.(j) <- None)
+    saved;
+  let restore () =
+    List.iter
+      (fun (j, (r, x)) ->
+        let cj = design.cells.(j) in
+        Occupancy.occupy occ ~row:r ~height:cj.Cell.height ~x
+          ~width:cj.Cell.width;
+        pos.(j) <- Some (r, x))
+      saved
+  in
+  (* free intervals of one band row, by scanning the occupancy grid over
+     the window: maximal runs of free sites *)
+  let free r =
+    if r < band0 || r >= band1 then []
+    else begin
+      let segs = ref [] and run_start = ref (-1) in
+      for s = wx0 to wx1 - 1 do
+        let free_site =
+          Occupancy.is_free_span occ ~row:r ~height:1 ~x:s ~width:1
+        in
+        if free_site && !run_start < 0 then run_start := s
+        else if (not free_site) && !run_start >= 0 then begin
+          segs := (!run_start, s) :: !segs;
+          run_start := -1
+        end
+      done;
+      if !run_start >= 0 then segs := (!run_start, wx1) :: !segs;
+      List.rev !segs
+    end
+  in
+  let spec_of j =
+    let cj = design.cells.(j) in
+    let rows =
+      List.filter
+        (fun r -> Chip.row_admits chip cj r)
+        (List.init (max 0 (band1 - band0 - cj.Cell.height + 1)) (fun k ->
+             band0 + k))
+    in
+    let sx, srow = snap.(j) in
+    { Mclh_audit.Exact.id = j;
+      width = cj.Cell.width;
+      height = cj.Cell.height;
+      rows = Array.of_list rows;
+      target_x = float_of_int (clamp_x0 ~num_sites cj sx);
+      target_y = float_of_int srow }
+  in
+  let spec = Array.of_list (List.map spec_of (i :: evicted)) in
+  if Array.exists (fun (s : Mclh_audit.Exact.cell) -> Array.length s.rows = 0) spec
+  then begin
+    restore ();
+    false
+  end
+  else begin
+    match
+      Mclh_audit.Exact.solve ~max_nodes:rescue_max_nodes
+        ~row_height:chip.Chip.row_height ~free spec
+    with
+    | Mclh_audit.Exact.Optimal sol | Mclh_audit.Exact.Feasible sol ->
+      let ok = ref true in
+      Array.iteri
+        (fun k (s : Mclh_audit.Exact.cell) ->
+          if !ok then begin
+            let r = sol.Mclh_audit.Exact.rows.(k)
+            and x = sol.Mclh_audit.Exact.xs.(k) in
+            let cj = design.cells.(s.Mclh_audit.Exact.id) in
+            if
+              Occupancy.is_free_span occ ~row:r ~height:cj.Cell.height ~x
+                ~width:cj.Cell.width
+            then begin
+              Occupancy.occupy occ ~row:r ~height:cj.Cell.height ~x
+                ~width:cj.Cell.width;
+              pos.(s.Mclh_audit.Exact.id) <- Some (r, x)
+            end
+            else ok := false (* solver/grid disagreement: roll back *)
+          end)
+        spec;
+      if !ok then begin
+        Array.iter
+          (fun (s : Mclh_audit.Exact.cell) ->
+            let j = s.Mclh_audit.Exact.id in
+            match pos.(j) with
+            | Some (r, x) ->
+              xs.(j) <- float_of_int x;
+              ys.(j) <- float_of_int r
+            | None -> ())
+          spec;
+        Obs.incr obs "tetris/exact_repacks";
+        true
+      end
+      else begin
+        (* roll back any partial occupation, then the evictions *)
+        Array.iter
+          (fun (s : Mclh_audit.Exact.cell) ->
+            let j = s.Mclh_audit.Exact.id in
+            if j <> i then
+              match pos.(j) with
+              | Some (r, x) ->
+                let cj = design.cells.(j) in
+                Occupancy.release occ ~row:r ~height:cj.Cell.height ~x
+                  ~width:cj.Cell.width;
+                pos.(j) <- None
+              | None -> ())
+          spec;
+        (match pos.(i) with
+        | Some (r, x) ->
+          Occupancy.release occ ~row:r ~height:c.Cell.height ~x
+            ~width:c.Cell.width;
+          pos.(i) <- None
+        | None -> ());
+        restore ();
+        false
+      end
+    | Mclh_audit.Exact.Infeasible | Mclh_audit.Exact.Budget_exceeded _ ->
+      restore ();
+      false
+  end
 
 let run ?obs (design : Design.t) (input : Placement.t) =
   let chip = design.chip in
@@ -81,18 +247,22 @@ let run ?obs (design : Design.t) (input : Placement.t) =
       true
     | None -> false
   in
-  let finish repack_fallback =
+  let exact_repacks = ref 0 in
+  let finish repack_fallback unplaced =
     Obs.add obs "tetris/illegal_before" illegal_before;
     Obs.add obs "tetris/relocated" !relocated;
     if repack_fallback then Obs.incr obs "tetris/repack_fallback";
     Obs.gauge obs "tetris/relocation_cost" !relocation_cost;
+    Obs.add obs "tetris/unplaced" (List.length unplaced);
     { placement = Placement.make ~xs ~ys;
       illegal_before;
       relocated = !relocated;
       relocation_cost = !relocation_cost;
-      repack_fallback }
+      repack_fallback;
+      exact_repacks = !exact_repacks;
+      unplaced }
   in
-  if List.for_all place_illegal illegal then finish false
+  if List.for_all place_illegal illegal then finish false []
   else begin
     (* fragmentation at very high density: a multi-row cell found no free
        span after the singles grabbed theirs. Redo the whole allocation
@@ -114,6 +284,8 @@ let run ?obs (design : Design.t) (input : Placement.t) =
       order2;
     relocated := 0;
     relocation_cost := 0.0;
+    let pos = Array.make n None in
+    let unplaced = ref [] in
     Array.iter
       (fun i ->
         let c = design.cells.(i) in
@@ -122,16 +294,28 @@ let run ?obs (design : Design.t) (input : Placement.t) =
         match Occupancy.find_spot occ c ~row0 ~x0 with
         | Some (row, x, cost) ->
           Occupancy.occupy occ ~row ~height:c.Cell.height ~x ~width:c.Cell.width;
+          pos.(i) <- Some (row, x);
           xs.(i) <- float_of_int x;
           ys.(i) <- float_of_int row;
           incr relocated;
           relocation_cost := !relocation_cost +. cost
         | None ->
-          failwith
-            (Printf.sprintf
-               "Tetris_alloc.run: no free span for cell %d even after the \
-                area-ordered repack (design beyond capacity?)"
-               i))
+          (* the historical hard-failure point: evict-and-exact-repack
+             first; only a genuinely unplaceable cell is reported *)
+          if exact_rescue ?obs design occ ~pos ~snap ~xs ~ys i then begin
+            incr relocated;
+            incr exact_repacks;
+            relocation_cost :=
+              !relocation_cost
+              +. Float.abs (xs.(i) -. float_of_int x0)
+              +. (chip.Chip.row_height
+                 *. Float.abs (ys.(i) -. float_of_int row0))
+          end
+          else begin
+            unplaced := i :: !unplaced;
+            xs.(i) <- float_of_int x0;
+            ys.(i) <- float_of_int row0
+          end)
       order2;
-    finish true
+    finish true (List.rev !unplaced)
   end

@@ -18,6 +18,16 @@ type result = {
   repack_fallback : bool;
       (** the first repair pass fragmented the free space and the whole
           allocation was redone tallest/largest-first *)
+  exact_repacks : int;
+      (** windows handed to the exact evict-and-repack rescue
+          ({!Mclh_audit.Exact}) after even the area-ordered repack
+          stranded a cell *)
+  unplaced : int list;
+      (** cells no strategy could place — empty on any feasible design.
+          They sit at their clamped snapped positions in [placement]
+          (overlapping whatever is there), so the caller can still
+          measure and report; the flow surfaces them as a typed failure
+          instead of an exception *)
 }
 
 val clamp_x0 : num_sites:int -> Cell.t -> int -> int
@@ -28,8 +38,9 @@ val run : ?obs:Mclh_obs.Obs.t -> Design.t -> Placement.t -> result
 (** Input: a placement whose ys are integral rows admitting each cell
     (as produced by {!Model.placement_of}); xs may be fractional, off the
     chip to the right, or overlapping. [obs] records the
-    [tetris/illegal_before], [tetris/relocated] and
-    [tetris/repack_fallback] counters and the [tetris/relocation_cost]
-    gauge.
-    @raise Failure if some illegal cell cannot be placed anywhere (the
-      design exceeds chip capacity). *)
+    [tetris/illegal_before], [tetris/relocated], [tetris/repack_fallback],
+    [tetris/exact_repacks] and [tetris/unplaced] counters and the
+    [tetris/relocation_cost] gauge. Never raises: a cell that cannot be
+    placed anywhere (design exceeds chip capacity) is first offered to
+    the exact evict-and-repack rescue and, failing that, listed in
+    [unplaced]. *)

@@ -26,6 +26,7 @@ let attempt ~order (design : Design.t) =
     if !bumped = x then x else clear_of_blockages r h w !bumped
   in
   let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
+  let unplaced = ref [] in
   Array.iter
     (fun i ->
       let cell = design.cells.(i) in
@@ -57,7 +58,15 @@ let attempt ~order (design : Design.t) =
         end
       done;
       match !best with
-      | None -> failwith "Tetris_legal.legalize: no row can host a cell"
+      | None ->
+        (* nowhere to append: park the cell at its clamped target and
+           report it; the frontier is untouched so the rest of the scan
+           proceeds undisturbed *)
+        xs.(i) <- float_of_int (max 0 (min (num_sites - w) desired_x));
+        ys.(i) <-
+          float_of_int
+            (max 0 (min (num_rows - h) (int_of_float (Float.round gy))));
+        unplaced := i :: !unplaced
       | Some (r, x, _) ->
         for k = r to r + h - 1 do
           frontier.(k) <- x + w
@@ -65,7 +74,7 @@ let attempt ~order (design : Design.t) =
         xs.(i) <- float_of_int x;
         ys.(i) <- float_of_int r)
     order;
-  Placement.make ~xs ~ys
+  (Placement.make ~xs ~ys, List.rev !unplaced)
 
 let legalize (design : Design.t) =
   let n = Design.num_cells design in
@@ -78,8 +87,8 @@ let legalize (design : Design.t) =
       if c <> 0 then c else compare a b)
     x_order;
   match attempt ~order:x_order design with
-  | pl -> pl
-  | exception Failure _ ->
+  | pl, [] -> Ok pl
+  | _, _ ->
     (* the no-holes frontier can strand a tall cell at moderate density;
        classic Tetris has no recourse, so as robustness fallbacks, retry
        with the tall cells first, then fall back to the hole-reusing
@@ -96,6 +105,14 @@ let legalize (design : Design.t) =
             (design.global.Placement.xs.(b), b))
       hard_order;
     (match attempt ~order:hard_order design with
-    | pl -> pl
-    | exception Failure _ ->
-      Greedy_cpy.legalize ~options:Greedy_cpy.improved design)
+    | pl, [] -> Ok pl
+    | _, _ -> (
+      match Greedy_cpy.legalize ~options:Greedy_cpy.improved design with
+      | Ok pl -> Ok pl
+      | Error u ->
+        Error
+          { u with
+            Unplaced.stage = "tetris";
+            detail =
+              "no row can host these cells, even via the greedy fallback \
+               (design beyond capacity?)" }))

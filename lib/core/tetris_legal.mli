@@ -9,10 +9,11 @@
 
 open Mclh_circuit
 
-val legalize : Design.t -> Placement.t
+val legalize : Design.t -> (Placement.t, Unplaced.t) result
 (** A legal placement (integral coordinates). The classic frontier scheme
     can strand a tall cell at moderate density; this implementation then
     retries with the tall cells first and finally falls back to the
-    hole-reusing greedy search, so it fails only when the design truly
-    exceeds capacity.
-    @raise Failure when the design exceeds chip capacity. *)
+    hole-reusing greedy search. When even that fails (the design truly
+    exceeds capacity) the result is a typed {!Unplaced.t} — never an
+    exception — whose [partial] placement parks the leftover cells at
+    their clamped targets. *)

@@ -103,7 +103,12 @@ let lookahead (design : Design.t) (pl : Placement.t) =
     Design.make ~blockages:design.blockages ~name:"gp-lookahead"
       ~chip:design.chip ~cells:design.cells ~global:pl ~nets:design.nets ()
   in
-  Mclh_core.Tetris_legal.legalize d
+  match Mclh_core.Tetris_legal.legalize d with
+  | Ok pl -> pl
+  | Error u ->
+    (* anchors only guide the next iteration; a partial legalization is
+       still a usable anchor set *)
+    u.Mclh_core.Unplaced.partial
 
 let clamp (design : Design.t) (pl : Placement.t) =
   let chip = design.chip in

@@ -1,4 +1,5 @@
 open Mclh_circuit
+module Obs = Mclh_obs.Obs
 
 type options = {
   passes : int;
@@ -21,6 +22,7 @@ type stats = {
   swaps : int;
   reorders : int;
   passes_run : int;
+  skipped_cells : int;
 }
 
 let improvement s =
@@ -34,6 +36,9 @@ type state = {
   occ : Occupancy.t;
   nets_of : int array array;
   row_height : float;
+  skip : bool array;
+      (* illegal-in-input cells: frozen in place (their clamped span is
+         marked as an obstacle) and excluded from every move *)
 }
 
 let net_hpwl st net_id =
@@ -138,6 +143,7 @@ let try_swap st i j =
   let chip = Occupancy.chip st.occ in
   if
     i = j
+    || st.skip.(j)
     || ci.Cell.width <> cj.Cell.width
     || ci.Cell.height <> cj.Cell.height
     || (not (Chip.row_admits chip ci rj))
@@ -249,27 +255,57 @@ let try_reorder st ids =
         perm;
       true)
 
-let run ?(options = default_options) (design : Design.t) (input : Placement.t) =
-  if not (Legality.is_legal design input) then
-    invalid_arg "Refine.run: input placement is not legal";
+let run ?(options = default_options) ?obs (design : Design.t)
+    (input : Placement.t) =
   let chip = design.Design.chip in
   let pl = Placement.copy input in
   let occ = Occupancy.of_design design in
+  (* a partially-legal input no longer aborts the flow: the offending
+     cells are frozen in place and skipped by every pass. Legal cells are
+     occupied exactly first (any overlapping pair has its blamed member in
+     the illegal set, so they never collide among themselves); the frozen
+     cells' clamped spans are then laid down idempotently. *)
+  let skip = Array.make (Design.num_cells design) false in
+  let illegal = Legality.illegal_cells design input in
+  List.iter (fun i -> skip.(i) <- true) illegal;
+  Obs.add obs "refine/skipped_illegal" (List.length illegal);
   Array.iteri
     (fun i (c : Cell.t) ->
-      Occupancy.occupy occ
-        ~row:(int_of_float pl.Placement.ys.(i))
-        ~height:c.Cell.height
-        ~x:(int_of_float pl.Placement.xs.(i))
-        ~width:c.Cell.width;
-      ignore c)
+      if not skip.(i) then
+        Occupancy.occupy occ
+          ~row:(int_of_float pl.Placement.ys.(i))
+          ~height:c.Cell.height
+          ~x:(int_of_float pl.Placement.xs.(i))
+          ~width:c.Cell.width)
+    design.Design.cells;
+  Array.iteri
+    (fun i (c : Cell.t) ->
+      if skip.(i) then begin
+        let row =
+          max 0
+            (min
+               (chip.Chip.num_rows - c.Cell.height)
+               (int_of_float (Float.round pl.Placement.ys.(i))))
+        in
+        let x =
+          max 0
+            (min
+               (chip.Chip.num_sites - c.Cell.width)
+               (int_of_float (Float.round pl.Placement.xs.(i))))
+        in
+        Occupancy.mark occ ~row
+          ~height:(min c.Cell.height chip.Chip.num_rows)
+          ~x
+          ~width:(min c.Cell.width chip.Chip.num_sites)
+      end)
     design.Design.cells;
   let st =
     { design;
       pl;
       occ;
       nets_of = Netlist.nets_of_cell design.Design.nets;
-      row_height = chip.Chip.row_height }
+      row_height = chip.Chip.row_height;
+      skip }
   in
   let hpwl_before = Hpwl.total ~row_height:st.row_height design.Design.nets pl in
   let n = Design.num_cells design in
@@ -301,7 +337,7 @@ let run ?(options = default_options) (design : Design.t) (input : Placement.t) =
     if options.enable_moves then
       Array.iter
         (fun i ->
-          if try_global_move st options i then begin
+          if (not st.skip.(i)) && try_global_move st options i then begin
             incr moves;
             improved := true
           end)
@@ -310,6 +346,7 @@ let run ?(options = default_options) (design : Design.t) (input : Placement.t) =
     if options.enable_swaps then
     Array.iter
       (fun i ->
+        if not st.skip.(i) then begin
         let c = design.Design.cells.(i) in
         let twins =
           try Hashtbl.find buckets (c.Cell.width, c.Cell.height)
@@ -325,7 +362,8 @@ let run ?(options = default_options) (design : Design.t) (input : Placement.t) =
             end
             else try_first (k - 1) rest
         in
-        try_first 8 twins)
+        try_first 8 twins
+        end)
       order;
     (* pass 3: window reorder of single-height runs. A window is only
        valid when its cells are consecutive among *all* occupants of the
@@ -346,7 +384,8 @@ let run ?(options = default_options) (design : Design.t) (input : Placement.t) =
                compare st.pl.Placement.xs.(a) st.pl.Placement.xs.(b))
       in
       let is_single i =
-        design.Design.cells.(i).Cell.height = 1
+        (not st.skip.(i))
+        && design.Design.cells.(i).Cell.height = 1
         && int_of_float st.pl.Placement.ys.(i) = row
       in
       let rec windows = function
@@ -376,4 +415,5 @@ let run ?(options = default_options) (design : Design.t) (input : Placement.t) =
       moves = !moves;
       swaps = !swaps;
       reorders = !reorders;
-      passes_run = !passes_run } )
+      passes_run = !passes_run;
+      skipped_cells = List.length illegal } )

@@ -36,11 +36,23 @@ type stats = {
   swaps : int;
   reorders : int;
   passes_run : int;
+  skipped_cells : int;
+      (** cells that were illegal in the input, frozen in place and
+          excluded from every move *)
 }
 
 val improvement : stats -> float
 (** Relative HPWL reduction, in [0, 1). *)
 
-val run : ?options:options -> Design.t -> Placement.t -> Placement.t * stats
-(** [run design placement] refines a legal placement.
-    @raise Invalid_argument if the input placement is not legal. *)
+val run :
+  ?options:options ->
+  ?obs:Mclh_obs.Obs.t ->
+  Design.t ->
+  Placement.t ->
+  Placement.t * stats
+(** [run design placement] refines a placement. A not-perfectly-legal
+    input no longer aborts: the illegal cells are frozen in place (their
+    clamped spans become obstacles), excluded from every move, counted in
+    [stats.skipped_cells] and under the [refine/skipped_illegal] obs
+    counter, and every other cell is still refined. Never raises on any
+    placement whose coordinates are finite. *)

@@ -10,15 +10,31 @@ let instance ?(options = Generate.default_options) name scale =
 
 let legal_flow d = Flow.legalize d
 
-let test_rejects_illegal_input () =
+let test_skips_illegal_input () =
   let inst = instance "fft_2" 0.004 in
   let d = inst.Generate.design in
-  Alcotest.(check bool) "raises on overlap" true
-    (try
-       (* the raw global placement is not legal *)
-       ignore (Refine.run d d.Design.global);
-       false
-     with Invalid_argument _ -> true)
+  (* the raw global placement is not legal: the offending cells must be
+     frozen (reported in [skipped_cells]) rather than the whole run
+     aborting, the frozen cells must not move, and the rest must still
+     come out no worse *)
+  let refined, stats = Refine.run d d.Design.global in
+  Alcotest.(check bool) "skipped some cells" true (stats.Refine.skipped_cells > 0);
+  let illegal = Legality.illegal_cells d d.Design.global in
+  Alcotest.(check int) "skipped = illegal count"
+    (List.length illegal) stats.Refine.skipped_cells;
+  List.iter
+    (fun i ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "cell %d x frozen" i)
+        d.Design.global.Placement.xs.(i)
+        refined.Placement.xs.(i);
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "cell %d y frozen" i)
+        d.Design.global.Placement.ys.(i)
+        refined.Placement.ys.(i))
+    illegal;
+  Alcotest.(check bool) "not worse" true
+    (stats.Refine.hpwl_after <= stats.Refine.hpwl_before +. 1e-9)
 
 let test_preserves_legality () =
   List.iter
@@ -135,7 +151,7 @@ let qc_refine_legal_and_monotone =
 let () =
   Alcotest.run "refine"
     [ ( "invariants",
-        [ Alcotest.test_case "rejects illegal input" `Quick test_rejects_illegal_input;
+        [ Alcotest.test_case "skips illegal input" `Quick test_skips_illegal_input;
           Alcotest.test_case "preserves legality" `Quick test_preserves_legality;
           Alcotest.test_case "never worse" `Quick test_never_worse;
           Alcotest.test_case "individual phases" `Quick test_individual_phases_legal;

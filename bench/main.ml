@@ -7,7 +7,7 @@
      MCLH_FAST    if set, run a 5-benchmark subset
      MCLH_ONLY    comma-separated subset of sections:
                   table1,table2,sec53,fig5,ablations,extensions,scaling,eco,
-                  serve,kernels *)
+                  gp,serve,kernels *)
 
 let sections =
   [ ("table1", Table1.run);
@@ -18,6 +18,7 @@ let sections =
     ("extensions", Extensions.run);
     ("scaling", Scaling.run);
     ("eco", Eco.run);
+    ("gp", Gp.run);
     ("serve", Serve.run);
     ("kernels", Kernels.run) ]
 

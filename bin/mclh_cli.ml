@@ -3,6 +3,8 @@
    Subcommands:
      list       show the benchmark suite and its Table-1 statistics
      gen        generate a synthetic instance and write it to a file
+     place      density-driven analytical global placement
+     pipeline   place -> legalize -> refine in one flow
      legalize   legalize a design file with a chosen algorithm
      run        generate + legalize in one step (no files)
      audit      sample windows of a legalized placement, re-solve exactly
@@ -761,6 +763,368 @@ let eco_cmd =
       const run $ in_arg $ edits_arg $ out_arg $ out_design_arg $ lambda_arg
       $ eps_arg $ max_iter_arg $ strict_arg $ verify_arg $ metrics_out_arg)
 
+(* ---- global placement ---- *)
+
+let gp_rounds_arg =
+  let doc = "Maximum global-placement rounds." in
+  Arg.(
+    value
+    & opt int Mclh_gp.Gp.default_options.Mclh_gp.Gp.iterations
+    & info [ "gp-rounds" ] ~docv:"N" ~doc)
+
+let target_density_arg =
+  let doc = "Target utilization per density bin." in
+  Arg.(
+    value
+    & opt float Mclh_gp.Gp.default_options.Mclh_gp.Gp.target_density
+    & info [ "target-density" ] ~docv:"D" ~doc)
+
+let stop_overflow_arg =
+  let doc =
+    "Stop spreading once the density overflow falls to this fraction of \
+     the movable area."
+  in
+  Arg.(
+    value
+    & opt float Mclh_gp.Gp.default_options.Mclh_gp.Gp.stop_overflow
+    & info [ "stop-overflow" ] ~docv:"F" ~doc)
+
+let grid_arg =
+  let doc =
+    "Density bins per side (a power of two; default picked from the cell \
+     count)."
+  in
+  Arg.(value & opt (some int) None & info [ "grid" ] ~docv:"M" ~doc)
+
+let no_density_arg =
+  let doc =
+    "Disable the density force: the legacy lookahead-anchor placer (a \
+     fixed round count, Tetris-legalized anchors)."
+  in
+  Arg.(value & flag & info [ "no-density" ] ~doc)
+
+let net_model_arg =
+  let doc = "Quadratic net model: $(b,clique) or $(b,b2b)." in
+  let parse = function
+    | "clique" -> Ok Mclh_gp.Gp.Clique
+    | "b2b" -> Ok Mclh_gp.Gp.B2b
+    | s -> Error (`Msg (Printf.sprintf "unknown net model %S (clique, b2b)" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with Mclh_gp.Gp.Clique -> "clique" | Mclh_gp.Gp.B2b -> "b2b")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Mclh_gp.Gp.default_options.Mclh_gp.Gp.net_model
+    & info [ "net-model" ] ~docv:"MODEL" ~doc)
+
+let gp_options_of rounds target stop grid no_density net_model =
+  { Mclh_gp.Gp.default_options with
+    Mclh_gp.Gp.iterations = rounds;
+    target_density = target;
+    stop_overflow = stop;
+    grid;
+    density = not no_density;
+    net_model }
+
+let gp_round_table (stats : Mclh_gp.Gp.stats) =
+  Printf.printf "%5s %9s %11s %9s %9s %8s %10s\n" "round" "alpha" "HPWL"
+    "overflow" "max util" "cg iters" "density ms";
+  List.iter
+    (fun (r : Mclh_gp.Gp.round) ->
+      Printf.printf "%5d %9.4f %11.0f %8.1f%% %9.2f %8d %10.2f\n"
+        r.Mclh_gp.Gp.index r.Mclh_gp.Gp.alpha r.Mclh_gp.Gp.hpwl
+        (100.0 *. r.Mclh_gp.Gp.overflow)
+        r.Mclh_gp.Gp.max_utilization r.Mclh_gp.Gp.cg_iterations
+        (1000.0 *. r.Mclh_gp.Gp.density_seconds))
+    stats.Mclh_gp.Gp.rounds
+
+(* the design with the GP output installed as its global placement — the
+   instance the legalization flow consumes *)
+let design_with_global (design : Design.t) pl =
+  Design.make ~blockages:design.Design.blockages
+    ~regions:design.Design.regions ~name:design.Design.name
+    ~chip:design.Design.chip ~cells:design.Design.cells ~global:pl
+    ~nets:design.Design.nets ()
+
+let read_or_generate input bench scale seed single_height blockages tall
+    fences scenario =
+  match input with
+  | Some path -> Io.read_design ~path
+  | None ->
+    (generate_instance bench scale seed single_height blockages tall fences
+       scenario)
+      .Generate.design
+
+let place_cmd =
+  let in_arg =
+    let doc =
+      "Place this design file instead of generating an instance (its \
+       global placement is discarded; the placer starts from the netlist)."
+    in
+    Arg.(value & opt (some string) None & info [ "i"; "in" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Output placement file (the fractional GP positions)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let out_design_arg =
+    let doc =
+      "Write the design with the GP output installed as its global \
+       placement — the file $(b,mclh legalize) consumes."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "out-design" ] ~docv:"FILE" ~doc)
+  in
+  let edits_out_arg =
+    let doc =
+      "Write the per-round placement deltas as mclh-edits batches: replay \
+       the placer's trajectory through $(b,mclh eco) against the design \
+       written by $(b,--edits-base) (whose global placement is the first \
+       round's snapshot)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "edits-out" ] ~docv:"FILE" ~doc)
+  in
+  let edits_base_arg =
+    let doc =
+      "With $(b,--edits-out): write the base design the edit batches \
+       apply to."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "edits-base" ] ~docv:"FILE" ~doc)
+  in
+  let run bench scale seed single_height blockages tall fences scenario input
+      output out_design edits_out edits_base svg metrics_out gp_rounds
+      target_density stop_overflow grid no_density net_model =
+    let design =
+      read_or_generate input bench scale seed single_height blockages tall
+        fences scenario
+    in
+    let options =
+      gp_options_of gp_rounds target_density stop_overflow grid no_density
+        net_model
+    in
+    let obs =
+      if metrics_out <> None || Mclh_obs.Obs.enabled_from_env () then
+        Some (Mclh_obs.Obs.create ())
+      else None
+    in
+    let snapshots = ref [] in
+    let on_round =
+      if edits_out = None then None
+      else Some (fun _ pl -> snapshots := Placement.copy pl :: !snapshots)
+    in
+    let (gp, stats), seconds =
+      Mclh_par.Clock.timed (fun () ->
+          Mclh_gp.Gp.place ~options ?obs ?on_round design)
+    in
+    let placed = design_with_global design gp in
+    let illegal_pre = Legality.count_illegal placed gp in
+    Printf.printf "design           : %s (%d cells, %d nets)\n"
+      design.Design.name (Design.num_cells design)
+      (Netlist.num_nets design.Design.nets);
+    gp_round_table stats;
+    Printf.printf "rounds           : %d (grid %dx%d)\n"
+      (List.length stats.Mclh_gp.Gp.rounds)
+      stats.Mclh_gp.Gp.grid stats.Mclh_gp.Gp.grid;
+    Printf.printf "final HPWL       : %.0f\n" stats.Mclh_gp.Gp.final_hpwl;
+    Printf.printf "final overflow   : %.2f%%\n"
+      (100.0 *. stats.Mclh_gp.Gp.final_overflow);
+    Printf.printf "illegal cells    : %d (pre-legalization)\n" illegal_pre;
+    Printf.printf "runtime          : %.3f s\n" seconds;
+    (match (metrics_out, obs) with
+    | Some path, Some obs ->
+      let open Mclh_report in
+      let meta =
+        [ ("design", Json.String design.Design.name);
+          ("cells", Json.Int (Design.num_cells design));
+          ("rounds", Json.Int (List.length stats.Mclh_gp.Gp.rounds));
+          ("grid", Json.Int stats.Mclh_gp.Gp.grid);
+          ("final_hpwl", Json.Float stats.Mclh_gp.Gp.final_hpwl);
+          ("final_overflow", Json.Float stats.Mclh_gp.Gp.final_overflow);
+          ("illegal_pre", Json.Int illegal_pre) ]
+      in
+      Mclh_obs.Run_report.write ~path (Mclh_obs.Run_report.to_json ~meta obs);
+      Printf.printf "metrics          : %s\n" path
+    | _ -> ());
+    Option.iter
+      (fun path ->
+        Io.write_placement ~path gp;
+        Printf.printf "placement        : %s\n" path)
+      output;
+    Option.iter
+      (fun path ->
+        Io.write_design ~path placed;
+        Printf.printf "design           : %s\n" path)
+      out_design;
+    (match edits_out with
+    | None -> ()
+    | Some path ->
+      let snaps = List.rev !snapshots in
+      Mclh_gp.Eco_bridge.write ~path snaps;
+      Printf.printf "edits            : %s (%d batches)\n" path
+        (List.length (Mclh_gp.Eco_bridge.batches_of_rounds snaps));
+      Option.iter
+        (fun base ->
+          (match snaps with
+          | first :: _ -> Io.write_design ~path:base (design_with_global design first)
+          | [] -> ());
+          Printf.printf "edits base       : %s\n" base)
+        edits_base);
+    Option.iter
+      (fun path ->
+        Svg.write_file ~path placed gp;
+        Printf.printf "svg              : %s\n" path)
+      svg
+  in
+  Cmd.v
+    (Cmd.info "place"
+       ~doc:
+         "Density-driven analytical global placement: quadratic wirelength \
+          (CG) alternating with FFT-solved Poisson density forces. The \
+          output is fractional and overlapping — feed it to $(b,mclh \
+          legalize) or use $(b,mclh pipeline).")
+    Term.(
+      const run $ bench_arg $ scale_arg $ seed_arg $ single_height_arg
+      $ blockage_arg $ tall_arg $ fences_arg $ scenario_arg $ in_arg
+      $ out_arg $ out_design_arg $ edits_out_arg $ edits_base_arg $ svg_arg
+      $ metrics_out_arg $ gp_rounds_arg $ target_density_arg
+      $ stop_overflow_arg $ grid_arg $ no_density_arg $ net_model_arg)
+
+let pipeline_cmd =
+  let in_arg =
+    let doc = "Run the pipeline on this design file (netlist only; its \
+               global placement is discarded)." in
+    Arg.(value & opt (some string) None & info [ "i"; "in" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Output placement file (final legal positions)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let no_refine_arg =
+    let doc = "Skip the detailed-placement refinement stage." in
+    Arg.(value & flag & info [ "no-refine" ] ~doc)
+  in
+  let run bench scale seed single_height blockages tall fences scenario input
+      output svg alg lambda eps max_iter strict metrics_out progress no_refine
+      gp_rounds target_density stop_overflow grid no_density net_model =
+    let design =
+      read_or_generate input bench scale seed single_height blockages tall
+        fences scenario
+    in
+    let rh = design.Design.chip.Chip.row_height in
+    let options =
+      gp_options_of gp_rounds target_density stop_overflow grid no_density
+        net_model
+    in
+    let config = config_of ~metrics_out ~progress lambda eps max_iter in
+    let obs =
+      if config.Config.metrics then Some (Mclh_obs.Obs.create ()) else None
+    in
+    if progress then
+      Printf.eprintf "[mclh] pipeline: global placement (%d cells)\n%!"
+        (Design.num_cells design);
+    (* stage 1: global placement *)
+    let (gp, gp_stats), gp_s =
+      Mclh_par.Clock.timed (fun () -> Mclh_gp.Gp.place ~options ?obs design)
+    in
+    Mclh_obs.Obs.record_span obs "pipeline/gp" gp_s;
+    let placed = design_with_global design gp in
+    let illegal_pre = Legality.count_illegal placed gp in
+    Printf.printf "design           : %s (%d cells, %d nets)\n"
+      design.Design.name (Design.num_cells design)
+      (Netlist.num_nets design.Design.nets);
+    Printf.printf "gp               : %d rounds, HPWL %.0f, overflow %.2f%%, \
+                   %d illegal, %.3f s\n"
+      (List.length gp_stats.Mclh_gp.Gp.rounds)
+      gp_stats.Mclh_gp.Gp.final_hpwl
+      (100.0 *. gp_stats.Mclh_gp.Gp.final_overflow)
+      illegal_pre gp_s;
+    (* stage 2: legalization *)
+    if progress then Printf.eprintf "[mclh] pipeline: legalization\n%!";
+    let r, legalize_s =
+      Mclh_par.Clock.timed (fun () -> Runner.run ~config ?obs alg placed)
+    in
+    Mclh_obs.Obs.record_span obs "pipeline/legalize" legalize_s;
+    let hpwl_legal = Hpwl.total ~row_height:rh placed.Design.nets r.Runner.placement in
+    Printf.printf "legalize         : %s, legal %b, dHPWL %+.2f%%, %.3f s\n"
+      (Runner.name alg) r.Runner.legal
+      (100.0 *. r.Runner.delta_hpwl)
+      legalize_s;
+    report_unplaced r;
+    let strict_fail = warn_nonconvergence ~strict r in
+    (* stage 3: refinement *)
+    let final, refine_line =
+      if no_refine then (r.Runner.placement, None)
+      else begin
+        if progress then Printf.eprintf "[mclh] pipeline: refinement\n%!";
+        let (refined, stats), refine_s =
+          Mclh_par.Clock.timed (fun () ->
+              Mclh_refine.Refine.run placed r.Runner.placement)
+        in
+        Mclh_obs.Obs.record_span obs "pipeline/refine" refine_s;
+        ( refined,
+          Some
+            (Printf.sprintf
+               "refine           : HPWL %.0f -> %.0f (%.2f%%), %.3f s"
+               stats.Mclh_refine.Refine.hpwl_before stats.hpwl_after
+               (100.0 *. Mclh_refine.Refine.improvement stats)
+               refine_s) )
+      end
+    in
+    Option.iter print_endline refine_line;
+    let legal = Legality.is_legal placed final in
+    let dhpwl =
+      Hpwl.delta ~row_height:rh placed.Design.nets ~before:gp final
+    in
+    ignore hpwl_legal;
+    Printf.printf "pipeline         : legal %b, dHPWL vs GP %+.2f%%\n" legal
+      (100.0 *. dhpwl);
+    (match (metrics_out, obs) with
+    | Some path, Some obs ->
+      let open Mclh_report in
+      let meta =
+        [ ("design", Json.String design.Design.name);
+          ("cells", Json.Int (Design.num_cells design));
+          ("gp_rounds", Json.Int (List.length gp_stats.Mclh_gp.Gp.rounds));
+          ("gp_overflow", Json.Float gp_stats.Mclh_gp.Gp.final_overflow);
+          ("illegal_pre", Json.Int illegal_pre);
+          ("legal", Json.Bool legal);
+          ("delta_hpwl_vs_gp", Json.Float dhpwl) ]
+      in
+      Mclh_obs.Run_report.write ~path (Mclh_obs.Run_report.to_json ~meta obs);
+      Printf.printf "metrics          : %s\n" path
+    | _ -> ());
+    Option.iter
+      (fun path ->
+        Io.write_placement ~path final;
+        Printf.printf "placement        : %s\n" path)
+      output;
+    Option.iter
+      (fun path ->
+        Svg.write_file ~path placed final;
+        Printf.printf "svg              : %s\n" path)
+      svg;
+    if not legal then exit 2;
+    if strict_fail then exit 3
+  in
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:
+         "The full flow in one command: density-driven global placement, \
+          then legalization, then detailed-placement refinement — with \
+          per-stage spans in the metrics report. Exit 0 iff the final \
+          placement is legal.")
+    Term.(
+      const run $ bench_arg $ scale_arg $ seed_arg $ single_height_arg
+      $ blockage_arg $ tall_arg $ fences_arg $ scenario_arg $ in_arg
+      $ out_arg $ svg_arg $ alg_arg $ lambda_arg $ eps_arg $ max_iter_arg
+      $ strict_arg $ metrics_out_arg $ progress_arg $ no_refine_arg
+      $ gp_rounds_arg $ target_density_arg $ stop_overflow_arg $ grid_arg
+      $ no_density_arg $ net_model_arg)
+
 let convert_cmd =
   let in_arg =
     let doc = "Input design: native file or Bookshelf .aux." in
@@ -887,5 +1251,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; gen_cmd; legalize_cmd; run_cmd; audit_cmd; check_cmd;
-            stats_cmd; convert_cmd; eco_cmd; serve_cmd ]))
+          [ list_cmd; gen_cmd; place_cmd; pipeline_cmd; legalize_cmd;
+            run_cmd; audit_cmd; check_cmd; stats_cmd; convert_cmd; eco_cmd;
+            serve_cmd ]))

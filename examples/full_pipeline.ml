@@ -22,16 +22,20 @@ let () =
     (Design.num_cells skeleton)
     (Netlist.num_nets skeleton.Design.nets);
 
-  (* 1. global placement from scratch *)
+  (* 1. density-driven global placement from scratch *)
   let gp, gp_stats = Mclh_gp.Gp.place skeleton in
-  Printf.printf "global placement (%d anchor rounds):\n"
-    (List.length gp_stats.Mclh_gp.Gp.rounds);
-  List.iteri
-    (fun i (alpha, hpwl) ->
-      if i mod 3 = 0 then
-        Printf.printf "  round %2d: alpha %-8.3f HPWL %.0f\n" i alpha hpwl)
+  Printf.printf "global placement (%d density rounds, %dx%d grid):\n"
+    (List.length gp_stats.Mclh_gp.Gp.rounds)
+    gp_stats.Mclh_gp.Gp.grid gp_stats.Mclh_gp.Gp.grid;
+  List.iter
+    (fun (r : Mclh_gp.Gp.round) ->
+      if (r.index - 1) mod 3 = 0 then
+        Printf.printf "  round %2d: alpha %-8.3f HPWL %-9.0f overflow %.1f%%\n"
+          r.index r.alpha r.hpwl (100.0 *. r.overflow))
     gp_stats.rounds;
-  Printf.printf "  final GP HPWL: %.0f\n\n" gp_stats.final_hpwl;
+  Printf.printf "  final GP HPWL: %.0f (overflow %.1f%%)\n\n"
+    gp_stats.final_hpwl
+    (100.0 *. gp_stats.final_overflow);
 
   (* 2. the paper's legalization flow on the GP output *)
   let design =

@@ -1,0 +1,29 @@
+open Mclh_circuit
+open Mclh_incr
+
+let batches_of_rounds ?(min_move = 1e-6) (snapshots : Placement.t list) =
+  let batch (prev : Placement.t) (next : Placement.t) =
+    let n = Array.length prev.Placement.xs in
+    if Array.length next.Placement.xs <> n then
+      invalid_arg "Eco_bridge: snapshots differ in cell count";
+    let edits = ref [] in
+    for i = n - 1 downto 0 do
+      let dx = Float.abs (next.Placement.xs.(i) -. prev.Placement.xs.(i))
+      and dy = Float.abs (next.Placement.ys.(i) -. prev.Placement.ys.(i)) in
+      if dx +. dy > min_move then
+        edits :=
+          Edit.Move
+            { cell = i; x = next.Placement.xs.(i); y = next.Placement.ys.(i) }
+          :: !edits
+    done;
+    !edits
+  in
+  let rec pair = function
+    | a :: (b :: _ as rest) ->
+      (match batch a b with [] -> pair rest | es -> es :: pair rest)
+    | _ -> []
+  in
+  pair snapshots
+
+let write ~path ?min_move snapshots =
+  Edit.write_file ~path (batches_of_rounds ?min_move snapshots)

@@ -1,0 +1,27 @@
+(** GP rounds as ECO batches.
+
+    Each global-placement round moves cells; the delta between two
+    successive round snapshots is exactly an [mclh-edits] batch of
+    {!Mclh_incr.Edit.Move} edits. Writing the whole trajectory lets
+    [mclh eco] replay a placer run incrementally — the incremental
+    engine driven by honest placer deltas instead of synthetic edits.
+
+    The intended pairing: legalize a design whose [global] is the {e
+    first} snapshot, then apply the batches in order; after batch [k]
+    the incremental state matches a fresh legalization of snapshot
+    [k+1]. *)
+
+open Mclh_circuit
+
+val batches_of_rounds :
+  ?min_move:float -> Placement.t list -> Mclh_incr.Edit.t list list
+(** One batch per consecutive snapshot pair, in order. A cell appears in
+    a batch iff its L1 move between the pair exceeds [min_move]
+    (default [1e-6] — drops only numeric noise). Batches where nothing
+    moved are omitted, matching the edits file format (which drops empty
+    batches on round trip).
+
+    @raise Invalid_argument if snapshots disagree on cell count. *)
+
+val write : path:string -> ?min_move:float -> Placement.t list -> unit
+(** {!batches_of_rounds} serialized with {!Mclh_incr.Edit.write_file}. *)

@@ -1,22 +1,27 @@
-(** A minimal analytical global placer (quadratic + lookahead anchoring).
+(** Density-driven analytical global placement.
 
-    The paper's closing remark is that its LCP/MMSIM formulation "provides
-    new generic solutions ... e.g. global placement [17]" — quadratic
-    placers are exactly large sparse quadratic programs. This module
-    closes the loop: it builds the quadratic wirelength model from the
-    netlist and alternates
+    The placer alternates a conjugate-gradient solve of the quadratic
+    wirelength model [(L + diag alpha) x = b + alpha a] (clique or
+    bound-to-bound Laplacian [L], pin offsets in [b]) with a density
+    step in the FFTPL style (Lu et al.): the current fractional
+    placement is binned on the {!Density} grid, the Poisson potential of
+    the density map is solved spectrally, and each movable cell's anchor
+    [a] becomes its current position pushed one field step
+    [mu E(center)] toward sparser bins. The anchor pull [alpha] grows
+    geometrically, so early rounds are wirelength-dominated and late
+    rounds density-dominated; the loop stops when the density overflow
+    drops to [stop_overflow] (or after [iterations] rounds).
 
-    + a conjugate-gradient solve of [(L + alpha I) x = b + alpha a]
-      (clique-model Laplacian [L], pin-offset terms in [b]), with
-    + lookahead anchoring a la SimPL: the current fractional placement is
-      legalized by the repository's own Tetris legalizer and the result
-      becomes the anchor [a], with [alpha] growing geometrically.
+    Blockages and pinned cells ([fixed_cells]) are pre-filled into the
+    density grid, so the field steers spreading around obstructed
+    regions; pinned cells are additionally held at their [design.global]
+    position by a large per-cell anchor weight in the CG system.
 
-    The output is a *global* placement: overlapping, fractional, density-
-    aware through the anchors — the input the paper's legalization flow
-    expects. This is deliberately a small placer (no density function, no
-    net reweighting); its purpose is an end-to-end netlist -> GP ->
-    legalization pipeline on honest data, not GP research. *)
+    The output is a {e global} placement: overlapping, fractional,
+    density-equalized — the honest input the paper's legalization flow
+    expects (hundreds of illegal cells, not the feasible-by-construction
+    synthetics). [density = false] recovers the earlier SimPL-style
+    lookahead placer (Tetris-legalized anchors, fixed round count). *)
 
 open Mclh_circuit
 
@@ -29,25 +34,67 @@ type net_model =
           the current positions each round *)
 
 type options = {
-  iterations : int;  (** anchor rounds (default 12); more rounds spread
-      harder (easier to legalize, longer wirelength) *)
+  iterations : int;
+      (** max rounds (default 24); the density stopping rule usually
+          exits earlier *)
   anchor_weight : float;  (** initial alpha (default 0.01) *)
-  anchor_growth : float;  (** alpha multiplier per round (default 2.0) *)
+  anchor_growth : float;
+      (** alpha multiplier per round (default 1.6) — this is the growing
+          density weight: it scales how hard cells are pulled toward
+          their field-pushed targets *)
   cg_tol : float;  (** conjugate-gradient tolerance (default 1e-7) *)
-  net_model : net_model;
-      (** default [Clique] — under this anchor schedule the fixed clique
-          model measures slightly better than B2B on the synthetic suite *)
+  net_model : net_model;  (** default [Clique] *)
+  density : bool;
+      (** default [true]; [false] restores the lookahead-anchor placer *)
+  grid : int option;
+      (** density bins per side (power of two); default: chosen from the
+          cell count by {!Density.create} *)
+  target_density : float;  (** per-bin target utilization (default 1.0) *)
+  stop_overflow : float;
+      (** stop once {!Density.overflow} falls to this fraction of the
+          movable area (default 0.10) *)
+  step_bins : float;
+      (** field step per round in bins: the strongest-pushed cell's
+          anchor moves this many bin pitches (default 1.0, capped at
+          2.0) *)
+  fixed_cells : int list;
+      (** cells pinned at their [design.global] position: immovable
+          density, huge anchor weight *)
 }
 
 val default_options : options
 
-type stats = {
-  rounds : (float * float) list;
-      (** per round: (alpha, HPWL of the quadratic solution) *)
-  final_hpwl : float;
+type round = {
+  index : int;  (** 1-based *)
+  alpha : float;
+  hpwl : float;
+  overflow : float;  (** {!Density.overflow} after this round's solve *)
+  max_utilization : float;
+  cg_iterations : int;  (** both axes *)
+  density_seconds : float;  (** accumulate + Poisson solve + field *)
 }
 
-val place : ?options:options -> Design.t -> Placement.t * stats
-(** [place design] ignores [design.global] and produces a fresh global
-    placement from the netlist. Cells not touched by any net settle at
-    their anchors. The result is clamped to the chip but not legal. *)
+type stats = {
+  rounds : round list;  (** chronological; [<= iterations] entries *)
+  final_hpwl : float;
+  final_overflow : float;
+  grid : int;  (** density bins per side actually used *)
+}
+
+val place :
+  ?options:options ->
+  ?obs:Mclh_obs.Obs.t ->
+  ?on_round:(round -> Placement.t -> unit) ->
+  Design.t ->
+  Placement.t * stats
+(** [place design] produces a fresh global placement from the netlist
+    ([design.global] is read only for [fixed_cells]). [on_round] fires
+    after every round with the round record and the {e live} position
+    buffer (copy it to keep it — the ECO bridge does). [obs] records
+    [gp/*] counters, gauges and spans.
+
+    Cells not touched by any net settle at their anchors. The result is
+    clamped to the chip but not legal.
+
+    @raise Invalid_argument if [iterations < 1] or a [fixed_cells] id is
+      out of range. *)

@@ -1,0 +1,188 @@
+(* Iterative radix-2 Cooley-Tukey with precomputed tables, plus the
+   DCT/DST family via Makhoul's same-length re-indexing.
+
+   Everything mutable a transform needs lives in the plan: the
+   bit-reversal permutation, a half-length twiddle table (stage [len]
+   reads it at stride [n/len]), the quarter-wave table for the real
+   transforms' pre/post twiddles, and two scratch buffers. Transforms
+   allocate nothing, so a caller looping over grid rows and columns
+   (the Poisson engine) keeps the minor heap quiet. *)
+
+type plan = {
+  n : int;
+  rev : int array;  (* bit-reversal permutation *)
+  twc : float array;  (* twc.(j) = cos (2 pi j / n), j < n/2 *)
+  tws : float array;  (* tws.(j) = sin (2 pi j / n), j < n/2 *)
+  qc : float array;  (* qc.(k) = cos (pi k / 2n), k < n *)
+  qs : float array;  (* qs.(k) = sin (pi k / 2n), k < n *)
+  sre : float array;  (* scratch, length n *)
+  sim : float array;
+  srev : float array;  (* staging for dst3's coefficient reversal *)
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let plan n =
+  if not (is_pow2 n) then invalid_arg "Fft.plan: length must be a power of two";
+  let rev = Array.make n 0 in
+  let bits = ref 0 in
+  while 1 lsl !bits < n do
+    incr bits
+  done;
+  for i = 0 to n - 1 do
+    let r = ref 0 in
+    for b = 0 to !bits - 1 do
+      if i land (1 lsl b) <> 0 then r := !r lor (1 lsl (!bits - 1 - b))
+    done;
+    rev.(i) <- !r
+  done;
+  let half = max 1 (n / 2) in
+  let twc = Array.init half (fun j -> cos (2.0 *. Float.pi *. float_of_int j /. float_of_int n))
+  and tws = Array.init half (fun j -> sin (2.0 *. Float.pi *. float_of_int j /. float_of_int n)) in
+  let qc = Array.init n (fun k -> cos (Float.pi *. float_of_int k /. (2.0 *. float_of_int n)))
+  and qs = Array.init n (fun k -> sin (Float.pi *. float_of_int k /. (2.0 *. float_of_int n))) in
+  { n; rev; twc; tws; qc; qs;
+    sre = Array.make n 0.0;
+    sim = Array.make n 0.0;
+    srev = Array.make n 0.0 }
+
+let length p = p.n
+
+let check p re im =
+  if Array.length re <> p.n || Array.length im <> p.n then
+    invalid_arg "Fft: array length does not match the plan"
+
+(* forward DFT, in place; twiddle sign -1 = forward, +1 = inverse *)
+let transform p re im sign =
+  let n = p.n in
+  (* bit-reversal permutation: swap once per out-of-place pair *)
+  for i = 0 to n - 1 do
+    let j = p.rev.(i) in
+    if j > i then begin
+      let tr = re.(i) in
+      re.(i) <- re.(j);
+      re.(j) <- tr;
+      let ti = im.(i) in
+      im.(i) <- im.(j);
+      im.(j) <- ti
+    end
+  done;
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let stride = n / !len in
+    let i = ref 0 in
+    while !i < n do
+      for j = 0 to half - 1 do
+        let wc = p.twc.(j * stride)
+        and ws = sign *. p.tws.(j * stride) in
+        let a = !i + j and b = !i + j + half in
+        let xr = re.(b) and xi = im.(b) in
+        (* w = wc + i ws; forward uses conj via sign *)
+        let tr = (wc *. xr) +. (ws *. xi) in
+        let ti = (wc *. xi) -. (ws *. xr) in
+        re.(b) <- re.(a) -. tr;
+        im.(b) <- im.(a) -. ti;
+        re.(a) <- re.(a) +. tr;
+        im.(a) <- im.(a) +. ti
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+let fft p ~re ~im =
+  check p re im;
+  transform p re im 1.0
+
+let ifft p ~re ~im =
+  check p re im;
+  transform p re im (-1.0);
+  let inv = 1.0 /. float_of_int p.n in
+  for i = 0 to p.n - 1 do
+    re.(i) <- re.(i) *. inv;
+    im.(i) <- im.(i) *. inv
+  done
+
+let check1 p src dst =
+  if Array.length src <> p.n || Array.length dst <> p.n then
+    invalid_arg "Fft: array length does not match the plan"
+
+(* DCT-II (Makhoul): permute evens forward / odds backward, one complex
+   FFT, then X[k] = Re (e^{-i pi k / 2n} V[k]). *)
+let dct2 p ~src ~dst =
+  check1 p src dst;
+  let n = p.n in
+  if n = 1 then dst.(0) <- src.(0)
+  else begin
+    for i = 0 to ((n + 1) / 2) - 1 do
+      p.sre.(i) <- src.(2 * i)
+    done;
+    for i = 0 to (n / 2) - 1 do
+      p.sre.(n - 1 - i) <- src.((2 * i) + 1)
+    done;
+    Array.fill p.sim 0 n 0.0;
+    transform p p.sre p.sim 1.0;
+    for k = 0 to n - 1 do
+      dst.(k) <- (p.qc.(k) *. p.sre.(k)) +. (p.qs.(k) *. p.sim.(k))
+    done
+  end
+
+(* Shared synthesis core: from real spectra [a] build
+   V[k] = e^{i pi k / 2n} (a[k] - i a[n-k]) (DC weight [dc] on a[0]),
+   inverse-FFT without the 1/n, un-permute, and scale by [scale].
+   [inverse = true] picks dc = 1, scale = 1/n — the exact inverse of
+   dct2; [inverse = false] picks dc = 2, scale = 1/2 — the full-weight
+   cosine evaluation. The weights are computed locally from the flag
+   (rather than passed as float arguments) so they never cross a call
+   boundary boxed. *)
+let synth p ~src ~dst ~inverse =
+  let n = p.n in
+  let dc = if inverse then 1.0 else 2.0 in
+  let scale = if inverse then 1.0 /. float_of_int n else 0.5 in
+  if n = 1 then dst.(0) <- dc *. scale *. src.(0)
+  else begin
+    p.sre.(0) <- dc *. src.(0);
+    p.sim.(0) <- 0.0;
+    for k = 1 to n - 1 do
+      let a = src.(k) and b = src.(n - k) in
+      (* (qc + i qs) (a - i b) *)
+      p.sre.(k) <- (p.qc.(k) *. a) +. (p.qs.(k) *. b);
+      p.sim.(k) <- (p.qs.(k) *. a) -. (p.qc.(k) *. b)
+    done;
+    transform p p.sre p.sim (-1.0);
+    for i = 0 to ((n + 1) / 2) - 1 do
+      dst.(2 * i) <- scale *. p.sre.(i)
+    done;
+    for i = 0 to (n / 2) - 1 do
+      dst.((2 * i) + 1) <- scale *. p.sre.(n - 1 - i)
+    done
+  end
+
+let idct2 p ~src ~dst =
+  check1 p src dst;
+  synth p ~src ~dst ~inverse:true
+
+let dct3 p ~src ~dst =
+  check1 p src dst;
+  synth p ~src ~dst ~inverse:false
+
+(* DST-III from DCT-III: with a[0] = 0, a[j] = b[n-j],
+   s[i] = (-1)^i sum_j a[j] cos (pi j (2i+1) / 2n) — so even output
+   positions keep the cosine evaluation's sign and odd ones flip it. *)
+let dst3 p ~src ~dst =
+  check1 p src dst;
+  let n = p.n in
+  if n = 1 then dst.(0) <- 0.0
+  else begin
+    p.srev.(0) <- 0.0;
+    for j = 1 to n - 1 do
+      p.srev.(j) <- src.(n - j)
+    done;
+    synth p ~src:p.srev ~dst ~inverse:false;
+    let i = ref 1 in
+    while !i < n do
+      dst.(!i) <- -.dst.(!i);
+      i := !i + 2
+    done
+  end

@@ -1,0 +1,53 @@
+(** Iterative radix-2 FFT and the trigonometric transforms the density
+    engine needs (DCT-II / DCT-III / DST-III), in the allocation-free
+    style of the MMSIM kernels.
+
+    A {!plan} precomputes the bit-reversal permutation, the twiddle
+    tables and the scratch buffers for one transform length [n] (a power
+    of two); every transform below then runs without allocating, so the
+    per-round Poisson solves of the global placer stay off the minor
+    heap. The real transforms ride on one complex FFT of the same length
+    (Makhoul's re-indexing), not a zero-padded double-length FFT.
+
+    Conventions (all unnormalized sums, [n] the plan length):
+
+    - [fft]:   [X\[k\] = sum_i x\[i\] exp (-2 pi i k l / n)]
+    - [ifft]:  exact inverse of [fft] (includes the [1/n] scale)
+    - [dct2]:  [X\[k\] = sum_i x\[i\] cos (pi k (2i+1) / 2n)]
+    - [idct2]: exact inverse of [dct2], i.e.
+               [x\[i\] = (2/n) (X\[0\]/2 + sum_{k>=1} X\[k\] cos ...)]
+    - [dct3]:  the plain cosine evaluation
+               [c\[i\] = sum_k a\[k\] cos (pi k (2i+1) / 2n)]
+               (full-weight DC term, no scale)
+    - [dst3]:  [s\[i\] = sum_{k>=1} b\[k\] sin (pi k (2i+1) / 2n)]
+               ([b\[0\]] is ignored — the sine basis has no DC) *)
+
+type plan
+
+val plan : int -> plan
+(** [plan n] for transforms of length [n].
+    @raise Invalid_argument unless [n] is a positive power of two. *)
+
+val length : plan -> int
+
+val fft : plan -> re:float array -> im:float array -> unit
+(** In-place forward DFT of the complex sequence [(re, im)].
+    @raise Invalid_argument on a length mismatch with the plan. *)
+
+val ifft : plan -> re:float array -> im:float array -> unit
+(** In-place inverse DFT, scaled by [1/n] ([ifft plan (fft plan x) = x]). *)
+
+val dct2 : plan -> src:float array -> dst:float array -> unit
+(** Forward DCT-II of [src] into [dst] ([src == dst] is allowed; the
+    input is staged through plan scratch). *)
+
+val idct2 : plan -> src:float array -> dst:float array -> unit
+(** Exact inverse of {!dct2}. *)
+
+val dct3 : plan -> src:float array -> dst:float array -> unit
+(** Unnormalized cosine-series evaluation (see above) — the synthesis
+    step of the spectral Poisson solver. *)
+
+val dst3 : plan -> src:float array -> dst:float array -> unit
+(** Unnormalized sine-series evaluation — the spectral x/y derivative
+    used for the electrostatic field. [src.(0)] is ignored. *)

@@ -1,0 +1,226 @@
+(* The FFT/DCT/DST kernels, pinned against naive O(n^2) references.
+
+   The density engine trusts these transforms blindly (the Poisson solve
+   is a pointwise divide between a forward and an inverse pass), so every
+   convention in Fft's mli is re-stated here as a brute-force sum and
+   compared at 1e-9. *)
+
+open Mclh_linalg
+
+let pi = Float.pi
+
+(* ---------- naive references (the mli contract, verbatim) ---------- *)
+
+let naive_dft xs_re xs_im =
+  let n = Array.length xs_re in
+  let re = Array.make n 0.0 and im = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let th = -2.0 *. pi *. float_of_int (k * i) /. float_of_int n in
+      re.(k) <- re.(k) +. (xs_re.(i) *. cos th) -. (xs_im.(i) *. sin th);
+      im.(k) <- im.(k) +. (xs_re.(i) *. sin th) +. (xs_im.(i) *. cos th)
+    done
+  done;
+  (re, im)
+
+let naive_dct2 x =
+  let n = Array.length x in
+  Array.init n (fun k ->
+      let acc = ref 0.0 in
+      for i = 0 to n - 1 do
+        acc :=
+          !acc
+          +. x.(i)
+             *. cos (pi *. float_of_int (k * ((2 * i) + 1)) /. (2.0 *. float_of_int n))
+      done;
+      !acc)
+
+let naive_dct3 a =
+  let n = Array.length a in
+  Array.init n (fun i ->
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc :=
+          !acc
+          +. a.(k)
+             *. cos (pi *. float_of_int (k * ((2 * i) + 1)) /. (2.0 *. float_of_int n))
+      done;
+      !acc)
+
+let naive_dst3 b =
+  let n = Array.length b in
+  Array.init n (fun i ->
+      let acc = ref 0.0 in
+      for k = 1 to n - 1 do
+        acc :=
+          !acc
+          +. b.(k)
+             *. sin (pi *. float_of_int (k * ((2 * i) + 1)) /. (2.0 *. float_of_int n))
+      done;
+      !acc)
+
+let max_abs_diff a b =
+  let m = ref 0.0 in
+  Array.iteri (fun i v -> m := Float.max !m (Float.abs (v -. b.(i)))) a;
+  !m
+
+let sizes = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]
+
+let random_array rand n = Array.init n (fun _ -> (rand () *. 4.0) -. 2.0)
+
+let mk_rand seed =
+  let state = ref seed in
+  fun () ->
+    state := (!state * 1103515245) + 12345;
+    float_of_int (!state land 0xFFFFFF) /. float_of_int 0xFFFFFF
+
+(* ---------- complex FFT ---------- *)
+
+let test_fft_matches_dft () =
+  let rand = mk_rand 3 in
+  List.iter
+    (fun n ->
+      let p = Fft.plan n in
+      let re = random_array rand n and im = random_array rand n in
+      let rre, rim = naive_dft re im in
+      Fft.fft p ~re ~im;
+      (* tolerance scales mildly with n through summation error *)
+      let tol = 1e-9 *. float_of_int (max 1 n) in
+      if max_abs_diff re rre > tol || max_abs_diff im rim > tol then
+        Alcotest.failf "fft vs naive DFT at n = %d (err %.2e / %.2e)" n
+          (max_abs_diff re rre) (max_abs_diff im rim))
+    sizes
+
+let test_ifft_inverts () =
+  let rand = mk_rand 7 in
+  List.iter
+    (fun n ->
+      let p = Fft.plan n in
+      let re = random_array rand n and im = random_array rand n in
+      let re0 = Array.copy re and im0 = Array.copy im in
+      Fft.fft p ~re ~im;
+      Fft.ifft p ~re ~im;
+      if max_abs_diff re re0 > 1e-10 || max_abs_diff im im0 > 1e-10 then
+        Alcotest.failf "ifft . fft <> id at n = %d" n)
+    sizes
+
+(* ---------- real transforms ---------- *)
+
+let pin name reference transform =
+  let rand = mk_rand 13 in
+  List.iter
+    (fun n ->
+      let p = Fft.plan n in
+      let src = random_array rand n in
+      let expect = reference src in
+      let dst = Array.make n Float.nan in
+      transform p src dst;
+      let tol = 1e-9 *. float_of_int (max 1 n) in
+      if max_abs_diff dst expect > tol then
+        Alcotest.failf "%s vs naive at n = %d (err %.2e)" name n
+          (max_abs_diff dst expect))
+    sizes
+
+let test_dct2 () = pin "dct2" naive_dct2 (fun p src dst -> Fft.dct2 p ~src ~dst)
+let test_dct3 () = pin "dct3" naive_dct3 (fun p src dst -> Fft.dct3 p ~src ~dst)
+let test_dst3 () = pin "dst3" naive_dst3 (fun p src dst -> Fft.dst3 p ~src ~dst)
+
+let test_idct2_inverts () =
+  let rand = mk_rand 17 in
+  List.iter
+    (fun n ->
+      let p = Fft.plan n in
+      let x = random_array rand n in
+      let spec = Array.make n 0.0 and back = Array.make n 0.0 in
+      Fft.dct2 p ~src:x ~dst:spec;
+      Fft.idct2 p ~src:spec ~dst:back;
+      if max_abs_diff back x > 1e-10 *. float_of_int (max 1 n) then
+        Alcotest.failf "idct2 . dct2 <> id at n = %d" n)
+    sizes
+
+let test_aliasing () =
+  (* src == dst is explicitly allowed: input is staged through scratch *)
+  let rand = mk_rand 23 in
+  let n = 32 in
+  let p = Fft.plan n in
+  let x = random_array rand n in
+  let expect = naive_dct2 x in
+  let buf = Array.copy x in
+  Fft.dct2 p ~src:buf ~dst:buf;
+  Alcotest.(check bool) "aliased dct2" true (max_abs_diff buf expect < 1e-8)
+
+(* ---------- property: random sizes and data ---------- *)
+
+let qcheck_transforms =
+  QCheck.Test.make ~count:60 ~name:"fft family matches naive references"
+    QCheck.(pair (int_bound 6) (int_bound 1_000_000))
+    (fun (log2n, seed) ->
+      let n = 1 lsl log2n in
+      let rand = mk_rand (seed + 1) in
+      let p = Fft.plan n in
+      let x = random_array rand n in
+      let tol = 1e-9 *. float_of_int n in
+      let dst = Array.make n 0.0 in
+      Fft.dct2 p ~src:x ~dst;
+      let ok_dct2 = max_abs_diff dst (naive_dct2 x) <= tol in
+      Fft.dct3 p ~src:x ~dst;
+      let ok_dct3 = max_abs_diff dst (naive_dct3 x) <= tol in
+      Fft.dst3 p ~src:x ~dst;
+      let ok_dst3 = max_abs_diff dst (naive_dst3 x) <= tol in
+      ok_dct2 && ok_dct3 && ok_dst3)
+
+(* ---------- validation and steady-state allocation ---------- *)
+
+let test_plan_validation () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "plan %d rejected" n)
+        true
+        (try
+           ignore (Fft.plan n);
+           false
+         with Invalid_argument _ -> true))
+    [ 0; -1; 3; 6; 12; 100 ];
+  Alcotest.(check int) "length" 64 (Fft.length (Fft.plan 64))
+
+let test_steady_state_allocation_free () =
+  let n = 64 in
+  let p = Fft.plan n in
+  let re = Array.make n 1.0 and im = Array.make n 0.0 in
+  let src = Array.make n 1.0 and dst = Array.make n 0.0 in
+  (* warm up: any one-time allocation happens here *)
+  Fft.fft p ~re ~im;
+  Fft.ifft p ~re ~im;
+  Fft.dct2 p ~src ~dst;
+  Fft.idct2 p ~src ~dst;
+  Fft.dct3 p ~src ~dst;
+  Fft.dst3 p ~src ~dst;
+  let before = Gc.minor_words () in
+  for _ = 1 to 50 do
+    Fft.fft p ~re ~im;
+    Fft.ifft p ~re ~im;
+    Fft.dct2 p ~src ~dst;
+    Fft.idct2 p ~src ~dst;
+    Fft.dct3 p ~src ~dst;
+    Fft.dst3 p ~src ~dst
+  done;
+  let words = Gc.minor_words () -. before in
+  Alcotest.(check (float 0.0)) "0 minor words across 300 transforms" 0.0 words
+
+let () =
+  Alcotest.run "fft"
+    [ ( "complex",
+        [ Alcotest.test_case "matches naive DFT" `Quick test_fft_matches_dft;
+          Alcotest.test_case "ifft inverts" `Quick test_ifft_inverts ] );
+      ( "real",
+        [ Alcotest.test_case "dct2" `Quick test_dct2;
+          Alcotest.test_case "dct3" `Quick test_dct3;
+          Alcotest.test_case "dst3" `Quick test_dst3;
+          Alcotest.test_case "idct2 inverts" `Quick test_idct2_inverts;
+          Alcotest.test_case "aliasing" `Quick test_aliasing;
+          QCheck_alcotest.to_alcotest qcheck_transforms ] );
+      ( "plan",
+        [ Alcotest.test_case "validation" `Quick test_plan_validation;
+          Alcotest.test_case "allocation-free" `Quick
+            test_steady_state_allocation_free ] ) ]

@@ -75,9 +75,16 @@ let design_for name scale =
 let test_gp_basics () =
   let d = design_for "fft_2" 0.01 in
   let gp, stats = Mclh_gp.Gp.place d in
-  Alcotest.(check int) "rounds recorded"
-    Mclh_gp.Gp.default_options.Mclh_gp.Gp.iterations
-    (List.length stats.Mclh_gp.Gp.rounds);
+  (* the overflow stopping rule may end the loop early, never late *)
+  let nrounds = List.length stats.Mclh_gp.Gp.rounds in
+  Alcotest.(check bool) "rounds recorded" true
+    (nrounds >= 1
+    && nrounds <= Mclh_gp.Gp.default_options.Mclh_gp.Gp.iterations);
+  (* round indices are chronological starting at 1 *)
+  List.iteri
+    (fun i (r : Mclh_gp.Gp.round) ->
+      Alcotest.(check int) "round index" (i + 1) r.Mclh_gp.Gp.index)
+    stats.Mclh_gp.Gp.rounds;
   (* in bounds *)
   let chip = d.Design.chip in
   Array.iteri
@@ -143,7 +150,8 @@ let test_gp_b2b_model () =
   Alcotest.(check bool) "distinct model" false (Placement.equal gp gp_clique)
 
 let test_gp_no_nets () =
-  (* without nets, cells settle at their (staggered center) anchors *)
+  (* without nets, cells start at the staggered center anchors and the
+     density field spreads them apart until they fit the target *)
   let chip = Chip.make ~num_rows:4 ~num_sites:40 () in
   let cells = Array.init 3 (fun id -> Cell.make ~id ~width:3 ~height:1 ()) in
   let d =
@@ -155,8 +163,159 @@ let test_gp_no_nets () =
   let gp, stats = Mclh_gp.Gp.place d in
   Alcotest.(check (float 1e-9)) "no wirelength" 0.0 stats.Mclh_gp.Gp.final_hpwl;
   Array.iter
-    (fun x -> Alcotest.(check bool) "near center" true (Float.abs (x -. 20.0) < 8.0))
-    gp.Placement.xs
+    (fun x ->
+      Alcotest.(check bool) "in bounds" true (x >= 0.0 && x <= 37.0))
+    gp.Placement.xs;
+  (* density equalization reached its target on this trivial instance *)
+  Alcotest.(check bool) "spread converged" true
+    (stats.Mclh_gp.Gp.final_overflow
+    <= Mclh_gp.Gp.default_options.Mclh_gp.Gp.stop_overflow)
+
+(* ---------- density engine ---------- *)
+
+let test_density_conservation () =
+  (* binning is area-exact: the grid holds exactly the movable area *)
+  let d = design_for "fft_a" 0.02 in
+  let fixed = Array.make (Design.num_cells d) false in
+  fixed.(0) <- true;
+  let t = Mclh_gp.Density.create ~fixed d in
+  Mclh_gp.Density.accumulate t d d.Design.global;
+  let binned =
+    Array.fold_left ( +. ) 0.0 (Mclh_gp.Density.movable t)
+  in
+  let expect = Mclh_gp.Density.total_movable_area t in
+  Alcotest.(check bool)
+    (Printf.sprintf "binned %.3f = movable %.3f" binned expect)
+    true
+    (Float.abs (binned -. expect) < 1e-6 *. Float.max 1.0 expect)
+
+let test_density_poisson_residual () =
+  (* the spectral potential satisfies the 5-point Neumann Laplacian:
+     L psi = -(rho - mean rho), checked by direct stencil application *)
+  let d = design_for "pci_bridge32_a" 0.02 in
+  let t = Mclh_gp.Density.create ~grid:32 d in
+  Mclh_gp.Density.accumulate t d d.Design.global;
+  Mclh_gp.Density.solve t;
+  let m = Mclh_gp.Density.grid t in
+  let psi = Mclh_gp.Density.potential t
+  and rho = Mclh_gp.Density.charge t in
+  let mean = Array.fold_left ( +. ) 0.0 rho /. float_of_int (m * m) in
+  let at g ix iy =
+    let ix = max 0 (min (m - 1) ix) and iy = max 0 (min (m - 1) iy) in
+    g.((iy * m) + ix)
+  in
+  let maxres = ref 0.0 in
+  for iy = 0 to m - 1 do
+    for ix = 0 to m - 1 do
+      let lap =
+        at psi (ix - 1) iy +. at psi (ix + 1) iy +. at psi ix (iy - 1)
+        +. at psi ix (iy + 1)
+        -. (4.0 *. at psi ix iy)
+      in
+      maxres := Float.max !maxres (Float.abs (lap +. rho.((iy * m) + ix) -. mean))
+    done
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "max residual %.2e" !maxres)
+    true (!maxres < 1e-6)
+
+let test_gp_overflow_decreases () =
+  let d = design_for "fft_2" 0.01 in
+  let _, stats = Mclh_gp.Gp.place d in
+  match stats.Mclh_gp.Gp.rounds with
+  | [] -> Alcotest.fail "no rounds"
+  | first :: _ ->
+    Alcotest.(check bool)
+      (Printf.sprintf "overflow %.3f -> %.3f" first.Mclh_gp.Gp.overflow
+         stats.Mclh_gp.Gp.final_overflow)
+      true
+      (stats.Mclh_gp.Gp.final_overflow < first.Mclh_gp.Gp.overflow
+      || stats.Mclh_gp.Gp.final_overflow
+         <= Mclh_gp.Gp.default_options.Mclh_gp.Gp.stop_overflow)
+
+let test_gp_fixed_cells_stay_put () =
+  let d = design_for "fft_a" 0.01 in
+  let pinned = [ 0; 3; 7 ] in
+  let options =
+    { Mclh_gp.Gp.default_options with Mclh_gp.Gp.fixed_cells = pinned }
+  in
+  let gp, _ = Mclh_gp.Gp.place ~options d in
+  List.iter
+    (fun i ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "cell %d x" i)
+        d.Design.global.Placement.xs.(i)
+        gp.Placement.xs.(i);
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "cell %d y" i)
+        d.Design.global.Placement.ys.(i)
+        gp.Placement.ys.(i))
+    pinned;
+  (* movable cells did move off the pinned spots' neighborhood *)
+  Alcotest.(check bool) "placement not the input" false
+    (Placement.equal gp d.Design.global)
+
+let test_gp_honest_illegality () =
+  (* the whole point of density-driven GP: its output is overlapping
+     (illegal) before legalization, then legalizes cleanly *)
+  let d0 = design_for "fft_2" 0.02 in
+  let gp, _ = Mclh_gp.Gp.place d0 in
+  let d =
+    Design.make ~blockages:d0.Design.blockages ~name:"gp" ~chip:d0.Design.chip
+      ~cells:d0.Design.cells ~global:gp ~nets:d0.Design.nets ()
+  in
+  let illegal_pre = Legality.count_illegal d gp in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d illegal cells pre-legalization" illegal_pre)
+    true (illegal_pre > 0);
+  let legal = Mclh_core.Flow.legalize d in
+  Alcotest.(check bool) "legalizes" true (Legality.is_legal d legal)
+
+(* ---------- eco bridge ---------- *)
+
+let test_eco_bridge_round_trip () =
+  let d = design_for "fft_a" 0.01 in
+  let snapshots = ref [] in
+  let _, _ =
+    Mclh_gp.Gp.place
+      ~on_round:(fun _ pl -> snapshots := Placement.copy pl :: !snapshots)
+      d
+  in
+  let snapshots = List.rev !snapshots in
+  Alcotest.(check bool) "several rounds" true (List.length snapshots >= 2);
+  let batches = Mclh_gp.Eco_bridge.batches_of_rounds snapshots in
+  Alcotest.(check bool) "non-empty" true (batches <> []);
+  (* every batch is pure moves, and each move lands exactly on the next
+     snapshot's position for that cell *)
+  let rec check_batches snaps batches =
+    match (snaps, batches) with
+    | _, [] -> ()
+    | prev :: (next :: _ as rest), batch :: more ->
+      let moved = List.length batch in
+      if moved = 0 then Alcotest.fail "empty batch emitted";
+      List.iter
+        (function
+          | Mclh_incr.Edit.Move { cell; x; y } ->
+            Alcotest.(check (float 1e-12)) "x" next.Placement.xs.(cell) x;
+            Alcotest.(check (float 1e-12)) "y" next.Placement.ys.(cell) y
+          | _ -> Alcotest.fail "non-move edit from the bridge")
+        batch;
+      ignore prev;
+      check_batches rest more
+    | _ -> Alcotest.fail "more batches than snapshot pairs"
+  in
+  check_batches snapshots batches;
+  (* file round trip *)
+  let path = Filename.temp_file "gp_edits" ".edits" in
+  Mclh_gp.Eco_bridge.write ~path snapshots;
+  let back = Mclh_incr.Edit.read_file ~path in
+  Sys.remove path;
+  Alcotest.(check int) "batch count survives" (List.length batches)
+    (List.length back);
+  List.iter2
+    (fun b1 b2 ->
+      Alcotest.(check int) "batch size" (List.length b1) (List.length b2))
+    batches back
 
 let () =
   Alcotest.run "gp"
@@ -170,4 +329,16 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_gp_deterministic;
           Alcotest.test_case "output legalizes" `Quick test_gp_output_legalizes;
           Alcotest.test_case "b2b model" `Quick test_gp_b2b_model;
-          Alcotest.test_case "no nets" `Quick test_gp_no_nets ] ) ]
+          Alcotest.test_case "no nets" `Quick test_gp_no_nets;
+          Alcotest.test_case "overflow decreases" `Quick
+            test_gp_overflow_decreases;
+          Alcotest.test_case "fixed cells stay put" `Quick
+            test_gp_fixed_cells_stay_put;
+          Alcotest.test_case "honest illegality" `Quick
+            test_gp_honest_illegality ] );
+      ( "density",
+        [ Alcotest.test_case "conservation" `Quick test_density_conservation;
+          Alcotest.test_case "poisson residual" `Quick
+            test_density_poisson_residual ] );
+      ( "eco-bridge",
+        [ Alcotest.test_case "round trip" `Quick test_eco_bridge_round_trip ] ) ]
